@@ -1,0 +1,276 @@
+//! The per-node aggregation component (the paper's "topic manager").
+//!
+//! Each server stores local `(topic, value)` data and subscribes to one
+//! Scribe tree per topic. Periodically (or immediately, in event-driven
+//! mode) every node merges its local value with its children's *reduction
+//! information bases* and pushes the subtree summary to its parent; the
+//! root publishes the global aggregate back down the tree (§III.D).
+
+use std::collections::HashMap;
+
+use vbundle_pastry::NodeHandle;
+use vbundle_scribe::{GroupId, ScribeCtx};
+use vbundle_sim::{Message, SimDuration};
+
+use crate::{AggMsg, AggValue};
+
+/// Timer tag the embedding client must route to [`Aggregator::on_tick`].
+pub const AGG_TICK_TAG: u64 = 0x5641_0001;
+
+/// When subtree summaries travel up the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateMode {
+    /// Leaves push on a fixed period (the paper's 5-minute updating
+    /// interval); convergence takes `tree height × interval`.
+    Periodic(SimDuration),
+    /// Push as soon as the subtree summary changes; convergence takes
+    /// `tree height × (hop latency + processing delay)` — the "without
+    /// adding updating interval" line of Fig. 14.
+    Immediate,
+}
+
+/// Tunables of the aggregation service.
+#[derive(Debug, Clone)]
+pub struct AggregationConfig {
+    /// Update propagation mode.
+    pub mode: UpdateMode,
+    /// Per-node processing time added before each upward push (the paper
+    /// measures 1–2 ms per tree level; default 1.5 ms).
+    pub processing_delay: SimDuration,
+}
+
+impl Default for AggregationConfig {
+    fn default() -> Self {
+        AggregationConfig {
+            mode: UpdateMode::Periodic(SimDuration::from_mins(5)),
+            processing_delay: SimDuration::from_micros(1500),
+        }
+    }
+}
+
+/// Marker for client message types able to carry [`AggMsg`]s.
+///
+/// The embedding client (v-Bundle's controller) defines one message enum
+/// wrapping both aggregation and shuffling traffic; implementing
+/// `From<AggMsg>` + [`TryInto<AggMsg>`] lets the aggregator send through
+/// the shared [`ScribeCtx`].
+pub trait AggCarrier: Message + Clone + From<AggMsg> {}
+impl<M: Message + Clone + From<AggMsg>> AggCarrier for M {}
+
+#[derive(Debug, Default)]
+struct TopicState {
+    local: AggValue,
+    /// Child id → last reported subtree summary (the information base).
+    info_base: HashMap<u128, AggValue>,
+    /// Last summary pushed to the parent (suppresses no-op pushes in
+    /// immediate mode).
+    last_pushed: Option<AggValue>,
+    /// Latest global aggregate received (version, value).
+    global: Option<(u64, AggValue)>,
+    /// Root-only publish counter.
+    version: u64,
+    /// Last global value this node published as root.
+    last_published: Option<AggValue>,
+}
+
+/// The aggregation component one server embeds in its Scribe client.
+///
+/// The embedding client must:
+/// - call [`Aggregator::subscribe`] for each topic,
+/// - schedule [`AGG_TICK_TAG`] and route it to [`Aggregator::on_tick`]
+///   (periodic mode),
+/// - route direct [`AggMsg::Update`]s to [`Aggregator::on_update`],
+/// - route multicast [`AggMsg::Result`]s to [`Aggregator::on_result`],
+/// - route child-removal events to [`Aggregator::on_child_removed`].
+#[derive(Debug)]
+pub struct Aggregator {
+    topics: HashMap<u128, TopicState>,
+    config: AggregationConfig,
+}
+
+impl Aggregator {
+    /// Creates an aggregator with the given configuration.
+    pub fn new(config: AggregationConfig) -> Self {
+        Aggregator {
+            topics: HashMap::new(),
+            config,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &AggregationConfig {
+        &self.config
+    }
+
+    /// Subscribes this node to `topic`: joins the Scribe tree and starts
+    /// the tick timer (first caller only).
+    pub fn subscribe<M: AggCarrier>(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, M>, topic: GroupId) {
+        let first_topic = self.topics.is_empty();
+        self.topics.entry(topic.as_u128()).or_default();
+        ctx.join(topic);
+        if first_topic {
+            if let UpdateMode::Periodic(interval) = self.config.mode {
+                ctx.schedule(interval, AGG_TICK_TAG);
+            }
+        }
+    }
+
+    /// Topics this node subscribed to.
+    pub fn topics(&self) -> Vec<GroupId> {
+        let mut v: Vec<GroupId> = self.topics.keys().map(|&k| GroupId::from_u128(k)).collect();
+        v.sort();
+        v
+    }
+
+    /// Sets the node's local sample for `topic` (e.g. its bandwidth
+    /// demand in Mbps). In immediate mode this may push an update at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topic was never subscribed.
+    pub fn set_local<M: AggCarrier>(
+        &mut self,
+        ctx: &mut ScribeCtx<'_, '_, '_, '_, M>,
+        topic: GroupId,
+        value: f64,
+    ) {
+        let st = self
+            .topics
+            .get_mut(&topic.as_u128())
+            .expect("set_local on unsubscribed topic");
+        st.local = AggValue::of(value);
+        if self.config.mode == UpdateMode::Immediate {
+            self.push_subtree(ctx, topic);
+        }
+    }
+
+    /// The node's current local sample for `topic`.
+    pub fn local(&self, topic: GroupId) -> Option<AggValue> {
+        self.topics.get(&topic.as_u128()).map(|t| t.local)
+    }
+
+    /// The subtree summary this node would currently report.
+    pub fn subtree(&self, topic: GroupId) -> AggValue {
+        match self.topics.get(&topic.as_u128()) {
+            Some(st) => st
+                .info_base
+                .values()
+                .fold(st.local, |acc, v| acc.merge(v)),
+            None => AggValue::EMPTY,
+        }
+    }
+
+    /// The latest global aggregate this node has heard for `topic`.
+    pub fn global(&self, topic: GroupId) -> Option<AggValue> {
+        self.topics
+            .get(&topic.as_u128())
+            .and_then(|t| t.global.map(|(_, v)| v))
+    }
+
+    /// Periodic tick: push every topic's subtree summary to the parent
+    /// (or publish, at the root), then re-arm the timer.
+    pub fn on_tick<M: AggCarrier>(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, M>) {
+        let topics: Vec<u128> = self.topics.keys().copied().collect();
+        for t in topics {
+            self.push_subtree(ctx, GroupId::from_u128(t));
+        }
+        if let UpdateMode::Periodic(interval) = self.config.mode {
+            ctx.schedule(interval, AGG_TICK_TAG);
+        }
+    }
+
+    /// A child pushed its subtree summary.
+    pub fn on_update<M: AggCarrier>(
+        &mut self,
+        ctx: &mut ScribeCtx<'_, '_, '_, '_, M>,
+        from: NodeHandle,
+        topic: GroupId,
+        value: AggValue,
+    ) {
+        let Some(st) = self.topics.get_mut(&topic.as_u128()) else {
+            return; // not subscribed (e.g. pure forwarder); drop
+        };
+        st.info_base.insert(from.id.as_u128(), value);
+        if self.config.mode == UpdateMode::Immediate {
+            self.push_subtree(ctx, topic);
+        }
+    }
+
+    /// The root published a new global aggregate.
+    pub fn on_result(&mut self, topic: GroupId, version: u64, value: AggValue) {
+        let Some(st) = self.topics.get_mut(&topic.as_u128()) else {
+            return;
+        };
+        match st.global {
+            Some((v, _)) if v >= version => {}
+            _ => st.global = Some((version, value)),
+        }
+    }
+
+    /// A child left the tree: forget its contribution.
+    pub fn on_child_removed(&mut self, topic: GroupId, child: NodeHandle) {
+        if let Some(st) = self.topics.get_mut(&topic.as_u128()) {
+            st.info_base.remove(&child.id.as_u128());
+        }
+    }
+
+    fn push_subtree<M: AggCarrier>(
+        &mut self,
+        ctx: &mut ScribeCtx<'_, '_, '_, '_, M>,
+        topic: GroupId,
+    ) {
+        let me = ctx.self_handle();
+        // Prune info-base entries from nodes that are no longer children
+        // (tree churn) so stale contributions do not linger.
+        let children = ctx.children(topic);
+        let Some(st) = self.topics.get_mut(&topic.as_u128()) else {
+            return;
+        };
+        st.info_base
+            .retain(|id, _| children.iter().any(|c| c.id.as_u128() == *id));
+        let subtree = st
+            .info_base
+            .values()
+            .fold(st.local, |acc, v| acc.merge(v));
+        if ctx.is_root(topic) {
+            // The root's subtree is the global value: publish down. In
+            // periodic mode the root re-publishes every round even when
+            // unchanged — the downward traffic doubles as tree liveness
+            // (a dead child bounces the dissemination, detaching it).
+            if self.config.mode == UpdateMode::Immediate
+                && st
+                    .last_published
+                    .map(|p| p.approx_eq(&subtree))
+                    .unwrap_or(false)
+            {
+                return;
+            }
+            st.version += 1;
+            st.last_published = Some(subtree);
+            st.global = Some((st.version, subtree));
+            let msg = AggMsg::Result {
+                topic,
+                version: st.version,
+                value: subtree,
+            };
+            ctx.multicast(topic, M::from(msg));
+        } else if let Some(parent) = ctx.parent(topic) {
+            if self.config.mode == UpdateMode::Immediate
+                && st
+                    .last_pushed
+                    .map(|p| p.approx_eq(&subtree))
+                    .unwrap_or(false)
+            {
+                return;
+            }
+            st.last_pushed = Some(subtree);
+            debug_assert_ne!(parent.id, me.id);
+            let msg = AggMsg::Update {
+                topic,
+                value: subtree,
+            };
+            ctx.send_client_after(parent, M::from(msg), self.config.processing_delay);
+        }
+        // No parent and not root: still joining; the next tick retries.
+    }
+}

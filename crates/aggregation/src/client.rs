@@ -1,0 +1,71 @@
+//! A ready-made Scribe client that runs the aggregation service alone.
+//!
+//! The v-Bundle controller embeds [`Aggregator`] next to its shuffling
+//! logic; this standalone client serves the aggregation-only experiments
+//! (Fig. 14's latency measurement, Table I's overhead micro-benchmarks)
+//! and doubles as the reference for how to wire the component.
+
+use vbundle_pastry::NodeHandle;
+use vbundle_scribe::{GroupId, ScribeClient, ScribeCtx};
+
+use crate::{AggMsg, Aggregator, AGG_TICK_TAG};
+
+/// A [`ScribeClient`] whose only job is aggregation.
+#[derive(Debug)]
+pub struct AggClient {
+    /// The embedded aggregation component.
+    pub agg: Aggregator,
+}
+
+impl AggClient {
+    /// Wraps an aggregator.
+    pub fn new(agg: Aggregator) -> Self {
+        AggClient { agg }
+    }
+}
+
+impl ScribeClient for AggClient {
+    type Msg = AggMsg;
+
+    fn deliver_multicast(
+        &mut self,
+        _ctx: &mut ScribeCtx<'_, '_, '_, '_, AggMsg>,
+        _group: GroupId,
+        msg: AggMsg,
+    ) {
+        if let AggMsg::Result {
+            topic,
+            version,
+            value,
+        } = msg
+        {
+            self.agg.on_result(topic, version, value);
+        }
+    }
+
+    fn on_direct(
+        &mut self,
+        ctx: &mut ScribeCtx<'_, '_, '_, '_, AggMsg>,
+        from: NodeHandle,
+        msg: AggMsg,
+    ) {
+        if let AggMsg::Update { topic, value } = msg {
+            self.agg.on_update(ctx, from, topic, value);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, AggMsg>, tag: u64) {
+        if tag == AGG_TICK_TAG {
+            self.agg.on_tick(ctx);
+        }
+    }
+
+    fn on_child_removed(
+        &mut self,
+        _ctx: &mut ScribeCtx<'_, '_, '_, '_, AggMsg>,
+        group: GroupId,
+        child: NodeHandle,
+    ) {
+        self.agg.on_child_removed(group, child);
+    }
+}

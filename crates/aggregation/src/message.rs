@@ -1,0 +1,65 @@
+//! Aggregation protocol messages.
+
+use vbundle_scribe::GroupId;
+use vbundle_sim::{Message, MsgCategory};
+
+use crate::AggValue;
+
+/// Messages of the aggregation protocol. They travel inside the embedding
+/// client's message enum (which must implement `From<AggMsg>` and,
+/// typically, `TryFrom<ClientMsg> for AggMsg` routing).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggMsg {
+    /// A child pushes its subtree summary to its parent (direct message).
+    Update {
+        /// The topic (= Scribe group) being aggregated.
+        topic: GroupId,
+        /// The subtree summary.
+        value: AggValue,
+    },
+    /// The root publishes the global aggregate down the tree (multicast).
+    Result {
+        /// The topic.
+        topic: GroupId,
+        /// Root-assigned publication number; stale results are ignored.
+        version: u64,
+        /// The global aggregate.
+        value: AggValue,
+    },
+}
+
+impl Message for AggMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            // topic + (sum, count, min, max)
+            AggMsg::Update { .. } => 16 + 32,
+            AggMsg::Result { .. } => 16 + 8 + 32,
+        }
+    }
+
+    fn category(&self) -> MsgCategory {
+        MsgCategory::Payload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbundle_pastry::Id;
+
+    #[test]
+    fn sizes() {
+        let u = AggMsg::Update {
+            topic: Id::from_u128(1),
+            value: AggValue::of(3.0),
+        };
+        assert_eq!(u.wire_size(), 48);
+        let r = AggMsg::Result {
+            topic: Id::from_u128(1),
+            version: 2,
+            value: AggValue::of(3.0),
+        };
+        assert_eq!(r.wire_size(), 56);
+        assert_eq!(u.category(), MsgCategory::Payload);
+    }
+}

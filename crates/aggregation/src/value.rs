@@ -1,0 +1,176 @@
+//! The mergeable aggregate value flowing up the trees.
+
+use std::fmt;
+
+/// A commutative, associative summary of a set of samples: sum, count,
+/// minimum and maximum (mean is derived). One value type covers every
+/// topic the paper aggregates (`BW_Capacity`, `BW_Demand`, configuration
+/// counts, …).
+///
+/// ```
+/// use vbundle_aggregation::AggValue;
+/// let a = AggValue::of(10.0);
+/// let b = AggValue::of(30.0).merge(&AggValue::of(20.0));
+/// let all = a.merge(&b);
+/// assert_eq!(all.sum, 60.0);
+/// assert_eq!(all.count, 3);
+/// assert_eq!(all.min, Some(10.0));
+/// assert_eq!(all.max, Some(30.0));
+/// assert_eq!(all.mean(), Some(20.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AggValue {
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample, `None` when empty.
+    pub min: Option<f64>,
+    /// Largest sample, `None` when empty.
+    pub max: Option<f64>,
+}
+
+impl AggValue {
+    /// The identity element: no samples.
+    pub const EMPTY: AggValue = AggValue {
+        sum: 0.0,
+        count: 0,
+        min: None,
+        max: None,
+    };
+
+    /// A single sample.
+    pub fn of(v: f64) -> AggValue {
+        AggValue {
+            sum: v,
+            count: 1,
+            min: Some(v),
+            max: Some(v),
+        }
+    }
+
+    /// Merges two summaries.
+    pub fn merge(&self, other: &AggValue) -> AggValue {
+        AggValue {
+            sum: self.sum + other.sum,
+            count: self.count + other.count,
+            min: opt_fold(self.min, other.min, f64::min),
+            max: opt_fold(self.max, other.max, f64::max),
+        }
+    }
+
+    /// The mean of the samples, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum / self.count as f64)
+        }
+    }
+
+    /// True if no samples are summarized.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Approximate equality, used to suppress no-op re-publications.
+    pub fn approx_eq(&self, other: &AggValue) -> bool {
+        fn feq(a: f64, b: f64) -> bool {
+            (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+        }
+        self.count == other.count
+            && feq(self.sum, other.sum)
+            && opt_eq(self.min, other.min)
+            && opt_eq(self.max, other.max)
+    }
+}
+
+fn opt_fold(a: Option<f64>, b: Option<f64>, f: impl Fn(f64, f64) -> f64) -> Option<f64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(f(x, y)),
+        (Some(x), None) | (None, Some(x)) => Some(x),
+        (None, None) => None,
+    }
+}
+
+fn opt_eq(a: Option<f64>, b: Option<f64>) -> bool {
+    match (a, b) {
+        (Some(x), Some(y)) => (x - y).abs() <= 1e-9 * (1.0 + x.abs().max(y.abs())),
+        (None, None) => true,
+        _ => false,
+    }
+}
+
+impl FromIterator<f64> for AggValue {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> AggValue {
+        iter.into_iter()
+            .fold(AggValue::EMPTY, |acc, v| acc.merge(&AggValue::of(v)))
+    }
+}
+
+impl fmt::Display for AggValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean() {
+            Some(mean) => write!(
+                f,
+                "n={} sum={:.3} mean={:.3} min={:.3} max={:.3}",
+                self.count,
+                self.sum,
+                mean,
+                self.min.unwrap_or(0.0),
+                self.max.unwrap_or(0.0)
+            ),
+            None => write!(f, "n=0 (empty)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_laws() {
+        let v = AggValue::of(5.0);
+        assert_eq!(v.merge(&AggValue::EMPTY), v);
+        assert_eq!(AggValue::EMPTY.merge(&v), v);
+        assert!(AggValue::EMPTY.is_empty());
+        assert_eq!(AggValue::EMPTY.mean(), None);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        let a = AggValue::of(1.0);
+        let b = AggValue::of(2.0);
+        let c = AggValue::of(3.0);
+        assert_eq!(a.merge(&b), b.merge(&a));
+        assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let v: AggValue = vec![4.0, 1.0, 7.0].into_iter().collect();
+        assert_eq!(v.count, 3);
+        assert_eq!(v.sum, 12.0);
+        assert_eq!(v.min, Some(1.0));
+        assert_eq!(v.max, Some(7.0));
+        assert_eq!(v.mean(), Some(4.0));
+    }
+
+    #[test]
+    fn approx_eq_tolerates_float_noise() {
+        let a = AggValue::of(1.0).merge(&AggValue::of(2.0));
+        let mut b = a;
+        b.sum += 1e-12;
+        assert!(a.approx_eq(&b));
+        let c = AggValue::of(1.0);
+        assert!(!a.approx_eq(&c));
+        assert!(AggValue::EMPTY.approx_eq(&AggValue::EMPTY));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(format!("{}", AggValue::EMPTY).contains("n=0"));
+        assert!(format!("{}", AggValue::of(2.5)).contains("mean=2.500"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Performance micro-benchmarks of the hot paths: shaper allocation,
+//! offline placement throughput and overlay construction. These guard the
+//! harness's ability to run the paper's 3000-server scenarios quickly.
+//!
+//! Run: `cargo bench -p vbundle-bench --bench perf_micro`
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vbundle_core::{shaper, ClusterModel, CustomerId, PlacementPolicy, ResourceSpec, ResourceVector, VmId, VmRecord};
+use vbundle_dcn::{Bandwidth, Topology};
+use vbundle_pastry::{overlay, Id, PastryConfig};
+
+fn bench_shaper(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf/shaper_allocate");
+    for &n in &[4usize, 16, 64] {
+        let vms: Vec<VmRecord> = (0..n)
+            .map(|i| {
+                let mut vm = VmRecord::new(
+                    VmId(i as u64),
+                    CustomerId(0),
+                    ResourceSpec::bandwidth(
+                        Bandwidth::from_mbps(50.0),
+                        Bandwidth::from_mbps(400.0),
+                    ),
+                );
+                vm.demand =
+                    ResourceVector::bandwidth_only(Bandwidth::from_mbps(30.0 + i as f64 * 17.0));
+                vm
+            })
+            .collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &vms, |b, vms| {
+            b.iter(|| shaper::allocate(Bandwidth::from_gbps(1.0), std::hint::black_box(vms)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let topo = Arc::new(Topology::simulation_3000());
+    let mut group = c.benchmark_group("perf/place_5000_vms");
+    group.sample_size(10);
+    for policy in [PlacementPolicy::VBundle, PlacementPolicy::Greedy] {
+        group.bench_function(format!("{policy:?}"), |b| {
+            b.iter(|| {
+                let ids = overlay::topology_aware_ids(&topo);
+                let mut model =
+                    ClusterModel::new(Arc::clone(&topo), ids, topo.capacity().into());
+                let mut rng = StdRng::seed_from_u64(1);
+                let spec = ResourceSpec::bandwidth(
+                    Bandwidth::from_mbps(100.0),
+                    Bandwidth::from_mbps(200.0),
+                );
+                let keys: Vec<Id> =
+                    (0..5).map(|i| Id::from_name(&format!("c{i}"))).collect();
+                for i in 0..5000u64 {
+                    let vm = VmRecord::new(VmId(i), CustomerId((i % 5) as u32), spec);
+                    model
+                        .place(policy, keys[(i % 5) as usize], vm, &mut rng)
+                        .expect("placed");
+                }
+                model.num_vms()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_overlay_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf/build_overlay_states");
+    group.sample_size(10);
+    for &n in &[256usize, 1024] {
+        let racks = (n / 16) as u32;
+        let topo = Arc::new(
+            Topology::builder()
+                .pods(4)
+                .racks_per_pod(racks / 4)
+                .servers_per_rack(16)
+                .build(),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, topo| {
+            b.iter(|| {
+                let ids = overlay::topology_aware_ids(topo);
+                let handles = overlay::handles_for(&ids);
+                overlay::build_states(topo, &handles, &PastryConfig::default()).len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = perf;
+    config = Criterion::default();
+    targets = bench_shaper, bench_placement, bench_overlay_build
+);
+criterion_main!(perf);

@@ -1,0 +1,71 @@
+//! Ablation — the receiver's post-accept utilization check (§III.C
+//! step 3), which the paper includes to "avoid possible oscillation for
+//! back-and-forth shedding/receiving".
+//!
+//! With the guard off, receivers accept anything that fits their
+//! reservations; heavily loaded VMs pile onto the same cold servers,
+//! which then become shedders themselves — visible as extra migrations
+//! and residual overload.
+//!
+//! Run: `cargo run --release -p vbundle-bench --bin ablation_oscillation_guard`
+
+use std::sync::Arc;
+
+use vbundle_bench::scenarios::skewed_cluster;
+use vbundle_core::{metrics, VBundleConfig};
+use vbundle_dcn::Topology;
+use vbundle_sim::{SimDuration, SimTime};
+use vbundle_workloads::SkewedLoad;
+
+fn run(guard: bool) -> (f64, f64, u64) {
+    let topo = Arc::new(
+        Topology::builder()
+            .pods(2)
+            .racks_per_pod(8)
+            .servers_per_rack(8)
+            .build(),
+    );
+    let config = VBundleConfig::default()
+        .with_threshold(0.15)
+        .with_update_interval(SimDuration::from_secs(30))
+        .with_rebalance_interval(SimDuration::from_secs(90))
+        .with_oscillation_guard(guard);
+    let (mut cluster, _) = skewed_cluster(
+        topo,
+        config,
+        &SkewedLoad {
+            hot_range: (0.85, 1.2),
+            cold_range: (0.05, 0.4),
+            target_mean: Some(0.5),
+            seed: 33,
+            ..SkewedLoad::default()
+        },
+        20,
+        33,
+    );
+    cluster.run_until(SimTime::from_mins(60));
+    let utils = cluster.utilizations();
+    (
+        metrics::std_dev(&utils),
+        utils.iter().cloned().fold(0.0, f64::max),
+        cluster.total_migrations(),
+    )
+}
+
+fn main() {
+    println!("# Ablation: receiver oscillation guard (128 servers, 60 min)");
+    println!(
+        "{:<14} {:>10} {:>10} {:>12}",
+        "guard", "final SD", "max util", "migrations"
+    );
+    for guard in [true, false] {
+        let (sd, max, migrations) = run(guard);
+        println!(
+            "{:<14} {:>10.4} {:>10.4} {:>12}",
+            if guard { "on (paper)" } else { "off" },
+            sd,
+            max,
+            migrations
+        );
+    }
+}

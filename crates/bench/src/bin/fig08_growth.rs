@@ -1,0 +1,110 @@
+//! Figure 8 — after the first 5000 VMs, another 5000 are instantiated for
+//! the same five customers: (a) v-Bundle keeps newcomers adjacent to their
+//! group; (b) the greedy baseline scatters them across the datacenter.
+//!
+//! Prints per-customer locality after each wave for both policies (plus a
+//! random baseline) and writes both maps to `results/`.
+//!
+//! Run: `cargo run --release -p vbundle-bench --bin fig08_growth`
+
+use std::sync::Arc;
+
+use vbundle_bench::scenarios::{five_customer_placement, place_wave};
+use vbundle_bench::write_csv;
+use vbundle_core::{metrics, ClusterModel, Customer, PlacementPolicy};
+use vbundle_dcn::{Bandwidth, Topology};
+
+fn report(
+    topo: &Topology,
+    model: &ClusterModel,
+    customers: &[Customer],
+    label: &str,
+) -> (f64, f64) {
+    let placements: Vec<_> = model
+        .placements()
+        .iter()
+        .map(|(vm, s)| (vm.customer, *s))
+        .collect();
+    let locality = metrics::customer_locality(topo, &placements);
+    println!("\n## {label}: {} VMs", placements.len());
+    println!(
+        "{:<10} {:>6} {:>12} {:>18} {:>16}",
+        "customer", "vms", "racks_used", "same_rack_pairs", "mean_pair_dist"
+    );
+    let mut mean_same_rack = 0.0;
+    let mut mean_dist = 0.0;
+    for l in &locality {
+        println!(
+            "{:<10} {:>6} {:>12} {:>17.1}% {:>16.3}",
+            customers[l.customer.0 as usize].name,
+            l.vms,
+            l.racks_spanned,
+            l.same_rack_pair_fraction * 100.0,
+            l.mean_pair_distance
+        );
+        mean_same_rack += l.same_rack_pair_fraction;
+        mean_dist += l.mean_pair_distance;
+    }
+    let tm = metrics::chatting_traffic(topo, &placements, Bandwidth::from_mbps(50.0));
+    let bisection = tm.bisection_report(topo).bisection_fraction();
+    println!("bisection fraction of chatting traffic: {:.2}%", bisection * 100.0);
+    (
+        mean_same_rack / locality.len() as f64,
+        mean_dist / locality.len() as f64,
+    )
+}
+
+fn run_policy(policy: PlacementPolicy, map_name: &str) -> ((f64, f64), (f64, f64)) {
+    let topo = Arc::new(Topology::simulation_3000());
+    let (mut model, customers) = five_customer_placement(
+        &topo,
+        policy,
+        1000,
+        Bandwidth::from_mbps(100.0),
+        7,
+    );
+    let wave1 = report(&topo, &model, &customers, &format!("{policy:?}, wave 1"));
+    // Second wave of 5000 for the same customers.
+    place_wave(
+        &mut model,
+        policy,
+        &customers,
+        5000,
+        1000,
+        Bandwidth::from_mbps(100.0),
+        8,
+    );
+    let wave2 = report(&topo, &model, &customers, &format!("{policy:?}, wave 2"));
+    let rows: Vec<String> = model
+        .placements()
+        .iter()
+        .map(|(vm, s)| {
+            format!(
+                "{},{},{}",
+                topo.rack_of(*s).index(),
+                topo.slot_of(*s),
+                vm.customer.0
+            )
+        })
+        .collect();
+    write_csv(map_name, "rack,slot,customer_id", &rows);
+    (wave1, wave2)
+}
+
+fn main() {
+    println!("# Figure 8: growth to 10000 VMs — v-Bundle (a) vs greedy (b)");
+    let vb = run_policy(PlacementPolicy::VBundle, "fig08a_vbundle_map.csv");
+    let greedy = run_policy(PlacementPolicy::Greedy, "fig08b_greedy_map.csv");
+    let random = run_policy(PlacementPolicy::Random, "fig08c_random_map.csv");
+
+    println!("\n# Summary (mean over customers after wave 2)");
+    println!(
+        "{:<10} {:>18} {:>16}",
+        "policy", "same_rack_pairs", "mean_pair_dist"
+    );
+    for (name, ((_, _), (same_rack, dist))) in
+        [("v-Bundle", vb), ("greedy", greedy), ("random", random)]
+    {
+        println!("{:<10} {:>17.1}% {:>16.3}", name, same_rack * 100.0, dist);
+    }
+}

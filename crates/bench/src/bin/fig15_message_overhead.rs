@@ -1,0 +1,114 @@
+//! Figure 15 — CDF of per-host messages (and KB) per round for 512 and
+//! 1024 servers running the full v-Bundle stack.
+//!
+//! The paper reports that for 90% of the 1024 hosts the overhead stays
+//! under ~140 messages / ~40 KB per round, split into overlay-maintenance
+//! and v-Bundle traffic, and grows logarithmically with the host count.
+//!
+//! Run: `cargo run --release -p vbundle-bench --bin fig15_message_overhead`
+
+use std::sync::Arc;
+
+use vbundle_bench::scenarios::skewed_cluster;
+use vbundle_bench::write_csv;
+use vbundle_core::VBundleConfig;
+use vbundle_dcn::Topology;
+use vbundle_sim::SimDuration;
+use vbundle_workloads::{Cdf, SkewedLoad};
+
+struct Overhead {
+    msgs: Cdf,
+    kb: Cdf,
+    maintenance_share: f64,
+}
+
+fn run(servers: usize) -> Overhead {
+    let racks = servers.div_ceil(16) as u32;
+    let topo = Arc::new(
+        Topology::builder()
+            .pods(4)
+            .racks_per_pod(racks.div_ceil(4))
+            .servers_per_rack(16)
+            .build(),
+    );
+    let round = SimDuration::from_mins(5);
+    let config = VBundleConfig::default()
+        .with_threshold(0.183)
+        .with_update_interval(round)
+        .with_rebalance_interval(SimDuration::from_mins(25));
+    let (mut cluster, _) = skewed_cluster(
+        topo,
+        config,
+        &SkewedLoad {
+            seed: 15,
+            ..SkewedLoad::default()
+        },
+        10,
+        15,
+    );
+    // Warm up two rounds so trees and status are established, then
+    // measure exactly one round.
+    cluster.run_for(round);
+    cluster.run_for(round);
+    cluster.engine.counters_mut().snapshot_and_reset();
+    cluster.run_for(round);
+    let snap = cluster.engine.counters_mut().snapshot_and_reset();
+    let n = cluster.num_servers();
+    let msgs: Vec<f64> = snap[..n].iter().map(|c| c.total_msgs() as f64).collect();
+    let kb: Vec<f64> = snap[..n]
+        .iter()
+        .map(|c| c.total_bytes() as f64 / 1024.0)
+        .collect();
+    let maintenance: u64 = snap[..n].iter().map(|c| c.maintenance_msgs).sum();
+    let total: u64 = snap[..n].iter().map(|c| c.total_msgs()).sum();
+    Overhead {
+        msgs: Cdf::from_samples(msgs),
+        kb: Cdf::from_samples(kb),
+        maintenance_share: maintenance as f64 / total.max(1) as f64,
+    }
+}
+
+fn main() {
+    println!("# Figure 15: per-host message overhead per round (5-minute rounds)");
+    let sizes = [512usize, 1024];
+    let results: Vec<Overhead> = sizes.iter().map(|&n| run(n)).collect();
+
+    for (n, o) in sizes.iter().zip(&results) {
+        println!("\n## {n} servers");
+        println!(
+            "messages/round: p50 {:.0}, p90 {:.0}, max {:.0}",
+            o.msgs.quantile(0.5),
+            o.msgs.quantile(0.9),
+            o.msgs.max().unwrap_or(0.0)
+        );
+        println!(
+            "KB/round:       p50 {:.1}, p90 {:.1}, max {:.1}",
+            o.kb.quantile(0.5),
+            o.kb.quantile(0.9),
+            o.kb.max().unwrap_or(0.0)
+        );
+        println!(
+            "maintenance share of messages: {:.1}%",
+            o.maintenance_share * 100.0
+        );
+    }
+
+    println!("\n{:>10} {:>14} {:>14}", "msgs/round", "CDF (512)", "CDF (1024)");
+    let max_msgs = results
+        .iter()
+        .filter_map(|o| o.msgs.max())
+        .fold(0.0, f64::max) as usize;
+    let mut rows = Vec::new();
+    let step = (max_msgs / 25).max(1);
+    for m in (0..=max_msgs + step).step_by(step) {
+        let c512 = results[0].msgs.fraction_at_or_below(m as f64);
+        let c1024 = results[1].msgs.fraction_at_or_below(m as f64);
+        println!("{:>10} {:>14.3} {:>14.3}", m, c512, c1024);
+        rows.push(format!("{m},{c512:.4},{c1024:.4}"));
+    }
+    write_csv(
+        "fig15_message_overhead.csv",
+        "msgs_per_round,cdf_512,cdf_1024",
+        &rows,
+    );
+}

@@ -1,0 +1,165 @@
+//! `vbundle_sim` — a configurable scenario runner.
+//!
+//! Runs a skewed-load cluster of arbitrary size through v-Bundle
+//! rebalancing and prints a before/after report. All of the paper's knobs
+//! are exposed as flags, so parameter sweeps need no code changes.
+//!
+//! ```console
+//! $ cargo run --release -p vbundle-bench --bin vbundle_sim -- \
+//!       --servers 300 --vms-per-server 20 --threshold 0.2 --minutes 60
+//! ```
+
+use std::sync::Arc;
+
+use vbundle_bench::scenarios::skewed_cluster;
+use vbundle_core::{metrics, VBundleConfig};
+use vbundle_dcn::Topology;
+use vbundle_sim::{SimDuration, SimTime};
+use vbundle_workloads::SkewedLoad;
+
+#[derive(Debug)]
+struct Args {
+    servers: usize,
+    vms_per_server: usize,
+    threshold: f64,
+    update_secs: u64,
+    rebalance_secs: u64,
+    minutes: u64,
+    mean: f64,
+    seed: u64,
+    multi_metric: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            servers: 300,
+            vms_per_server: 20,
+            threshold: 0.183,
+            update_secs: 300,
+            rebalance_secs: 1500,
+            minutes: 90,
+            mean: 0.6226,
+            seed: 1,
+            multi_metric: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--servers" => args.servers = take("--servers")?.parse().map_err(|e| format!("{e}"))?,
+            "--vms-per-server" => {
+                args.vms_per_server =
+                    take("--vms-per-server")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--threshold" => {
+                args.threshold = take("--threshold")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--update-secs" => {
+                args.update_secs = take("--update-secs")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--rebalance-secs" => {
+                args.rebalance_secs =
+                    take("--rebalance-secs")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--minutes" => args.minutes = take("--minutes")?.parse().map_err(|e| format!("{e}"))?,
+            "--mean" => args.mean = take("--mean")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = take("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--multi-metric" => args.multi_metric = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: vbundle_sim [--servers N] [--vms-per-server N] \
+                     [--threshold F] [--update-secs N] [--rebalance-secs N] \
+                     [--minutes N] [--mean F] [--seed N] [--multi-metric]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.servers == 0 || args.vms_per_server == 0 {
+        return Err("--servers and --vms-per-server must be positive".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e} (try --help)");
+            std::process::exit(2);
+        }
+    };
+    let racks = args.servers.div_ceil(20) as u32;
+    let topo = Arc::new(
+        Topology::builder()
+            .pods(racks.div_ceil(10).max(1))
+            .racks_per_pod(racks.div_ceil(racks.div_ceil(10).max(1)))
+            .servers_per_rack(20)
+            .build(),
+    );
+    let config = VBundleConfig::default()
+        .with_threshold(args.threshold)
+        .with_update_interval(SimDuration::from_secs(args.update_secs))
+        .with_rebalance_interval(SimDuration::from_secs(args.rebalance_secs))
+        .with_multi_metric(args.multi_metric);
+    println!("# vbundle_sim: {args:?}");
+    println!("topology: {} servers / {} racks / {} pods", topo.num_servers(), topo.num_racks(), topo.num_pods());
+
+    let load = SkewedLoad {
+        target_mean: Some(args.mean),
+        seed: args.seed,
+        ..SkewedLoad::default()
+    };
+    let (mut cluster, before) = skewed_cluster(
+        Arc::clone(&topo),
+        config,
+        &load,
+        args.vms_per_server,
+        args.seed,
+    );
+    println!("seeded {} VMs, initial mean utilization {:.4}", cluster.num_vms(), metrics::mean(&before));
+
+    cluster.run_until(SimTime::from_mins(args.minutes));
+    let after = cluster.utilizations();
+    let mean = metrics::mean(&after);
+    println!();
+    println!("{:<26} {:>10} {:>10}", "metric", "before", "after");
+    println!(
+        "{:<26} {:>10.4} {:>10.4}",
+        "std deviation",
+        metrics::std_dev(&before),
+        metrics::std_dev(&after)
+    );
+    println!(
+        "{:<26} {:>10.4} {:>10.4}",
+        "max utilization",
+        before.iter().cloned().fold(0.0, f64::max),
+        after.iter().cloned().fold(0.0, f64::max)
+    );
+    let over = |xs: &[f64]| xs.iter().filter(|&&u| u > mean + args.threshold).count();
+    println!(
+        "{:<26} {:>10} {:>10}",
+        "servers over mean+theta",
+        over(&before),
+        over(&after)
+    );
+    println!("{:<26} {:>21}", "migrations", cluster.total_migrations());
+    let totals = cluster.satisfaction();
+    println!(
+        "{:<26} {:>14.0} Mbps ({:.2}% of demand)",
+        "unsatisfied demand",
+        totals.shortfall().as_mbps(),
+        totals.shortfall().as_mbps() / totals.demand.as_mbps().max(1.0) * 100.0
+    );
+    println!();
+    println!("{}", vbundle_core::ClusterReport::capture(&cluster).render());
+}

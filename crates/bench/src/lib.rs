@@ -1,0 +1,34 @@
+//! Shared scenario assembly for the figure-reproduction binaries
+//! (`src/bin/fig*.rs`) and the Table I Criterion benches (`benches/`).
+//!
+//! Each binary regenerates one table or figure of the paper's evaluation
+//! (§IV–§V); see `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scenarios;
+
+use std::io::Write;
+use std::path::Path;
+
+/// Writes `rows` as CSV into `results/<name>` (creating the directory),
+/// with a header line. Errors are reported but non-fatal so figure
+/// binaries still print their stdout series.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let dir = Path::new("results");
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut f = std::fs::File::create(dir.join(name))?;
+        writeln!(f, "{header}")?;
+        for row in rows {
+            writeln!(f, "{row}")?;
+        }
+        Ok(())
+    };
+    match write() {
+        Ok(()) => eprintln!("[wrote results/{name}]"),
+        Err(e) => eprintln!("[could not write results/{name}: {e}]"),
+    }
+}

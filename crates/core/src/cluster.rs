@@ -1,0 +1,380 @@
+//! The cluster harness: assembles the full v-Bundle stack (simulation
+//! engine → Pastry → Scribe → controllers) and offers the operations the
+//! examples and figure benchmarks drive it with.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use vbundle_aggregation::{AggregationConfig, UpdateMode};
+use vbundle_dcn::{Bandwidth, ServerId, Topology, TopologyLatency};
+use vbundle_pastry::{
+    overlay, IdAssignment, NodeHandle, NodeId, PastryConfig, PastryMsg, PastryNode,
+};
+use vbundle_scribe::{Scribe, ScribeConfig, ScribeMsg};
+use vbundle_sim::{ActorId, Engine, LatencyModel, SimDuration, SimTime};
+
+use crate::message::CtrlMsg;
+use crate::metrics::SatisfactionTotals;
+use crate::{
+    Controller, Customer, ResourceSpec, ResourceVector, VBundleConfig, VmId, VmRecord,
+};
+
+/// The fully composed engine type of a v-Bundle cluster.
+pub type VbEngine = Engine<PastryMsg<ScribeMsg<CtrlMsg>>, PastryNode<Scribe<Controller>>>;
+
+/// Builder for a [`Cluster`]. Defaults: topology-aware ids, topology-
+/// derived latency, 30 s tree probes, periodic aggregation at the
+/// v-Bundle update interval, paper-default v-Bundle parameters.
+pub struct ClusterBuilder {
+    topo: Arc<Topology>,
+    policy: IdAssignment,
+    pastry: PastryConfig,
+    scribe: ScribeConfig,
+    vbundle: VBundleConfig,
+    agg_mode: Option<UpdateMode>,
+    latency: Option<Box<dyn LatencyModel>>,
+    capacity_fn: Option<Box<dyn Fn(usize) -> ResourceVector>>,
+    seed: u64,
+}
+
+impl ClusterBuilder {
+    /// Starts building a cluster over `topo`.
+    pub fn new(topo: Arc<Topology>) -> Self {
+        ClusterBuilder {
+            topo,
+            policy: IdAssignment::TopologyAware,
+            pastry: PastryConfig::default(),
+            scribe: ScribeConfig::default().with_probe_interval(SimDuration::from_secs(30)),
+            vbundle: VBundleConfig::default(),
+            agg_mode: None,
+            latency: None,
+            capacity_fn: None,
+            seed: 42,
+        }
+    }
+
+    /// Sets the node-id assignment policy (ablation: random vs topology).
+    pub fn id_assignment(mut self, policy: IdAssignment) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the v-Bundle controller configuration.
+    pub fn vbundle(mut self, config: VBundleConfig) -> Self {
+        self.vbundle = config;
+        self
+    }
+
+    /// Sets the Scribe configuration.
+    pub fn scribe(mut self, config: ScribeConfig) -> Self {
+        self.scribe = config;
+        self
+    }
+
+    /// Sets the Pastry configuration.
+    pub fn pastry(mut self, config: PastryConfig) -> Self {
+        self.pastry = config;
+        self
+    }
+
+    /// Overrides the aggregation update mode (default: periodic at the
+    /// v-Bundle update interval).
+    pub fn aggregation_mode(mut self, mode: UpdateMode) -> Self {
+        self.agg_mode = Some(mode);
+        self
+    }
+
+    /// Overrides the latency model (default: topology-derived).
+    pub fn latency(mut self, latency: Box<dyn LatencyModel>) -> Self {
+        self.latency = Some(latency);
+        self
+    }
+
+    /// Gives each server its own capacity (heterogeneous hardware). The
+    /// closure receives the server index; the default is the topology's
+    /// uniform capacity.
+    pub fn capacity_fn(mut self, f: impl Fn(usize) -> ResourceVector + 'static) -> Self {
+        self.capacity_fn = Some(Box::new(f));
+        self
+    }
+
+    /// Sets the simulation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Launches the cluster: builds the overlay, starts every controller.
+    pub fn build(self) -> Cluster {
+        let latency = self
+            .latency
+            .unwrap_or_else(|| Box::new(TopologyLatency::new(Arc::clone(&self.topo))));
+        let agg_config = AggregationConfig {
+            mode: self
+                .agg_mode
+                .unwrap_or(UpdateMode::Periodic(self.vbundle.update_interval)),
+            ..AggregationConfig::default()
+        };
+        let default_capacity: ResourceVector = self.topo.capacity().into();
+        let vb = self.vbundle.clone();
+        let scribe_config = self.scribe.clone();
+        let ids = overlay::assign_ids(&self.topo, self.policy);
+        let handles = overlay::handles_for(&ids);
+        let states = overlay::build_states(&self.topo, &handles, &self.pastry);
+        let mut engine: VbEngine = Engine::new(latency, self.seed);
+        for (i, state) in states.into_iter().enumerate() {
+            let capacity = match &self.capacity_fn {
+                Some(f) => f(i),
+                None => default_capacity,
+            };
+            let controller = Controller::new(capacity, agg_config.clone(), vb.clone());
+            engine.add_actor(PastryNode::with_state(
+                state,
+                Scribe::with_config(controller, scribe_config.clone()),
+                self.pastry.clone(),
+            ));
+        }
+        engine.start();
+        Cluster {
+            engine,
+            handles,
+            ids,
+            topo: self.topo,
+            vm_index: HashMap::new(),
+            next_request: 0,
+            next_vm: 0,
+        }
+    }
+}
+
+/// A running v-Bundle cluster: engine + per-server handles + bookkeeping.
+pub struct Cluster {
+    /// The simulation engine (exposed for advanced harnesses).
+    pub engine: VbEngine,
+    /// Node handles, indexed by server.
+    pub handles: Vec<NodeHandle>,
+    /// Node ids, indexed by server.
+    pub ids: Vec<NodeId>,
+    /// The datacenter topology.
+    pub topo: Arc<Topology>,
+    vm_index: HashMap<u64, usize>,
+    next_request: u64,
+    next_vm: u64,
+}
+
+impl Cluster {
+    /// Starts a builder.
+    pub fn builder(topo: Arc<Topology>) -> ClusterBuilder {
+        ClusterBuilder::new(topo)
+    }
+
+    /// Number of servers.
+    pub fn num_servers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Allocates a fresh VM id.
+    pub fn alloc_vm_id(&mut self) -> VmId {
+        let id = VmId(self.next_vm);
+        self.next_vm += 1;
+        id
+    }
+
+    /// The controller of `server`.
+    pub fn controller(&self, server: usize) -> &Controller {
+        self.engine
+            .actor(ActorId::new(server as u32))
+            .app()
+            .client()
+    }
+
+    /// Runs the simulation for `span`.
+    pub fn run_for(&mut self, span: SimDuration) {
+        self.engine.run_for(span);
+    }
+
+    /// Runs the simulation until `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.engine.run_until(deadline);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Issues a boot request through the protocol (§II.B) from `entry`'s
+    /// server; returns the request id. The result appears in `entry`'s
+    /// controller stats once routing completes.
+    pub fn request_boot(
+        &mut self,
+        entry: usize,
+        customer: &Customer,
+        spec: ResourceSpec,
+        demand: ResourceVector,
+    ) -> (u64, VmId) {
+        let request = self.next_request;
+        self.next_request += 1;
+        let vm_id = self.alloc_vm_id();
+        let mut vm = VmRecord::new(vm_id, customer.id, spec);
+        vm.demand = demand;
+        let key = customer.key;
+        self.engine.call(ActorId::new(entry as u32), |node, ctx| {
+            node.app_call(ctx, |scribe, actx| {
+                scribe.client_call(actx, |c, sctx| c.request_boot(sctx, request, key, vm));
+            });
+        });
+        (request, vm_id)
+    }
+
+    /// Boots a VM and runs the simulation until its result arrives (or
+    /// `timeout` simulated time passes). Returns the hosting server.
+    pub fn boot_and_run(
+        &mut self,
+        entry: usize,
+        customer: &Customer,
+        spec: ResourceSpec,
+        demand: ResourceVector,
+        timeout: SimDuration,
+    ) -> Option<ServerId> {
+        let (request, _vm) = self.request_boot(entry, customer, spec, demand);
+        let deadline = self.engine.now() + timeout;
+        loop {
+            if let Some(host) = self.boot_result(entry, request) {
+                return host.map(|h| self.topo.server(h.actor.index()));
+            }
+            if self.engine.now() >= deadline {
+                return None;
+            }
+            self.engine.run_for(SimDuration::from_millis(50));
+        }
+    }
+
+    /// Looks up the outcome of boot `request` at `entry`'s controller:
+    /// `None` = still in flight, `Some(None)` = rejected,
+    /// `Some(Some(handle))` = placed.
+    pub fn boot_result(&self, entry: usize, request: u64) -> Option<Option<NodeHandle>> {
+        self.controller(entry)
+            .stats
+            .boot_results
+            .iter()
+            .find(|(r, _, _)| *r == request)
+            .map(|(_, _, host)| *host)
+    }
+
+    /// Installs a VM directly on `server`, bypassing the protocol (offline
+    /// seeding for the large scenarios).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM's reservation does not fit the server.
+    pub fn install_vm(&mut self, server: ServerId, vm: VmRecord) {
+        self.engine
+            .actor_mut(ActorId::new(server.index() as u32))
+            .app_mut()
+            .client_mut()
+            .install_vm(vm);
+        self.vm_index.insert(vm.id.0, server.index());
+    }
+
+    /// Rebuilds the VM → server index by walking every controller (needed
+    /// after migrations).
+    pub fn reindex(&mut self) {
+        let mut index = HashMap::new();
+        for i in 0..self.num_servers() {
+            for vm in self.controller(i).vms() {
+                index.insert(vm.id.0, i);
+            }
+        }
+        self.vm_index = index;
+    }
+
+    /// The server currently hosting `vm` (after the latest
+    /// [`Cluster::reindex`]).
+    pub fn host_of(&self, vm: VmId) -> Option<ServerId> {
+        self.vm_index.get(&vm.0).map(|&i| self.topo.server(i))
+    }
+
+    /// Shuts a VM down wherever it currently lives, releasing its
+    /// reservation. Returns its final record, or `None` if the VM is
+    /// unknown (call [`Cluster::reindex`] first if it may have migrated).
+    pub fn shutdown_vm(&mut self, vm: VmId) -> Option<VmRecord> {
+        let &server = self.vm_index.get(&vm.0)?;
+        let record = self
+            .engine
+            .actor_mut(ActorId::new(server as u32))
+            .app_mut()
+            .client_mut()
+            .remove_vm(vm)?;
+        self.vm_index.remove(&vm.0);
+        Some(record)
+    }
+
+    /// Updates a VM's demand in place. Returns `false` if the VM is not
+    /// where the index says (call [`Cluster::reindex`] first).
+    pub fn set_vm_demand(&mut self, vm: VmId, demand: ResourceVector) -> bool {
+        let Some(&server) = self.vm_index.get(&vm.0) else {
+            return false;
+        };
+        self.engine
+            .actor_mut(ActorId::new(server as u32))
+            .app_mut()
+            .client_mut()
+            .set_vm_demand(vm, demand)
+    }
+
+    /// Per-server bandwidth utilization snapshot.
+    pub fn utilizations(&self) -> Vec<f64> {
+        (0..self.num_servers())
+            .map(|i| self.controller(i).utilization())
+            .collect()
+    }
+
+    /// Cluster-wide demand vs. satisfied bandwidth under the shaper,
+    /// using each controller's own NIC capacity (which may be
+    /// heterogeneous).
+    pub fn satisfaction(&self) -> SatisfactionTotals {
+        let mut totals = SatisfactionTotals::default();
+        for i in 0..self.num_servers() {
+            let controller = self.controller(i);
+            let capacity: Bandwidth = controller.capacity().bandwidth;
+            totals.add_server(capacity, controller.vms());
+        }
+        totals
+    }
+
+    /// All placements as `(vm, customer, server)` triples.
+    pub fn placements(&self) -> Vec<(VmId, crate::CustomerId, ServerId)> {
+        let mut out = Vec::new();
+        for i in 0..self.num_servers() {
+            for vm in self.controller(i).vms() {
+                out.push((vm.id, vm.customer, self.topo.server(i)));
+            }
+        }
+        out
+    }
+
+    /// Total VMs hosted across the cluster.
+    pub fn num_vms(&self) -> usize {
+        (0..self.num_servers())
+            .map(|i| self.controller(i).vms().len())
+            .sum()
+    }
+
+    /// Total migrations completed so far (arrivals counted).
+    pub fn total_migrations(&self) -> u64 {
+        (0..self.num_servers())
+            .map(|i| self.controller(i).stats.migrations_in)
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("servers", &self.num_servers())
+            .field("vms", &self.num_vms())
+            .field("now", &self.engine.now())
+            .finish()
+    }
+}

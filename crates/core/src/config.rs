@@ -1,0 +1,138 @@
+//! v-Bundle controller tunables.
+
+use vbundle_dcn::Bandwidth;
+use vbundle_sim::SimDuration;
+
+/// Configuration of a v-Bundle server controller.
+///
+/// Defaults follow the paper's simulated experiments (§IV): a 5-minute
+/// updating interval, a 25-minute rebalancing interval and the default
+/// threshold of 0.183 used in Fig. 10.
+#[derive(Debug, Clone)]
+pub struct VBundleConfig {
+    /// How often servers refresh their local `(topic, value)` samples and
+    /// re-evaluate their shedder/receiver status (paper: 5 min).
+    pub update_interval: SimDuration,
+    /// How often load shedders issue a round of load-balance queries
+    /// (paper: 25 min).
+    pub rebalance_interval: SimDuration,
+    /// The margin over the cluster mean utilization beyond which a server
+    /// self-identifies as a load shedder (paper default: 0.183; Fig. 9
+    /// also evaluates 0.3 and 0.1).
+    pub threshold: f64,
+    /// A server joins the Less-Loaded tree (as a potential receiver) when
+    /// its utilization is below `mean - receiver_margin`.
+    pub receiver_margin: f64,
+    /// Upper bound on load-balance queries a shedder issues per
+    /// rebalancing round.
+    pub max_sheds_per_round: usize,
+    /// Simulated duration of one (live) VM migration.
+    pub migration_delay: SimDuration,
+    /// How long a receiver holds reserved bandwidth for an accepted VM
+    /// before the hold expires.
+    pub hold_timeout: SimDuration,
+    /// Hop budget for boot queries walking the neighbor sets.
+    pub boot_ttl: u32,
+    /// Enables the predictive cost-benefit gate before migrations (the
+    /// module §VII lists as future work): a migration proceeds only when
+    /// the projected bandwidth-deficit relief over one rebalancing
+    /// interval exceeds the migration's own transfer cost.
+    pub cost_benefit: bool,
+    /// Link bandwidth assumed for migration transfers by the cost-benefit
+    /// model.
+    pub migration_link: Bandwidth,
+    /// Shuffle on every resource dimension — CPU and memory as well as
+    /// bandwidth (the paper's §VII lists multi-metric shuffling as future
+    /// work). Servers then shed when *any* dimension exceeds its cluster
+    /// mean plus the threshold, and receivers accept only when *every*
+    /// dimension stays within bounds.
+    pub multi_metric: bool,
+    /// The receiver's post-accept utilization double-check (§III.C
+    /// step 3), which prevents shed/receive oscillation. Disable only for
+    /// the ablation benches.
+    pub oscillation_guard: bool,
+}
+
+impl Default for VBundleConfig {
+    fn default() -> Self {
+        VBundleConfig {
+            update_interval: SimDuration::from_mins(5),
+            rebalance_interval: SimDuration::from_mins(25),
+            threshold: 0.183,
+            receiver_margin: 0.0,
+            max_sheds_per_round: 8,
+            migration_delay: SimDuration::from_secs(10),
+            hold_timeout: SimDuration::from_mins(10),
+            boot_ttl: 4096,
+            cost_benefit: false,
+            migration_link: Bandwidth::from_gbps(1.0),
+            multi_metric: false,
+            oscillation_guard: true,
+        }
+    }
+}
+
+impl VBundleConfig {
+    /// Sets the shedder threshold.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Sets the update interval.
+    pub fn with_update_interval(mut self, interval: SimDuration) -> Self {
+        self.update_interval = interval;
+        self
+    }
+
+    /// Sets the rebalancing interval.
+    pub fn with_rebalance_interval(mut self, interval: SimDuration) -> Self {
+        self.rebalance_interval = interval;
+        self
+    }
+
+    /// Enables the cost-benefit migration gate.
+    pub fn with_cost_benefit(mut self, enabled: bool) -> Self {
+        self.cost_benefit = enabled;
+        self
+    }
+
+    /// Enables multi-metric shuffling (CPU + memory + bandwidth).
+    pub fn with_multi_metric(mut self, enabled: bool) -> Self {
+        self.multi_metric = enabled;
+        self
+    }
+
+    /// Disables the oscillation guard (ablation only).
+    pub fn with_oscillation_guard(mut self, enabled: bool) -> Self {
+        self.oscillation_guard = enabled;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = VBundleConfig::default();
+        assert_eq!(c.update_interval, SimDuration::from_mins(5));
+        assert_eq!(c.rebalance_interval, SimDuration::from_mins(25));
+        assert!((c.threshold - 0.183).abs() < 1e-12);
+        assert!(!c.cost_benefit);
+    }
+
+    #[test]
+    fn builder_methods() {
+        let c = VBundleConfig::default()
+            .with_threshold(0.3)
+            .with_update_interval(SimDuration::from_secs(30))
+            .with_rebalance_interval(SimDuration::from_secs(60))
+            .with_cost_benefit(true);
+        assert_eq!(c.threshold, 0.3);
+        assert_eq!(c.update_interval, SimDuration::from_secs(30));
+        assert_eq!(c.rebalance_interval, SimDuration::from_secs(60));
+        assert!(c.cost_benefit);
+    }
+}

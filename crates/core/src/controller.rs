@@ -1,0 +1,942 @@
+//! The per-server v-Bundle controller (§II–§III).
+//!
+//! Each physical server runs one [`Controller`] as its Scribe client. It
+//! implements both halves of v-Bundle:
+//!
+//! - **Placement** (§II.B): boot queries routed to `hash(customer)` are
+//!   admitted if the VM's reservation fits, otherwise forwarded across the
+//!   neighbor set, spreading outward from the customer key's root server;
+//! - **Resource shuffling** (§III.C): servers publish `(BW_Demand,
+//!   BW_Capacity)` into the aggregation trees, self-identify as load
+//!   shedders or receivers against `mean + threshold`, and shedders
+//!   anycast load-balance queries into the *Less-Loaded* tree; accepting
+//!   receivers hold bandwidth until the VM migrates over.
+
+use std::collections::HashMap;
+
+use vbundle_aggregation::{AggMsg, AggregationConfig, Aggregator, AGG_TICK_TAG};
+use vbundle_dcn::Bandwidth;
+use vbundle_pastry::NodeHandle;
+use vbundle_scribe::{group_id, GroupId, ScribeClient, ScribeCtx};
+use vbundle_sim::{ActorId, SimDuration, SimTime};
+
+use crate::message::{BootQuery, CtrlMsg, LoadQuery};
+use crate::{shaper, ResourceVector, VBundleConfig, VmId, VmRecord};
+
+/// Client timer tag for the status-update tick.
+pub const UPDATE_TAG: u64 = 0x101;
+/// Client timer tag for the rebalancing tick.
+pub const REBALANCE_TAG: u64 = 0x102;
+
+/// The aggregation topic carrying every server's NIC capacity.
+pub fn bw_capacity_topic() -> GroupId {
+    group_id("BW_Capacity")
+}
+
+/// The aggregation topic carrying every server's bandwidth demand.
+pub fn bw_demand_topic() -> GroupId {
+    group_id("BW_Demand")
+}
+
+/// The anycast tree of servers advertising spare bandwidth.
+pub fn less_loaded_group() -> GroupId {
+    group_id("Less-Loaded")
+}
+
+/// Aggregation topics carrying capacity for one resource dimension
+/// (multi-metric shuffling, §VII).
+pub fn capacity_topic(kind: crate::ResourceKind) -> GroupId {
+    match kind {
+        crate::ResourceKind::Bandwidth => bw_capacity_topic(),
+        crate::ResourceKind::Cpu => group_id("CPU_Capacity"),
+        crate::ResourceKind::Memory => group_id("MEM_Capacity"),
+    }
+}
+
+/// Aggregation topics carrying demand for one resource dimension.
+pub fn demand_topic(kind: crate::ResourceKind) -> GroupId {
+    match kind {
+        crate::ResourceKind::Bandwidth => bw_demand_topic(),
+        crate::ResourceKind::Cpu => group_id("CPU_Demand"),
+        crate::ResourceKind::Memory => group_id("MEM_Demand"),
+    }
+}
+
+/// A server's self-identified role in the current rebalancing epoch
+/// (§III.C step 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerStatus {
+    /// Utilization above `mean + threshold`: evacuating VMs.
+    Shedder,
+    /// Utilization below `mean - receiver_margin`: advertising spare
+    /// bandwidth in the Less-Loaded tree.
+    Receiver,
+    /// Neither; not participating in exchanges.
+    #[default]
+    Neutral,
+}
+
+/// Bandwidth a receiver set aside for a VM it accepted, pending migration.
+#[derive(Debug, Clone)]
+struct Hold {
+    query: u64,
+    vm: VmRecord,
+    expires: SimTime,
+}
+
+/// Observable counters of one controller, used by the figure harnesses.
+#[derive(Debug, Clone, Default)]
+pub struct ControllerStats {
+    /// Results of boot requests this server originated:
+    /// `(request, vm, host-or-None)`.
+    pub boot_results: Vec<(u64, VmId, Option<NodeHandle>)>,
+    /// Boot queries this server examined (admitted or forwarded).
+    pub boots_handled: u64,
+    /// VMs migrated away.
+    pub migrations_out: u64,
+    /// VMs migrated in.
+    pub migrations_in: u64,
+    /// Times at which outbound migrations started.
+    pub migration_times: Vec<SimTime>,
+    /// Load-balance queries sent.
+    pub queries_sent: u64,
+    /// Load-balance queries accepted by this server.
+    pub accepts_sent: u64,
+    /// Anycasts that found no receiver.
+    pub anycast_failures: u64,
+    /// Migrations skipped by the cost-benefit gate.
+    pub migrations_gated: u64,
+}
+
+/// The v-Bundle controller running on one server.
+#[derive(Debug)]
+pub struct Controller {
+    capacity: ResourceVector,
+    config: VBundleConfig,
+    vms: Vec<VmRecord>,
+    agg: Aggregator,
+    status: ServerStatus,
+    in_less_loaded: bool,
+    holds: Vec<Hold>,
+    /// Outstanding load-balance queries: query id → VM planned to move.
+    pending_sheds: HashMap<u64, VmId>,
+    /// VMs whose last query found no receiver, with retry-after times:
+    /// the next rounds try *other* (smaller) VMs instead of livelocking on
+    /// the largest one.
+    shed_cooldown: HashMap<VmId, SimTime>,
+    next_query: u64,
+    /// Observable counters.
+    pub stats: ControllerStats,
+}
+
+impl Controller {
+    /// Creates a controller for a server with the given physical capacity.
+    pub fn new(
+        capacity: ResourceVector,
+        agg_config: AggregationConfig,
+        config: VBundleConfig,
+    ) -> Self {
+        Controller {
+            capacity,
+            config,
+            vms: Vec::new(),
+            agg: Aggregator::new(agg_config),
+            status: ServerStatus::Neutral,
+            in_less_loaded: false,
+            holds: Vec::new(),
+            pending_sheds: HashMap::new(),
+            shed_cooldown: HashMap::new(),
+            next_query: 0,
+            stats: ControllerStats::default(),
+        }
+    }
+
+    /// The server's physical capacity.
+    pub fn capacity(&self) -> &ResourceVector {
+        &self.capacity
+    }
+
+    /// The VMs currently hosted.
+    pub fn vms(&self) -> &[VmRecord] {
+        &self.vms
+    }
+
+    /// The current self-identified role.
+    pub fn status(&self) -> ServerStatus {
+        self.status
+    }
+
+    /// The embedded aggregation component.
+    pub fn aggregator(&self) -> &Aggregator {
+        &self.agg
+    }
+
+    /// Total (limit-clamped) bandwidth demand of hosted VMs.
+    pub fn bw_demand(&self) -> Bandwidth {
+        self.vms.iter().map(|vm| vm.effective_bw_demand()).sum()
+    }
+
+    /// Bandwidth currently held for accepted-but-not-yet-arrived VMs.
+    pub fn bw_held(&self) -> Bandwidth {
+        self.holds
+            .iter()
+            .map(|h| h.vm.effective_bw_demand())
+            .sum()
+    }
+
+    /// Bandwidth utilization: demand over NIC capacity (may exceed 1).
+    pub fn utilization(&self) -> f64 {
+        self.bw_demand().fraction_of(self.capacity.bandwidth)
+    }
+
+    /// Sum of hosted reservations plus held reservations — what admission
+    /// control checks new reservations against.
+    pub fn reserved(&self) -> ResourceVector {
+        let hosted: ResourceVector = self.vms.iter().map(|vm| vm.spec.reservation).sum();
+        let held: ResourceVector = self.holds.iter().map(|h| h.vm.spec.reservation).sum();
+        hosted + held
+    }
+
+    /// The cluster-wide mean bandwidth utilization, once the aggregation
+    /// trees have converged.
+    ///
+    /// Computed from the *per-server averages* of the demand and capacity
+    /// aggregates rather than their raw sums: while the two trees are
+    /// still converging they may cover different subsets of servers, and
+    /// `ΣD/ΣC` over mismatched populations would wildly misestimate the
+    /// mean (receivers would then accept far past the real
+    /// `mean + threshold`).
+    pub fn cluster_mean(&self) -> Option<f64> {
+        let d = self.agg.global(bw_demand_topic())?;
+        let c = self.agg.global(bw_capacity_topic())?;
+        let d_avg = d.mean()?;
+        let c_avg = c.mean()?;
+        if c_avg > 0.0 {
+            Some(d_avg / c_avg)
+        } else {
+            None
+        }
+    }
+
+    /// The cluster mean utilization along one resource dimension (only
+    /// available for CPU/memory when multi-metric shuffling is enabled).
+    pub fn cluster_mean_for(&self, kind: crate::ResourceKind) -> Option<f64> {
+        let d = self.agg.global(demand_topic(kind))?;
+        let c = self.agg.global(capacity_topic(kind))?;
+        let d_avg = d.mean()?;
+        let c_avg = c.mean()?;
+        if c_avg > 0.0 {
+            Some(d_avg / c_avg)
+        } else {
+            None
+        }
+    }
+
+    /// This server's total demand along one dimension, each VM clamped to
+    /// its limit (a zero limit means "untracked" and leaves the demand
+    /// unclamped).
+    pub fn demand_for(&self, kind: crate::ResourceKind) -> f64 {
+        self.vms
+            .iter()
+            .map(|vm| {
+                let d = vm.demand.get(kind);
+                let l = vm.spec.limit.get(kind);
+                if l > 0.0 {
+                    d.min(l)
+                } else {
+                    d
+                }
+            })
+            .sum()
+    }
+
+    /// Utilization along one dimension (0 when the capacity is zero).
+    pub fn utilization_for(&self, kind: crate::ResourceKind) -> f64 {
+        let cap = self.capacity.get(kind);
+        if cap > 0.0 {
+            self.demand_for(kind) / cap
+        } else {
+            0.0
+        }
+    }
+
+    /// The resource dimensions the controller currently manages.
+    fn active_kinds(&self) -> &'static [crate::ResourceKind] {
+        if self.config.multi_metric {
+            &crate::ResourceKind::ALL
+        } else {
+            &[crate::ResourceKind::Bandwidth]
+        }
+    }
+
+    /// Per-VM bandwidth allocations under the HTB shaper right now.
+    pub fn allocations(&self) -> Vec<shaper::Allocation> {
+        shaper::allocate(self.capacity.bandwidth, &self.vms)
+    }
+
+    /// Shuts a hosted VM down, releasing its reservation. Returns its
+    /// record, or `None` if it does not live here.
+    pub fn remove_vm(&mut self, vm: VmId) -> Option<VmRecord> {
+        let pos = self.vms.iter().position(|v| v.id == vm)?;
+        // A VM that is mid-shed cannot also be shut down twice: drop any
+        // outstanding query bookkeeping for it.
+        self.pending_sheds.retain(|_, planned| *planned != vm);
+        self.shed_cooldown.remove(&vm);
+        Some(self.vms.remove(pos))
+    }
+
+    /// Updates a hosted VM's demand. Returns `true` if the VM lives here.
+    pub fn set_vm_demand(&mut self, vm: VmId, demand: ResourceVector) -> bool {
+        match self.vms.iter_mut().find(|v| v.id == vm) {
+            Some(v) => {
+                v.demand = demand;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Places a VM directly, bypassing the boot protocol — used by offline
+    /// placement seeding and tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM's reservation does not fit the server's remaining
+    /// capacity (offline placement must respect admission control too).
+    pub fn install_vm(&mut self, vm: VmRecord) {
+        assert!(
+            (self.reserved() + vm.spec.reservation).fits_within(&self.capacity),
+            "install_vm violates admission control"
+        );
+        self.vms.push(vm);
+    }
+
+    /// Initiates the boot protocol for `vm`: the query is routed to the
+    /// customer's key and the result arrives in
+    /// [`ControllerStats::boot_results`] on *this* server.
+    pub fn request_boot(
+        &mut self,
+        ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>,
+        request: u64,
+        key: vbundle_pastry::Key,
+        vm: VmRecord,
+    ) {
+        let me = ctx.self_handle();
+        ctx.route_client(
+            key,
+            CtrlMsg::Boot(BootQuery {
+                request,
+                vm,
+                origin: me,
+                root: None,
+                visited: Vec::new(),
+                ttl: self.config.boot_ttl,
+            }),
+        );
+    }
+
+    fn expire_holds(&mut self, now: SimTime) {
+        self.holds.retain(|h| h.expires > now);
+    }
+
+    fn update_tick(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>) {
+        let now = ctx.now();
+        self.expire_holds(now);
+        for &kind in self.active_kinds() {
+            let demand = self.demand_for(kind);
+            let capacity = self.capacity.get(kind);
+            self.agg.set_local(ctx, demand_topic(kind), demand);
+            self.agg.set_local(ctx, capacity_topic(kind), capacity);
+        }
+        // Status: a server sheds when *any* managed dimension exceeds its
+        // cluster mean plus the threshold, and receives only when *every*
+        // dimension sits below its mean.
+        let mut any_over = false;
+        let mut all_under = true;
+        let mut any_mean_known = false;
+        for &kind in self.active_kinds() {
+            let Some(mean) = self.cluster_mean_for(kind) else {
+                all_under = false;
+                continue;
+            };
+            any_mean_known = true;
+            let util = self.utilization_for(kind);
+            if util > mean + self.config.threshold {
+                any_over = true;
+            }
+            // Strictly above `mean - margin` disqualifies; sitting exactly
+            // at the mean (e.g. a dimension that is uniform across the
+            // cluster) does not — otherwise one uniform dimension would
+            // veto every receiver.
+            if util > mean - self.config.receiver_margin + 1e-12 {
+                all_under = false;
+            }
+        }
+        if any_mean_known {
+            self.status = if any_over {
+                ServerStatus::Shedder
+            } else if all_under {
+                ServerStatus::Receiver
+            } else {
+                ServerStatus::Neutral
+            };
+            let should_be_member = self.status == ServerStatus::Receiver;
+            if should_be_member && !self.in_less_loaded {
+                ctx.join(less_loaded_group());
+                self.in_less_loaded = true;
+            } else if !should_be_member && self.in_less_loaded {
+                ctx.leave(less_loaded_group());
+                self.in_less_loaded = false;
+            }
+        }
+        ctx.schedule(self.config.update_interval, UPDATE_TAG);
+    }
+
+    fn rebalance_tick(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>) {
+        if self.status == ServerStatus::Shedder {
+            // Shed along the most-overloaded dimension (the bottleneck).
+            let kind = self
+                .active_kinds()
+                .iter()
+                .copied()
+                .filter_map(|k| {
+                    self.cluster_mean_for(k)
+                        .map(|m| (k, self.utilization_for(k) - m))
+                })
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(k, _)| k);
+            if let Some(kind) = kind {
+                if let Some(mean) = self.cluster_mean_for(kind) {
+                    self.plan_sheds(ctx, kind, mean);
+                }
+            }
+        }
+        ctx.schedule(self.config.rebalance_interval, REBALANCE_TAG);
+    }
+
+    /// Issues load-balance queries for the largest VMs (along the
+    /// bottleneck dimension `kind`) until the projected utilization falls
+    /// under `mean + threshold` (§III.C step 1-2), never undershooting
+    /// the mean and bounded per round.
+    fn plan_sheds(
+        &mut self,
+        ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>,
+        kind: crate::ResourceKind,
+        mean: f64,
+    ) {
+        let me = ctx.self_handle();
+        let now = ctx.now();
+        let cap = self.capacity.get(kind);
+        if cap <= 0.0 {
+            return;
+        }
+        self.shed_cooldown.retain(|_, &mut retry_at| retry_at > now);
+        let vm_demand = |vm: &VmRecord| -> f64 {
+            let d = vm.demand.get(kind);
+            let l = vm.spec.limit.get(kind);
+            if l > 0.0 {
+                d.min(l)
+            } else {
+                d
+            }
+        };
+        let pending: Vec<VmId> = self.pending_sheds.values().copied().collect();
+        let mut projected: f64 = self
+            .vms
+            .iter()
+            .filter(|vm| !pending.contains(&vm.id))
+            .map(vm_demand)
+            .sum();
+        let mut candidates: Vec<VmRecord> = self
+            .vms
+            .iter()
+            .filter(|vm| !pending.contains(&vm.id) && !self.shed_cooldown.contains_key(&vm.id))
+            .copied()
+            .collect();
+        candidates.sort_by(|a, b| vm_demand(b).total_cmp(&vm_demand(a)));
+        let stop_line = mean + self.config.threshold;
+        let mut issued = 0;
+        for vm in candidates {
+            if issued >= self.config.max_sheds_per_round {
+                break;
+            }
+            if projected / cap <= stop_line {
+                break;
+            }
+            // Do not shed below the average line (§III.C step 4).
+            let after = (projected - vm_demand(&vm)).max(0.0);
+            if after / cap < mean - self.config.threshold {
+                continue;
+            }
+            let query = self.next_query;
+            self.next_query += 1;
+            self.pending_sheds.insert(query, vm.id);
+            self.stats.queries_sent += 1;
+            ctx.anycast(
+                less_loaded_group(),
+                CtrlMsg::Load(LoadQuery {
+                    query,
+                    vm,
+                    shedder: me,
+                }),
+            );
+            projected = after;
+            issued += 1;
+        }
+    }
+
+    /// §III.C step 3: the receiver's double check before accepting a VM.
+    fn receiver_check(&self, vm: &VmRecord, mean: f64) -> bool {
+        // (1) Sufficient reserved bandwidth (and CPU/memory) for the VM.
+        if !(self.reserved() + vm.spec.reservation).fits_within(&self.capacity) {
+            return false;
+        }
+        if !self.config.oscillation_guard {
+            return true;
+        }
+        // (2) Post-accept utilization stays under mean + threshold along
+        // every managed dimension, which avoids back-and-forth
+        // shedding/receiving oscillation.
+        for &kind in self.active_kinds() {
+            let dim_mean = if kind == crate::ResourceKind::Bandwidth {
+                mean
+            } else {
+                match self.cluster_mean_for(kind) {
+                    Some(m) => m,
+                    None => continue,
+                }
+            };
+            let cap = self.capacity.get(kind);
+            if cap <= 0.0 {
+                continue;
+            }
+            let held: f64 = self.holds.iter().map(|h| h.vm.demand.get(kind)).sum();
+            let post = self.demand_for(kind) + held + vm.demand.get(kind);
+            if post / cap > dim_mean + self.config.threshold {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn handle_boot(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>, mut q: BootQuery) {
+        self.stats.boots_handled += 1;
+        let me = ctx.self_handle();
+        let root = *q.root.get_or_insert(me);
+        if (self.reserved() + q.vm.spec.reservation).fits_within(&self.capacity) {
+            self.vms.push(q.vm);
+            ctx.send_client(
+                q.origin,
+                CtrlMsg::BootResult {
+                    request: q.request,
+                    vm: q.vm.id,
+                    host: Some(me),
+                },
+            );
+            return;
+        }
+        // Full: walk outward. Prefer servers physically closest to the
+        // key's root so the customer's footprint stays contiguous.
+        q.visited.push(me.actor);
+        let reject = |ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>, q: &BootQuery| {
+            ctx.send_client(
+                q.origin,
+                CtrlMsg::BootResult {
+                    request: q.request,
+                    vm: q.vm.id,
+                    host: None,
+                },
+            );
+        };
+        if q.ttl == 0 {
+            reject(ctx, &q);
+            return;
+        }
+        q.ttl -= 1;
+        let state = ctx.pastry_state();
+        let topo = state.topology().clone();
+        let dist = |a: ActorId, b: ActorId| -> u32 {
+            if a.index() < topo.num_servers() && b.index() < topo.num_servers() {
+                topo.distance(topo.server(a.index()), topo.server(b.index()))
+            } else {
+                u32::MAX
+            }
+        };
+        let next = state
+            .known_nodes()
+            .into_iter()
+            .filter(|h| !q.visited.contains(&h.actor))
+            .min_by_key(|h| {
+                (
+                    dist(h.actor, root.actor),
+                    dist(h.actor, me.actor),
+                    h.id.ring_distance(root.id),
+                )
+            });
+        match next {
+            Some(n) => ctx.send_client(n, CtrlMsg::Boot(q)),
+            None => reject(ctx, &q),
+        }
+    }
+
+    fn handle_accept(
+        &mut self,
+        ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>,
+        query: u64,
+        vm_id: VmId,
+        receiver: NodeHandle,
+    ) {
+        let Some(expected) = self.pending_sheds.remove(&query) else {
+            return; // stale or duplicate accept
+        };
+        debug_assert_eq!(expected, vm_id);
+        let Some(pos) = self.vms.iter().position(|v| v.id == vm_id) else {
+            return; // VM already moved; the receiver's hold will expire
+        };
+        if self.config.cost_benefit && !self.migration_worthwhile(&self.vms[pos]) {
+            self.stats.migrations_gated += 1;
+            return;
+        }
+        let vm = self.vms.remove(pos);
+        self.stats.migrations_out += 1;
+        self.stats.migration_times.push(ctx.now());
+        let me = ctx.self_handle();
+        ctx.send_client_after(
+            receiver,
+            CtrlMsg::Migrate {
+                query,
+                vm,
+                from: me,
+            },
+            self.config.migration_delay,
+        );
+    }
+
+    /// The predictive cost-benefit module (§VII future work): compares the
+    /// bandwidth-deficit relief expected over one rebalancing interval
+    /// against the migration's own transfer volume.
+    fn migration_worthwhile(&self, vm: &VmRecord) -> bool {
+        let deficit = self
+            .bw_demand()
+            .saturating_sub(self.capacity.bandwidth)
+            .min(vm.effective_bw_demand());
+        let benefit_mbit =
+            deficit.as_mbps() * self.config.rebalance_interval.as_secs_f64();
+        // Live migration transfers roughly the VM's memory footprint.
+        let mem_mb = vm.spec.limit.memory_mb.max(vm.demand.memory_mb);
+        let cost_mbit = mem_mb * 8.0;
+        benefit_mbit > cost_mbit
+    }
+
+    fn handle_migrate_arrival(&mut self, query: u64, vm: VmRecord) {
+        self.holds.retain(|h| h.query != query);
+        self.vms.push(vm);
+        self.stats.migrations_in += 1;
+    }
+}
+
+impl ScribeClient for Controller {
+    type Msg = CtrlMsg;
+
+    fn on_start(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>) {
+        for &kind in self.active_kinds() {
+            self.agg.subscribe(ctx, capacity_topic(kind));
+            self.agg.subscribe(ctx, demand_topic(kind));
+        }
+        // Small deterministic stagger so 3000 servers do not tick in
+        // lockstep.
+        use rand::Rng;
+        let jitter_cap = (self.config.update_interval.as_micros() / 10).max(1);
+        let jitter = SimDuration::from_micros(ctx.rng().gen_range(0..jitter_cap));
+        ctx.schedule(self.config.update_interval + jitter, UPDATE_TAG);
+        ctx.schedule(self.config.rebalance_interval + jitter, REBALANCE_TAG);
+    }
+
+    fn on_timer(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>, tag: u64) {
+        match tag {
+            AGG_TICK_TAG => self.agg.on_tick(ctx),
+            UPDATE_TAG => self.update_tick(ctx),
+            REBALANCE_TAG => self.rebalance_tick(ctx),
+            _ => {}
+        }
+    }
+
+    fn deliver_multicast(
+        &mut self,
+        _ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>,
+        _group: GroupId,
+        msg: CtrlMsg,
+    ) {
+        if let CtrlMsg::Agg(AggMsg::Result {
+            topic,
+            version,
+            value,
+        }) = msg
+        {
+            self.agg.on_result(topic, version, value);
+        }
+    }
+
+    fn on_direct(
+        &mut self,
+        ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>,
+        from: NodeHandle,
+        msg: CtrlMsg,
+    ) {
+        match msg {
+            CtrlMsg::Agg(AggMsg::Update { topic, value }) => {
+                self.agg.on_update(ctx, from, topic, value);
+            }
+            CtrlMsg::Agg(_) => {}
+            CtrlMsg::Boot(q) => self.handle_boot(ctx, q),
+            CtrlMsg::BootResult { request, vm, host } => {
+                self.stats.boot_results.push((request, vm, host));
+            }
+            CtrlMsg::LoadAccept {
+                query,
+                vm,
+                receiver,
+            } => self.handle_accept(ctx, query, vm, receiver),
+            CtrlMsg::Migrate { query, vm, .. } => self.handle_migrate_arrival(query, vm),
+            CtrlMsg::Load(_) => {} // load queries only arrive via anycast
+        }
+    }
+
+    fn deliver_routed(
+        &mut self,
+        ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>,
+        _key: vbundle_pastry::Key,
+        msg: CtrlMsg,
+        _origin: NodeHandle,
+    ) {
+        if let CtrlMsg::Boot(q) = msg {
+            self.handle_boot(ctx, q);
+        }
+    }
+
+    fn anycast_accept(
+        &mut self,
+        ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>,
+        group: GroupId,
+        msg: &CtrlMsg,
+        _origin: NodeHandle,
+    ) -> bool {
+        if group != less_loaded_group() {
+            return false;
+        }
+        let CtrlMsg::Load(q) = msg else {
+            return false;
+        };
+        let Some(mean) = self.cluster_mean() else {
+            return false;
+        };
+        if !self.receiver_check(&q.vm, mean) {
+            return false;
+        }
+        self.holds.push(Hold {
+            query: q.query,
+            vm: q.vm,
+            expires: ctx.now() + self.config.hold_timeout,
+        });
+        self.stats.accepts_sent += 1;
+        let me = ctx.self_handle();
+        ctx.send_client(
+            q.shedder,
+            CtrlMsg::LoadAccept {
+                query: q.query,
+                vm: q.vm.id,
+                receiver: me,
+            },
+        );
+        true
+    }
+
+    fn anycast_failed(
+        &mut self,
+        _ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>,
+        _group: GroupId,
+        msg: CtrlMsg,
+    ) {
+        if let CtrlMsg::Load(q) = msg {
+            self.stats.anycast_failures += 1;
+            self.pending_sheds.remove(&q.query);
+            // No receiver could take this VM right now: back off on it so
+            // the next rounds offer other (smaller) VMs instead.
+            self.shed_cooldown.insert(
+                q.vm.id,
+                _ctx.now() + self.config.rebalance_interval * 2,
+            );
+        }
+    }
+
+    fn on_child_removed(
+        &mut self,
+        _ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>,
+        group: GroupId,
+        child: NodeHandle,
+    ) {
+        self.agg.on_child_removed(group, child);
+    }
+
+    fn on_send_failure(
+        &mut self,
+        ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>,
+        to: ActorId,
+        msg: CtrlMsg,
+    ) {
+        match msg {
+            // The receiver died mid-migration: the VM comes back home.
+            CtrlMsg::Migrate { vm, .. } => {
+                self.vms.push(vm);
+                self.stats.migrations_out = self.stats.migrations_out.saturating_sub(1);
+            }
+            // A boot hop died: continue the walk without it.
+            CtrlMsg::Boot(mut q) => {
+                if !q.visited.contains(&to) {
+                    q.visited.push(to);
+                }
+                self.handle_boot(ctx, q);
+            }
+            // The shedder died after accepting: release the hold.
+            CtrlMsg::LoadAccept { query, .. } => {
+                self.holds.retain(|h| h.query != query);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CustomerId, ResourceSpec};
+    use vbundle_aggregation::AggregationConfig;
+
+    fn controller(threshold: f64) -> Controller {
+        Controller::new(
+            ResourceVector::new(4.0, 16_384.0, Bandwidth::from_gbps(1.0)),
+            AggregationConfig::default(),
+            VBundleConfig::default().with_threshold(threshold),
+        )
+    }
+
+    fn vm(id: u64, res: f64, lim: f64, dem: f64) -> VmRecord {
+        let mut vm = VmRecord::new(
+            VmId(id),
+            CustomerId(0),
+            ResourceSpec::bandwidth(Bandwidth::from_mbps(res), Bandwidth::from_mbps(lim)),
+        );
+        vm.demand = ResourceVector::bandwidth_only(Bandwidth::from_mbps(dem));
+        vm
+    }
+
+    #[test]
+    fn install_and_remove_track_reservations() {
+        let mut c = controller(0.15);
+        c.install_vm(vm(1, 400.0, 800.0, 100.0));
+        c.install_vm(vm(2, 300.0, 300.0, 200.0));
+        assert_eq!(c.reserved().bandwidth.as_mbps(), 700.0);
+        assert_eq!(c.bw_demand().as_mbps(), 300.0);
+        assert!((c.utilization() - 0.3).abs() < 1e-12);
+        let removed = c.remove_vm(VmId(1)).expect("present");
+        assert_eq!(removed.id, VmId(1));
+        assert_eq!(c.reserved().bandwidth.as_mbps(), 300.0);
+        assert!(c.remove_vm(VmId(1)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "admission control")]
+    fn install_rejects_overcommit() {
+        let mut c = controller(0.15);
+        c.install_vm(vm(1, 800.0, 800.0, 0.0));
+        c.install_vm(vm(2, 300.0, 300.0, 0.0));
+    }
+
+    #[test]
+    fn receiver_check_requires_reservation_fit() {
+        let mut c = controller(0.5);
+        c.install_vm(vm(1, 900.0, 1000.0, 0.0));
+        // Reservation 200 does not fit next to 900 on a 1000 NIC.
+        assert!(!c.receiver_check(&vm(2, 200.0, 200.0, 10.0), 0.5));
+        // Reservation 50 fits and utilization is tiny.
+        assert!(c.receiver_check(&vm(3, 50.0, 50.0, 10.0), 0.5));
+    }
+
+    #[test]
+    fn receiver_check_enforces_oscillation_guard() {
+        let mut c = controller(0.1);
+        c.install_vm(vm(1, 0.0, 1000.0, 500.0)); // util 0.5
+        // mean 0.5 + θ 0.1 = 0.6: a 200 Mbps demand would hit 0.7.
+        assert!(!c.receiver_check(&vm(2, 0.0, 1000.0, 200.0), 0.5));
+        // 50 Mbps stays at 0.55 ≤ 0.6.
+        assert!(c.receiver_check(&vm(3, 0.0, 1000.0, 50.0), 0.5));
+    }
+
+    #[test]
+    fn receiver_check_skippable_for_ablation() {
+        let mut c = Controller::new(
+            ResourceVector::bandwidth_only(Bandwidth::from_gbps(1.0)),
+            AggregationConfig::default(),
+            VBundleConfig::default()
+                .with_threshold(0.1)
+                .with_oscillation_guard(false),
+        );
+        c.install_vm(vm(1, 0.0, 1000.0, 500.0));
+        assert!(c.receiver_check(&vm(2, 0.0, 1000.0, 400.0), 0.5));
+    }
+
+    #[test]
+    fn demand_for_clamps_to_limits() {
+        let mut c = controller(0.15);
+        let mut v = vm(1, 0.0, 100.0, 400.0); // bw demand 400, limit 100
+        v.demand.memory_mb = 9_999.0; // memory limit is 0 = untracked
+        c.install_vm(v);
+        assert_eq!(c.demand_for(crate::ResourceKind::Bandwidth), 100.0);
+        assert_eq!(c.demand_for(crate::ResourceKind::Memory), 9_999.0);
+        assert!((c.utilization_for(crate::ResourceKind::Memory) - 9_999.0 / 16_384.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_benefit_gates_small_deficits() {
+        let mut c = Controller::new(
+            ResourceVector::new(4.0, 16_384.0, Bandwidth::from_gbps(1.0)),
+            AggregationConfig::default(),
+            VBundleConfig::default().with_cost_benefit(true),
+        );
+        // Tiny deficit (1020 demand on 1000 NIC), giant memory footprint.
+        let mut heavy = vm(1, 0.0, 1000.0, 1020.0);
+        heavy.spec = ResourceSpec::new(
+            ResourceVector::ZERO,
+            ResourceVector::new(1.0, 8_000_000.0, Bandwidth::from_gbps(1.0)),
+        );
+        c.install_vm(heavy);
+        assert!(!c.migration_worthwhile(&c.vms()[0]));
+        // Large deficit, small footprint: worthwhile.
+        let mut c2 = Controller::new(
+            ResourceVector::new(4.0, 16_384.0, Bandwidth::from_gbps(1.0)),
+            AggregationConfig::default(),
+            VBundleConfig::default().with_cost_benefit(true),
+        );
+        let mut light = vm(2, 0.0, 1000.0, 900.0);
+        light.spec = ResourceSpec::new(
+            ResourceVector::ZERO,
+            ResourceVector::new(1.0, 512.0, Bandwidth::from_gbps(1.0)),
+        );
+        c2.install_vm(light);
+        c2.install_vm(vm(3, 0.0, 1000.0, 600.0));
+        assert!(c2.migration_worthwhile(&c2.vms()[0]));
+    }
+
+    #[test]
+    fn topics_are_distinct_per_kind() {
+        let kinds = crate::ResourceKind::ALL;
+        for i in 0..kinds.len() {
+            for j in (i + 1)..kinds.len() {
+                assert_ne!(capacity_topic(kinds[i]), capacity_topic(kinds[j]));
+                assert_ne!(demand_topic(kinds[i]), demand_topic(kinds[j]));
+            }
+            assert_ne!(capacity_topic(kinds[i]), demand_topic(kinds[i]));
+        }
+        assert_eq!(capacity_topic(crate::ResourceKind::Bandwidth), bw_capacity_topic());
+    }
+}

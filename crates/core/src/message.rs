@@ -1,0 +1,142 @@
+//! The v-Bundle controller's wire messages.
+
+use vbundle_aggregation::AggMsg;
+use vbundle_pastry::NodeHandle;
+use vbundle_sim::{ActorId, Message, MsgCategory};
+
+use crate::{VmId, VmRecord};
+
+/// A VM boot query walking the datacenter (§II.B): routed to
+/// `hash(customer)` first, then forwarded across neighbor sets until a
+/// server can admit the VM's reservation.
+#[derive(Debug, Clone)]
+pub struct BootQuery {
+    /// Harness-assigned request id, echoed in the result.
+    pub request: u64,
+    /// The VM to place.
+    pub vm: VmRecord,
+    /// Who asked (receives [`CtrlMsg::BootResult`]).
+    pub origin: NodeHandle,
+    /// The server that first received the query (the customer key's
+    /// root); the walk spreads outward from it to preserve locality.
+    pub root: Option<NodeHandle>,
+    /// Servers already asked.
+    pub visited: Vec<ActorId>,
+    /// Remaining forwarding budget.
+    pub ttl: u32,
+}
+
+/// A load shedder's query into the Less-Loaded anycast tree (§III.C):
+/// "who can take this VM?"
+#[derive(Debug, Clone)]
+pub struct LoadQuery {
+    /// Shedder-assigned query id, echoed in the acceptance.
+    pub query: u64,
+    /// The VM the shedder wants to evacuate.
+    pub vm: VmRecord,
+    /// The shedding server.
+    pub shedder: NodeHandle,
+}
+
+/// Everything v-Bundle controllers exchange. Aggregation traffic is
+/// embedded via [`AggMsg`].
+#[derive(Debug, Clone)]
+pub enum CtrlMsg {
+    /// Aggregation-tree traffic (updates up, results down).
+    Agg(AggMsg),
+    /// A VM boot query (routed to the customer key, then forwarded).
+    Boot(BootQuery),
+    /// Boot outcome, sent directly to the query's origin.
+    BootResult {
+        /// Echo of [`BootQuery::request`].
+        request: u64,
+        /// The VM that was (not) placed.
+        vm: VmId,
+        /// The hosting server, or `None` if no server could admit it.
+        host: Option<NodeHandle>,
+    },
+    /// A shedder's query, carried by the Less-Loaded tree anycast.
+    Load(LoadQuery),
+    /// A receiver accepted a [`LoadQuery`] and holds bandwidth for the VM.
+    LoadAccept {
+        /// Echo of [`LoadQuery::query`].
+        query: u64,
+        /// The VM the receiver will take.
+        vm: VmId,
+        /// The accepting server.
+        receiver: NodeHandle,
+    },
+    /// The migrating VM itself (its arrival completes the migration; the
+    /// send delay models the live-migration duration).
+    Migrate {
+        /// Echo of the originating query id (releases the hold).
+        query: u64,
+        /// The VM's full record.
+        vm: VmRecord,
+        /// The shedding server it left.
+        from: NodeHandle,
+    },
+}
+
+const HANDLE_BYTES: usize = 20;
+const VM_BYTES: usize = 8 + 4 + 6 * 8 + 3 * 8; // id+customer+spec+demand
+
+impl Message for CtrlMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            CtrlMsg::Agg(m) => m.wire_size(),
+            CtrlMsg::Boot(q) => {
+                8 + VM_BYTES + HANDLE_BYTES * 2 + 4 * q.visited.len() + 8
+            }
+            CtrlMsg::BootResult { .. } => 8 + 8 + HANDLE_BYTES,
+            CtrlMsg::Load(_) => 8 + VM_BYTES + HANDLE_BYTES,
+            CtrlMsg::LoadAccept { .. } => 8 + 8 + HANDLE_BYTES,
+            CtrlMsg::Migrate { .. } => 8 + VM_BYTES + HANDLE_BYTES,
+        }
+    }
+
+    fn category(&self) -> MsgCategory {
+        MsgCategory::Payload
+    }
+}
+
+impl From<AggMsg> for CtrlMsg {
+    fn from(m: AggMsg) -> CtrlMsg {
+        CtrlMsg::Agg(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CustomerId, ResourceSpec, ResourceVector};
+    use vbundle_dcn::Bandwidth;
+    use vbundle_pastry::Id;
+
+    #[test]
+    fn sizes_and_conversion() {
+        let h = NodeHandle::new(Id::from_u128(1), ActorId::new(0));
+        let vm = VmRecord::new(
+            VmId(1),
+            CustomerId(0),
+            ResourceSpec::fixed(ResourceVector::bandwidth_only(Bandwidth::from_mbps(10.0))),
+        );
+        let boot = CtrlMsg::Boot(BootQuery {
+            request: 1,
+            vm,
+            origin: h,
+            root: None,
+            visited: vec![ActorId::new(2)],
+            ttl: 9,
+        });
+        assert!(boot.wire_size() > VM_BYTES);
+        assert_eq!(boot.category(), MsgCategory::Payload);
+
+        let agg: CtrlMsg = AggMsg::Update {
+            topic: Id::from_u128(5),
+            value: vbundle_aggregation::AggValue::of(1.0),
+        }
+        .into();
+        assert!(matches!(agg, CtrlMsg::Agg(_)));
+    }
+}

@@ -1,0 +1,326 @@
+//! Offline placement engines.
+//!
+//! The protocol path (boot queries walking the overlay, §II.B) lives in
+//! [`Controller`](crate::Controller); this module provides *offline*
+//! engines that compute the same placements directly:
+//!
+//! - [`ClusterModel::place_vbundle`] mirrors the protocol's walk order
+//!   (spread outward from the customer key's root server) without paying
+//!   for messages — used to seed the 75 000-VM scenarios of Figures 9–11;
+//! - [`ClusterModel::place_greedy`] is the paper's baseline (Fig. 8b):
+//!   first-fit on the first server with enough resources;
+//! - [`ClusterModel::place_random`] places uniformly at random, the
+//!   "simple method" §I attributes to today's IaaS providers.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use vbundle_dcn::{ServerId, Topology};
+use vbundle_pastry::{Key, NodeId};
+
+use crate::{ResourceVector, VmRecord};
+
+/// Which offline policy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// v-Bundle's topology-aware, key-rooted spread.
+    VBundle,
+    /// First-fit scan in server index order (the paper's greedy baseline).
+    Greedy,
+    /// Uniformly random among servers with room.
+    Random,
+}
+
+/// An offline model of the cluster's placement state: per-server
+/// reservations and hosted VMs, with the same admission rule as the
+/// controllers.
+#[derive(Debug, Clone)]
+pub struct ClusterModel {
+    topo: Arc<Topology>,
+    ids: Vec<NodeId>,
+    capacity: ResourceVector,
+    reserved: Vec<ResourceVector>,
+    vms: Vec<Vec<VmRecord>>,
+    /// Per-customer-key walk order and fill cursor.
+    walks: HashMap<u128, Walk>,
+    greedy_cursor: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Walk {
+    order: Vec<usize>,
+    cursor: usize,
+}
+
+impl ClusterModel {
+    /// Creates an empty model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids.len()` does not match the topology's server count.
+    pub fn new(topo: Arc<Topology>, ids: Vec<NodeId>, capacity: ResourceVector) -> Self {
+        assert_eq!(ids.len(), topo.num_servers(), "one id per server");
+        let n = topo.num_servers();
+        ClusterModel {
+            topo,
+            ids,
+            capacity,
+            reserved: vec![ResourceVector::ZERO; n],
+            vms: vec![Vec::new(); n],
+            walks: HashMap::new(),
+            greedy_cursor: 0,
+        }
+    }
+
+    /// The topology this model places into.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// The VMs hosted on `server`.
+    pub fn server_vms(&self, server: ServerId) -> &[VmRecord] {
+        &self.vms[server.index()]
+    }
+
+    /// All placements as `(vm, server)` pairs.
+    pub fn placements(&self) -> Vec<(VmRecord, ServerId)> {
+        let mut out = Vec::new();
+        for (i, vms) in self.vms.iter().enumerate() {
+            for vm in vms {
+                out.push((*vm, self.topo.server(i)));
+            }
+        }
+        out
+    }
+
+    /// Total VMs placed.
+    pub fn num_vms(&self) -> usize {
+        self.vms.iter().map(|v| v.len()).sum()
+    }
+
+    fn fits(&self, server: usize, vm: &VmRecord) -> bool {
+        (self.reserved[server] + vm.spec.reservation).fits_within(&self.capacity)
+    }
+
+    fn install(&mut self, server: usize, vm: VmRecord) -> ServerId {
+        self.reserved[server] += vm.spec.reservation;
+        self.vms[server].push(vm);
+        self.topo.server(server)
+    }
+
+    /// The server whose node id is numerically closest to `key` — where a
+    /// routed boot query lands first.
+    pub fn root_server(&self, key: Key) -> ServerId {
+        let mut best = 0usize;
+        for i in 1..self.ids.len() {
+            if self.ids[i].ring_distance(key) < self.ids[best].ring_distance(key) {
+                best = i;
+            }
+        }
+        self.topo.server(best)
+    }
+
+    /// Places `vm` with the v-Bundle policy for customer key `key`:
+    /// outward from the key's root, same rack first, then the same pod,
+    /// then numerically adjacent arcs.
+    pub fn place_vbundle(&mut self, key: Key, vm: VmRecord) -> Option<ServerId> {
+        if !self.walks.contains_key(&key.as_u128()) {
+            let root = self.root_server(key);
+            let root_id = self.ids[root.index()];
+            let mut order: Vec<usize> = (0..self.topo.num_servers()).collect();
+            let topo = Arc::clone(&self.topo);
+            let ids = self.ids.clone();
+            order.sort_by_key(|&s| {
+                (
+                    topo.distance(topo.server(s), root),
+                    ids[s].ring_distance(root_id),
+                )
+            });
+            self.walks
+                .insert(key.as_u128(), Walk { order, cursor: 0 });
+        }
+        // Borrow dance: clone the order handle out of the map.
+        let walk = self.walks.get(&key.as_u128()).expect("just inserted");
+        let order = walk.order.clone();
+        let start = walk.cursor;
+        for (pos, &server) in order.iter().enumerate().skip(start) {
+            if self.fits(server, &vm) {
+                let placed = self.install(server, vm);
+                // Servers before `pos` rejected this VM; with the uniform
+                // VM sizes of the paper's workloads they are exhausted, so
+                // later queries can skip straight to `pos`.
+                let walk = self.walks.get_mut(&key.as_u128()).expect("present");
+                walk.cursor = pos;
+                return Some(placed);
+            }
+        }
+        None
+    }
+
+    /// Places `vm` first-fit in server index order (greedy baseline).
+    pub fn place_greedy(&mut self, vm: VmRecord) -> Option<ServerId> {
+        // The cursor skips the stable all-full prefix; correctness for
+        // heterogeneous sizes is preserved because it only advances past
+        // servers that cannot fit *this* VM and are smaller than any gap
+        // left behind (uniform-size workloads, as in the paper's figures,
+        // make this exact).
+        for server in self.greedy_cursor..self.topo.num_servers() {
+            if self.fits(server, &vm) {
+                return Some(self.install(server, vm));
+            } else if server == self.greedy_cursor {
+                self.greedy_cursor += 1;
+            }
+        }
+        None
+    }
+
+    /// Places `vm` on a uniformly random server with room.
+    pub fn place_random(&mut self, vm: VmRecord, rng: &mut StdRng) -> Option<ServerId> {
+        let n = self.topo.num_servers();
+        for _ in 0..4 * n {
+            let server = rng.gen_range(0..n);
+            if self.fits(server, &vm) {
+                return Some(self.install(server, vm));
+            }
+        }
+        // Dense cluster: fall back to a scan from a random offset.
+        let offset = rng.gen_range(0..n);
+        for i in 0..n {
+            let server = (offset + i) % n;
+            if self.fits(server, &vm) {
+                return Some(self.install(server, vm));
+            }
+        }
+        None
+    }
+
+    /// Dispatches on `policy`.
+    pub fn place(
+        &mut self,
+        policy: PlacementPolicy,
+        key: Key,
+        vm: VmRecord,
+        rng: &mut StdRng,
+    ) -> Option<ServerId> {
+        match policy {
+            PlacementPolicy::VBundle => self.place_vbundle(key, vm),
+            PlacementPolicy::Greedy => self.place_greedy(vm),
+            PlacementPolicy::Random => self.place_random(vm, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CustomerId, ResourceSpec, VmId};
+    use rand::SeedableRng;
+    use vbundle_dcn::Bandwidth;
+    use vbundle_pastry::overlay::topology_aware_ids;
+
+    fn model() -> ClusterModel {
+        let topo = Arc::new(
+            Topology::builder()
+                .pods(2)
+                .racks_per_pod(2)
+                .servers_per_rack(4)
+                .build(),
+        );
+        let ids = topology_aware_ids(&topo);
+        let capacity = ResourceVector::bandwidth_only(Bandwidth::from_mbps(400.0));
+        ClusterModel::new(topo, ids, capacity)
+    }
+
+    fn vm(id: u64, customer: u32, bw: f64) -> VmRecord {
+        VmRecord::new(
+            VmId(id),
+            CustomerId(customer),
+            ResourceSpec::bandwidth(Bandwidth::from_mbps(bw), Bandwidth::from_mbps(bw)),
+        )
+    }
+
+    #[test]
+    fn vbundle_fills_root_rack_first() {
+        let mut m = model();
+        let key = Key::from_name("tenant-a");
+        let root = m.root_server(key);
+        let root_rack = m.topology().rack_of(root);
+        // 16 VMs of 100 Mbps: 4 per server, 16 fill exactly one rack.
+        let mut racks = Vec::new();
+        for i in 0..16 {
+            let s = m.place_vbundle(key, vm(i, 0, 100.0)).expect("placed");
+            racks.push(m.topology().rack_of(s));
+        }
+        assert!(
+            racks.iter().all(|&r| r == root_rack),
+            "first 16 VMs must fill the root rack, got {racks:?}"
+        );
+        // The next VM spills to another rack in the same pod.
+        let s = m.place_vbundle(key, vm(16, 0, 100.0)).expect("placed");
+        assert_ne!(m.topology().rack_of(s), root_rack);
+        assert_eq!(m.topology().pod_of(s), m.topology().pod_of(root));
+    }
+
+    #[test]
+    fn greedy_fills_in_index_order() {
+        let mut m = model();
+        let mut servers = Vec::new();
+        for i in 0..8 {
+            let s = m.place_greedy(vm(i, 0, 400.0)).expect("placed");
+            servers.push(s.index());
+        }
+        assert_eq!(servers, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn admission_control_rejects_when_full() {
+        let mut m = model();
+        // 16 servers × 400 Mbps = 6400; VMs of 400 fill all.
+        for i in 0..16 {
+            assert!(m.place_greedy(vm(i, 0, 400.0)).is_some());
+        }
+        assert!(m.place_greedy(vm(99, 0, 400.0)).is_none());
+        let key = Key::from_name("x");
+        assert!(m.place_vbundle(key, vm(100, 0, 1.0)).is_none());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(m.place_random(vm(101, 0, 1.0), &mut rng).is_none());
+        assert_eq!(m.num_vms(), 16);
+    }
+
+    #[test]
+    fn random_spreads_load() {
+        let mut m = model();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut used = std::collections::HashSet::new();
+        for i in 0..16 {
+            let s = m.place_random(vm(i, 0, 100.0), &mut rng).expect("placed");
+            used.insert(s.index());
+        }
+        assert!(used.len() >= 8, "random placement should scatter");
+    }
+
+    #[test]
+    fn two_customers_separate_roots() {
+        let mut m = model();
+        let ka = Key::from_name("Accolade");
+        let kb = Key::from_name("Beenox");
+        let ra = m.root_server(ka);
+        let rb = m.root_server(kb);
+        let sa = m.place_vbundle(ka, vm(0, 0, 100.0)).unwrap();
+        let sb = m.place_vbundle(kb, vm(1, 1, 100.0)).unwrap();
+        assert_eq!(sa, ra);
+        assert_eq!(sb, rb);
+    }
+
+    #[test]
+    fn placements_accessor() {
+        let mut m = model();
+        m.place_greedy(vm(0, 0, 100.0)).unwrap();
+        m.place_greedy(vm(1, 1, 100.0)).unwrap();
+        let all = m.placements();
+        assert_eq!(all.len(), 2);
+        assert_eq!(m.server_vms(m.topology().server(0)).len(), 2);
+    }
+}

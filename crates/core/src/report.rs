@@ -1,0 +1,187 @@
+//! Human-readable cluster reports: utilization histograms, status
+//! breakdowns and per-customer summaries, used by the CLI and examples.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::{metrics, Cluster, ServerStatus};
+
+/// A point-in-time summary of a cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Simulated time of the snapshot (seconds).
+    pub at_secs: f64,
+    /// Per-server bandwidth utilizations.
+    pub utilizations: Vec<f64>,
+    /// Counts by self-identified status: (shedders, receivers, neutral).
+    pub status_counts: (usize, usize, usize),
+    /// VMs per customer id.
+    pub vms_per_customer: BTreeMap<u32, usize>,
+    /// Total migrations completed so far.
+    pub migrations: u64,
+    /// Total load-balance queries sent so far.
+    pub queries: u64,
+    /// Anycast queries that found no receiver.
+    pub query_failures: u64,
+    /// Total unsatisfied bandwidth (Mbps) under the shaper.
+    pub shortfall_mbps: f64,
+}
+
+impl ClusterReport {
+    /// Takes a snapshot of `cluster`.
+    pub fn capture(cluster: &Cluster) -> ClusterReport {
+        let mut status = (0usize, 0usize, 0usize);
+        let mut per_customer: BTreeMap<u32, usize> = BTreeMap::new();
+        let mut queries = 0;
+        let mut failures = 0;
+        let mut migrations = 0;
+        for i in 0..cluster.num_servers() {
+            let c = cluster.controller(i);
+            match c.status() {
+                ServerStatus::Shedder => status.0 += 1,
+                ServerStatus::Receiver => status.1 += 1,
+                ServerStatus::Neutral => status.2 += 1,
+            }
+            for vm in c.vms() {
+                *per_customer.entry(vm.customer.0).or_default() += 1;
+            }
+            queries += c.stats.queries_sent;
+            failures += c.stats.anycast_failures;
+            migrations += c.stats.migrations_in;
+        }
+        ClusterReport {
+            at_secs: cluster.now().as_secs_f64(),
+            utilizations: cluster.utilizations(),
+            status_counts: status,
+            vms_per_customer: per_customer,
+            migrations,
+            queries,
+            query_failures: failures,
+            shortfall_mbps: cluster.satisfaction().shortfall().as_mbps(),
+        }
+    }
+
+    /// Mean utilization.
+    pub fn mean_utilization(&self) -> f64 {
+        metrics::mean(&self.utilizations)
+    }
+
+    /// Utilization standard deviation.
+    pub fn utilization_sd(&self) -> f64 {
+        metrics::std_dev(&self.utilizations)
+    }
+
+    /// A 10-bucket histogram of utilizations (`0–10%`, …, `≥90%`; the last
+    /// bucket also absorbs over-commitment above 100%).
+    pub fn histogram(&self) -> [usize; 10] {
+        let mut buckets = [0usize; 10];
+        for &u in &self.utilizations {
+            let b = ((u * 10.0) as usize).min(9);
+            buckets[b] += 1;
+        }
+        buckets
+    }
+
+    /// Renders a multi-line text report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "t = {:.0} s", self.at_secs);
+        let _ = writeln!(
+            out,
+            "utilization: mean {:.3}, sd {:.3}, max {:.3}",
+            self.mean_utilization(),
+            self.utilization_sd(),
+            self.utilizations.iter().cloned().fold(0.0, f64::max)
+        );
+        let hist = self.histogram();
+        let peak = hist.iter().copied().max().unwrap_or(1).max(1);
+        for (i, &n) in hist.iter().enumerate() {
+            let bar = "#".repeat((n * 40).div_ceil(peak).min(40));
+            let _ = writeln!(out, "  {:>3}%-{:<4} {:>6} {}", i * 10, format!("{}%", (i + 1) * 10), n, bar);
+        }
+        let (s, r, n) = self.status_counts;
+        let _ = writeln!(out, "status: {s} shedders / {r} receivers / {n} neutral");
+        let _ = writeln!(
+            out,
+            "shuffle: {} queries ({} unanswered), {} migrations, {:.0} Mbps unsatisfied",
+            self.queries, self.query_failures, self.migrations, self.shortfall_mbps
+        );
+        if !self.vms_per_customer.is_empty() {
+            let _ = write!(out, "vms per customer:");
+            for (c, n) in &self.vms_per_customer {
+                let _ = write!(out, " customer{c}={n}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CustomerId, ResourceSpec, ResourceVector, VmRecord};
+    use std::sync::Arc;
+    use vbundle_dcn::{Bandwidth, Topology};
+
+    fn cluster_with_load() -> Cluster {
+        let topo = Arc::new(
+            Topology::builder()
+                .pods(1)
+                .racks_per_pod(1)
+                .servers_per_rack(4)
+                .build(),
+        );
+        let mut cluster = Cluster::builder(topo).seed(1).build();
+        for server in 0..4usize {
+            let id = cluster.alloc_vm_id();
+            let mut vm = VmRecord::new(
+                id,
+                CustomerId(server as u32 % 2),
+                ResourceSpec::bandwidth(Bandwidth::ZERO, Bandwidth::from_gbps(1.0)),
+            );
+            vm.demand = ResourceVector::bandwidth_only(Bandwidth::from_mbps(
+                250.0 * (server + 1) as f64,
+            ));
+            let sid = cluster.topo.server(server);
+            cluster.install_vm(sid, vm);
+        }
+        cluster.reindex();
+        cluster
+    }
+
+    #[test]
+    fn capture_summarizes_state() {
+        let cluster = cluster_with_load();
+        let report = ClusterReport::capture(&cluster);
+        assert_eq!(report.utilizations.len(), 4);
+        assert_eq!(report.vms_per_customer[&0], 2);
+        assert_eq!(report.vms_per_customer[&1], 2);
+        assert_eq!(report.migrations, 0);
+        // Utils are 0.25, 0.5, 0.75, 1.0 -> mean 0.625.
+        assert!((report.mean_utilization() - 0.625).abs() < 1e-9);
+        let hist = report.histogram();
+        assert_eq!(hist.iter().sum::<usize>(), 4);
+        assert_eq!(hist[2], 1); // 0.25
+        assert_eq!(hist[9], 1); // 1.0 clamps into the last bucket
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let cluster = cluster_with_load();
+        let text = ClusterReport::capture(&cluster).render();
+        assert!(text.contains("utilization: mean 0.625"));
+        assert!(text.contains("status:"));
+        assert!(text.contains("customer0=2"));
+        assert!(text.contains('#'), "histogram bars present");
+    }
+
+    #[test]
+    fn histogram_handles_overcommit() {
+        let mut report = ClusterReport::capture(&cluster_with_load());
+        report.utilizations = vec![1.7, 0.0];
+        let hist = report.histogram();
+        assert_eq!(hist[9], 1);
+        assert_eq!(hist[0], 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! HTB-style per-server bandwidth allocation (§III.D).
+//!
+//! The real system uses Linux traffic control: each VM gets a guaranteed
+//! `rate` (its reservation) and may borrow spare bandwidth up to `ceil`
+//! (its limit). This module reproduces that allocation discipline as a
+//! deterministic water-filling computation: Figure 11's gap between
+//! *demand in total* and *actual satisfied resource in total* is exactly
+//! the shortfall this shaper reports on overloaded servers.
+
+use vbundle_dcn::Bandwidth;
+
+use crate::VmRecord;
+
+/// One VM's share of the server NIC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Allocation {
+    /// The VM's raw demand (what its application offered, before rate,
+    /// ceil or NIC caps — Fig. 11's "resource demand" series).
+    pub demand: Bandwidth,
+    /// What the shaper granted.
+    pub granted: Bandwidth,
+}
+
+impl Allocation {
+    /// Demand the shaper could not satisfy.
+    pub fn shortfall(&self) -> Bandwidth {
+        self.demand.saturating_sub(self.granted)
+    }
+}
+
+/// Allocates `capacity` among `vms` under rate/ceil semantics:
+///
+/// 1. every VM first receives `min(demand, reservation)` — the guaranteed
+///    rate (reservations are admission-controlled, so these always fit);
+/// 2. remaining capacity is water-filled among VMs whose demand exceeds
+///    their reservation, each capped at `min(demand, limit)` — the borrow
+///    phase up to ceil.
+///
+/// Returns one [`Allocation`] per VM, in input order. The allocation is
+/// deterministic and work-conserving: capacity is only left idle when
+/// every VM is satisfied.
+///
+/// ```
+/// use vbundle_core::{shaper, ResourceSpec, ResourceVector, VmId, VmRecord, CustomerId};
+/// use vbundle_dcn::Bandwidth;
+///
+/// let mk = |id, res, lim, dem| {
+///     let mut vm = VmRecord::new(
+///         VmId(id),
+///         CustomerId(0),
+///         ResourceSpec::bandwidth(Bandwidth::from_mbps(res), Bandwidth::from_mbps(lim)),
+///     );
+///     vm.demand = ResourceVector::bandwidth_only(Bandwidth::from_mbps(dem));
+///     vm
+/// };
+/// // 400 Mbps NIC, one idle 100-reservation VM, one greedy 200-limit VM.
+/// let vms = [mk(1, 100.0, 100.0, 20.0), mk(2, 100.0, 200.0, 500.0)];
+/// let alloc = shaper::allocate(Bandwidth::from_mbps(400.0), &vms);
+/// assert_eq!(alloc[0].granted.as_mbps(), 20.0);
+/// assert_eq!(alloc[1].granted.as_mbps(), 200.0); // borrowed up to ceil
+/// ```
+pub fn allocate(capacity: Bandwidth, vms: &[VmRecord]) -> Vec<Allocation> {
+    let mut allocs: Vec<Allocation> = vms
+        .iter()
+        .map(|vm| {
+            let demand = vm.demand.bandwidth;
+            Allocation {
+                demand,
+                granted: demand.min(vm.spec.reservation.bandwidth),
+            }
+        })
+        .collect();
+    let mut used: Bandwidth = allocs.iter().map(|a| a.granted).sum();
+    // Guaranteed rates may exceed capacity only if admission control was
+    // bypassed; in that case scale them down proportionally (TC would
+    // drop packets — proportional scaling is the fluid-model equivalent).
+    if used > capacity && !used.is_zero() {
+        let scale = capacity / used;
+        for a in &mut allocs {
+            a.granted = a.granted * scale;
+        }
+        return allocs;
+    }
+    // Water-fill the borrow phase.
+    let mut spare = capacity - used;
+    loop {
+        if spare.as_mbps() <= 1e-9 {
+            break;
+        }
+        let hungry: Vec<usize> = vms
+            .iter()
+            .enumerate()
+            .filter(|(i, vm)| {
+                let cap = allocs[*i].demand.min(vm.spec.limit.bandwidth);
+                allocs[*i].granted.as_mbps() < cap.as_mbps() - 1e-9
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if hungry.is_empty() {
+            break;
+        }
+        let share = spare / hungry.len() as f64;
+        let mut progressed = false;
+        for i in hungry {
+            let cap = allocs[i].demand.min(vms[i].spec.limit.bandwidth);
+            let headroom = cap.saturating_sub(allocs[i].granted);
+            let grant = share.min(headroom);
+            if grant.as_mbps() > 1e-12 {
+                allocs[i].granted += grant;
+                spare = spare.saturating_sub(grant);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    debug_assert!({
+        used = allocs.iter().map(|a| a.granted).sum();
+        used.as_mbps() <= capacity.as_mbps() + 1e-6
+    });
+    allocs
+}
+
+/// Total granted bandwidth for a server.
+pub fn total_granted(allocs: &[Allocation]) -> Bandwidth {
+    allocs.iter().map(|a| a.granted).sum()
+}
+
+/// Total (effective) demand for a server.
+pub fn total_demand(allocs: &[Allocation]) -> Bandwidth {
+    allocs.iter().map(|a| a.demand).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CustomerId, ResourceSpec, ResourceVector, VmId};
+
+    fn vm(id: u64, res: f64, lim: f64, dem: f64) -> VmRecord {
+        let mut vm = VmRecord::new(
+            VmId(id),
+            CustomerId(0),
+            ResourceSpec::bandwidth(Bandwidth::from_mbps(res), Bandwidth::from_mbps(lim)),
+        );
+        vm.demand = ResourceVector::bandwidth_only(Bandwidth::from_mbps(dem));
+        vm
+    }
+
+    fn cap(mbps: f64) -> Bandwidth {
+        Bandwidth::from_mbps(mbps)
+    }
+
+    #[test]
+    fn light_load_fully_satisfied() {
+        // The paper's Fig. 1(a): all demands at 50 Mbps fit the 400 Mbps
+        // NIC.
+        let vms = vec![vm(1, 100.0, 100.0, 50.0), vm(2, 200.0, 200.0, 50.0)];
+        let a = allocate(cap(400.0), &vms);
+        assert!(a.iter().all(|x| x.shortfall().is_zero()));
+        assert_eq!(total_granted(&a).as_mbps(), 100.0);
+    }
+
+    #[test]
+    fn fixed_size_instances_cap_at_reservation() {
+        // Fig. 1(b): fixed-size (reservation == limit) VMs cannot borrow,
+        // so an overloaded VM is stuck at its allocation.
+        let vms = vec![vm(1, 100.0, 100.0, 300.0), vm(2, 200.0, 200.0, 300.0)];
+        let a = allocate(cap(400.0), &vms);
+        assert_eq!(a[0].granted.as_mbps(), 100.0);
+        assert_eq!(a[1].granted.as_mbps(), 200.0);
+        assert_eq!(a[0].shortfall().as_mbps(), 200.0);
+    }
+
+    #[test]
+    fn borrow_up_to_ceiling() {
+        let vms = vec![vm(1, 100.0, 400.0, 400.0), vm(2, 100.0, 100.0, 10.0)];
+        let a = allocate(cap(400.0), &vms);
+        // VM2 uses 10 of its 100; VM1 gets min(400, its ceil 400, leftover
+        // 390).
+        assert_eq!(a[1].granted.as_mbps(), 10.0);
+        assert_eq!(a[0].granted.as_mbps(), 390.0);
+    }
+
+    #[test]
+    fn water_fill_shares_evenly() {
+        let vms = vec![
+            vm(1, 50.0, 300.0, 300.0),
+            vm(2, 50.0, 300.0, 300.0),
+            vm(3, 50.0, 100.0, 60.0),
+        ];
+        let a = allocate(cap(400.0), &vms);
+        // Guarantees: 50+50+50=150. Spare 250. VM3 needs 10 more (to 60).
+        // VMs 1-2 split the rest evenly: (250-10)/2 = 120 each -> 170.
+        assert!((a[2].granted.as_mbps() - 60.0).abs() < 1e-6);
+        assert!((a[0].granted.as_mbps() - 170.0).abs() < 1e-6);
+        assert!((a[1].granted.as_mbps() - 170.0).abs() < 1e-6);
+        assert!((total_granted(&a).as_mbps() - 400.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn over_committed_reservations_scale_down() {
+        let vms = vec![vm(1, 300.0, 300.0, 300.0), vm(2, 300.0, 300.0, 300.0)];
+        let a = allocate(cap(400.0), &vms);
+        assert!((a[0].granted.as_mbps() - 200.0).abs() < 1e-6);
+        assert!((a[1].granted.as_mbps() - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_and_idle_servers() {
+        assert!(allocate(cap(400.0), &[]).is_empty());
+        let vms = vec![vm(1, 100.0, 200.0, 0.0)];
+        let a = allocate(cap(400.0), &vms);
+        assert_eq!(a[0].granted, Bandwidth::ZERO);
+        assert_eq!(a[0].demand, Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn work_conserving() {
+        // Capacity is never left idle while some VM is unsatisfied and
+        // under its ceiling.
+        let vms = vec![vm(1, 0.0, 1000.0, 700.0), vm(2, 0.0, 1000.0, 700.0)];
+        let a = allocate(cap(1000.0), &vms);
+        assert!((total_granted(&a).as_mbps() - 1000.0).abs() < 1e-6);
+        assert!((a[0].granted.as_mbps() - 500.0).abs() < 1e-6);
+    }
+}

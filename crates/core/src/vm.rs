@@ -1,0 +1,129 @@
+//! Virtual machine instances and customers.
+
+use std::fmt;
+
+use vbundle_dcn::Bandwidth;
+use vbundle_pastry::{Id, Key};
+
+use crate::{ResourceSpec, ResourceVector};
+
+/// Identifies a VM instance across the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VmId(pub u64);
+
+impl fmt::Display for VmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm{}", self.0)
+    }
+}
+
+/// Identifies a cloud customer (tenant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CustomerId(pub u32);
+
+impl fmt::Display for CustomerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "customer{}", self.0)
+    }
+}
+
+/// A cloud customer: all of her VMs are tagged with `key = hash(name)`,
+/// which is where their boot queries are routed (§II.B).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Customer {
+    /// Dense customer id.
+    pub id: CustomerId,
+    /// Human-readable name (the paper uses game studios: Accolade,
+    /// Beenox, Crystal, Deck13, Epyx).
+    pub name: String,
+    /// The Pastry key her VMs cluster around.
+    pub key: Key,
+}
+
+impl Customer {
+    /// Creates a customer whose key is the hash of `name`.
+    pub fn new(id: CustomerId, name: impl Into<String>) -> Self {
+        let name = name.into();
+        let key = Id::from_name(&name);
+        Customer { id, name, key }
+    }
+
+    /// The paper's five simulated customers (Fig. 7–8).
+    pub fn paper_five() -> Vec<Customer> {
+        ["Accolade", "Beenox", "Crystal", "Deck13", "Epyx"]
+            .iter()
+            .enumerate()
+            .map(|(i, n)| Customer::new(CustomerId(i as u32), *n))
+            .collect()
+    }
+}
+
+/// Everything a server needs to know about one hosted (or migrating) VM:
+/// its contract plus its current demand. This is what travels inside boot
+/// queries, load-balance queries and migrations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VmRecord {
+    /// The VM's identity.
+    pub id: VmId,
+    /// The owning customer.
+    pub customer: CustomerId,
+    /// Reservation and limit (§III.B).
+    pub spec: ResourceSpec,
+    /// Current resource demand (clamped to the limit when allocating).
+    pub demand: ResourceVector,
+}
+
+impl VmRecord {
+    /// Creates a record with zero initial demand.
+    pub fn new(id: VmId, customer: CustomerId, spec: ResourceSpec) -> Self {
+        VmRecord {
+            id,
+            customer,
+            spec,
+            demand: ResourceVector::ZERO,
+        }
+    }
+
+    /// The bandwidth demand clamped to the VM's limit — what the shaper
+    /// will at most allocate.
+    pub fn effective_bw_demand(&self) -> Bandwidth {
+        self.demand.bandwidth.min(self.spec.limit.bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn customers_have_distinct_keys() {
+        let five = Customer::paper_five();
+        assert_eq!(five.len(), 5);
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                assert_ne!(five[i].key, five[j].key);
+            }
+        }
+        assert_eq!(five[0].name, "Accolade");
+        assert_eq!(five[0].key, Id::from_name("Accolade"));
+    }
+
+    #[test]
+    fn effective_demand_clamps_to_limit() {
+        let spec = ResourceSpec::bandwidth(
+            Bandwidth::from_mbps(100.0),
+            Bandwidth::from_mbps(200.0),
+        );
+        let mut vm = VmRecord::new(VmId(1), CustomerId(0), spec);
+        vm.demand = ResourceVector::bandwidth_only(Bandwidth::from_mbps(500.0));
+        assert_eq!(vm.effective_bw_demand(), Bandwidth::from_mbps(200.0));
+        vm.demand = ResourceVector::bandwidth_only(Bandwidth::from_mbps(50.0));
+        assert_eq!(vm.effective_bw_demand(), Bandwidth::from_mbps(50.0));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", VmId(3)), "vm3");
+        assert_eq!(format!("{}", CustomerId(2)), "customer2");
+    }
+}

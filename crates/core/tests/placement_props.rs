@@ -1,0 +1,126 @@
+//! Property tests for the offline placement engines: admission control,
+//! root proximity and policy invariants under arbitrary workloads.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vbundle_core::{ClusterModel, CustomerId, PlacementPolicy, ResourceSpec, VmId, VmRecord};
+use vbundle_dcn::{Bandwidth, Topology};
+use vbundle_pastry::overlay;
+use vbundle_pastry::Id;
+
+fn model(pods: u32, racks: u32, servers: u32) -> ClusterModel {
+    let topo = Arc::new(
+        Topology::builder()
+            .pods(pods)
+            .racks_per_pod(racks)
+            .servers_per_rack(servers)
+            .build(),
+    );
+    let ids = overlay::topology_aware_ids(&topo);
+    ClusterModel::new(Arc::clone(&topo), ids, topo.capacity().into())
+}
+
+fn vm(id: u64, bw: f64) -> VmRecord {
+    VmRecord::new(
+        VmId(id),
+        CustomerId((id % 5) as u32),
+        ResourceSpec::bandwidth(Bandwidth::from_mbps(bw), Bandwidth::from_mbps(bw)),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No policy ever violates admission control: per-server reservations
+    /// stay within capacity, whatever the VM sizes and order.
+    #[test]
+    fn admission_never_violated(
+        sizes in proptest::collection::vec(1.0f64..600.0, 1..80),
+        policy_pick in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        let policy = match policy_pick {
+            0 => PlacementPolicy::VBundle,
+            1 => PlacementPolicy::Greedy,
+            _ => PlacementPolicy::Random,
+        };
+        let mut m = model(2, 3, 4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys: Vec<Id> = (0..5).map(|i| Id::from_name(&format!("cust-{i}"))).collect();
+        for (i, &size) in sizes.iter().enumerate() {
+            let key = keys[i % keys.len()];
+            let _ = m.place(policy, key, vm(i as u64, size), &mut rng);
+        }
+        // Verify per-server totals.
+        let topo = m.topology().clone();
+        let nic = topo.capacity().bandwidth.as_mbps();
+        for s in topo.servers() {
+            let total: f64 = m
+                .server_vms(s)
+                .iter()
+                .map(|v| v.spec.reservation.bandwidth.as_mbps())
+                .sum();
+            prop_assert!(total <= nic + 1e-6, "server {s} over-committed: {total}");
+        }
+    }
+
+    /// The first VM of each customer lands on the key's root server, and
+    /// the model never loses a VM it reported as placed.
+    #[test]
+    fn first_vm_lands_on_root(name in "[a-z]{1,12}") {
+        let mut m = model(2, 3, 4);
+        let key = Id::from_name(&name);
+        let root = m.root_server(key);
+        let placed = m.place_vbundle(key, vm(0, 100.0)).expect("fits");
+        prop_assert_eq!(placed, root);
+        prop_assert_eq!(m.num_vms(), 1);
+        prop_assert_eq!(m.placements().len(), 1);
+    }
+
+    /// When everything fits, the three policies place the same number of
+    /// VMs (none loses work), and a full cluster rejects all of them.
+    #[test]
+    fn policies_agree_on_feasibility(seed in any::<u64>()) {
+        let per_server = 10usize; // 10 × 100 Mbps fills a 1 Gbps NIC
+        for policy in [PlacementPolicy::VBundle, PlacementPolicy::Greedy, PlacementPolicy::Random] {
+            let mut m = model(1, 2, 2); // 4 servers -> 40 slots
+            let mut rng = StdRng::seed_from_u64(seed);
+            let key = Id::from_name("tenant");
+            let total = 4 * per_server;
+            for i in 0..total {
+                prop_assert!(
+                    m.place(policy, key, vm(i as u64, 100.0), &mut rng).is_some(),
+                    "{policy:?} rejected VM {i} although capacity remains"
+                );
+            }
+            prop_assert!(m.place(policy, key, vm(999, 100.0), &mut rng).is_none());
+            prop_assert_eq!(m.num_vms(), total);
+        }
+    }
+
+    /// The v-Bundle walk is monotone in distance from the root: the rack
+    /// of VM k is never closer to the root than the rack of VM j < k
+    /// (uniform sizes).
+    #[test]
+    fn vbundle_walk_spreads_outward(n in 1usize..60, name in "[a-z]{1,8}") {
+        let mut m = model(2, 3, 4);
+        let key = Id::from_name(&name);
+        let root = m.root_server(key);
+        let topo = m.topology().clone();
+        let mut last_dist = 0;
+        for i in 0..n {
+            let Some(s) = m.place_vbundle(key, vm(i as u64, 200.0)) else {
+                break;
+            };
+            let d = topo.distance(s, root);
+            prop_assert!(
+                d >= last_dist,
+                "VM {i} placed closer ({d}) than predecessor ({last_dist})"
+            );
+            last_dist = d;
+        }
+    }
+}

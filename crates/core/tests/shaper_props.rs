@@ -1,0 +1,144 @@
+//! Property tests for the HTB-style shaper: the §III.D rate/ceil
+//! invariants hold for arbitrary VM populations.
+
+use proptest::prelude::*;
+use vbundle_core::{shaper, CustomerId, ResourceSpec, ResourceVector, VmId, VmRecord};
+use vbundle_dcn::Bandwidth;
+
+/// An arbitrary VM with reservation ≤ limit and any demand.
+fn arb_vm(id: u64) -> impl Strategy<Value = VmRecord> {
+    (0.0f64..500.0, 0.0f64..500.0, 0.0f64..1500.0).prop_map(move |(a, b, demand)| {
+        let (res, lim) = if a <= b { (a, b) } else { (b, a) };
+        let mut vm = VmRecord::new(
+            VmId(id),
+            CustomerId(0),
+            ResourceSpec::bandwidth(Bandwidth::from_mbps(res), Bandwidth::from_mbps(lim)),
+        );
+        vm.demand = ResourceVector::bandwidth_only(Bandwidth::from_mbps(demand));
+        vm
+    })
+}
+
+fn arb_vms() -> impl Strategy<Value = Vec<VmRecord>> {
+    proptest::collection::vec(any::<u64>(), 0..12).prop_flat_map(|ids| {
+        ids.into_iter()
+            .enumerate()
+            .map(|(i, _)| arb_vm(i as u64))
+            .collect::<Vec<_>>()
+    })
+}
+
+const EPS: f64 = 1e-6;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The sum of grants never exceeds the NIC capacity.
+    #[test]
+    fn never_exceeds_capacity(vms in arb_vms(), cap in 0.0f64..2000.0) {
+        let capacity = Bandwidth::from_mbps(cap);
+        let allocs = shaper::allocate(capacity, &vms);
+        prop_assert!(
+            shaper::total_granted(&allocs).as_mbps() <= cap + EPS,
+            "granted {} over capacity {}",
+            shaper::total_granted(&allocs),
+            capacity
+        );
+    }
+
+    /// No VM is granted more than `min(demand, limit)` — the ceil rule.
+    #[test]
+    fn grants_respect_demand_and_ceiling(vms in arb_vms(), cap in 0.0f64..2000.0) {
+        let allocs = shaper::allocate(Bandwidth::from_mbps(cap), &vms);
+        for (vm, a) in vms.iter().zip(&allocs) {
+            let ceiling = vm.demand.bandwidth.min(vm.spec.limit.bandwidth);
+            prop_assert!(
+                a.granted.as_mbps() <= ceiling.as_mbps() + EPS,
+                "{}: granted {} over ceiling {}",
+                vm.id, a.granted, ceiling
+            );
+            prop_assert_eq!(a.demand, vm.demand.bandwidth);
+        }
+    }
+
+    /// When the guaranteed rates fit the NIC, every VM receives at least
+    /// `min(demand, reservation)` — the rate guarantee.
+    #[test]
+    fn reservations_guaranteed_when_feasible(vms in arb_vms(), extra in 0.0f64..500.0) {
+        let reserved: f64 = vms
+            .iter()
+            .map(|vm| vm.demand.bandwidth.min(vm.spec.reservation.bandwidth).as_mbps())
+            .sum();
+        let capacity = Bandwidth::from_mbps(reserved + extra);
+        let allocs = shaper::allocate(capacity, &vms);
+        for (vm, a) in vms.iter().zip(&allocs) {
+            let guaranteed = vm.demand.bandwidth.min(vm.spec.reservation.bandwidth);
+            prop_assert!(
+                a.granted.as_mbps() >= guaranteed.as_mbps() - EPS,
+                "{}: granted {} under guarantee {}",
+                vm.id, a.granted, guaranteed
+            );
+        }
+    }
+
+    /// Work conservation: capacity is only left idle when every VM is at
+    /// its own ceiling.
+    #[test]
+    fn work_conserving(vms in arb_vms(), cap in 1.0f64..2000.0) {
+        let capacity = Bandwidth::from_mbps(cap);
+        let allocs = shaper::allocate(capacity, &vms);
+        let granted = shaper::total_granted(&allocs).as_mbps();
+        if granted + EPS < cap {
+            for (vm, a) in vms.iter().zip(&allocs) {
+                let ceiling = vm.demand.bandwidth.min(vm.spec.limit.bandwidth);
+                prop_assert!(
+                    a.granted.as_mbps() >= ceiling.as_mbps() - 1e-3,
+                    "idle capacity while {} wants more (granted {}, ceiling {})",
+                    vm.id, a.granted, ceiling
+                );
+            }
+        }
+    }
+
+    /// Allocation is deterministic.
+    #[test]
+    fn deterministic(vms in arb_vms(), cap in 0.0f64..2000.0) {
+        let capacity = Bandwidth::from_mbps(cap);
+        let a = shaper::allocate(capacity, &vms);
+        let b = shaper::allocate(capacity, &vms);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Equal VMs receive equal grants (fairness of the water-fill).
+    #[test]
+    fn symmetric_vms_get_equal_shares(
+        n in 2usize..8,
+        res in 0.0f64..200.0,
+        lim_extra in 0.0f64..300.0,
+        demand in 0.0f64..1000.0,
+        cap in 1.0f64..1500.0,
+    ) {
+        let vms: Vec<VmRecord> = (0..n)
+            .map(|i| {
+                let mut vm = VmRecord::new(
+                    VmId(i as u64),
+                    CustomerId(0),
+                    ResourceSpec::bandwidth(
+                        Bandwidth::from_mbps(res),
+                        Bandwidth::from_mbps(res + lim_extra),
+                    ),
+                );
+                vm.demand = ResourceVector::bandwidth_only(Bandwidth::from_mbps(demand));
+                vm
+            })
+            .collect();
+        let allocs = shaper::allocate(Bandwidth::from_mbps(cap), &vms);
+        for w in allocs.windows(2) {
+            prop_assert!(
+                (w[0].granted.as_mbps() - w[1].granted.as_mbps()).abs() < 1e-3,
+                "identical VMs granted {} vs {}",
+                w[0].granted, w[1].granted
+            );
+        }
+    }
+}

@@ -1,0 +1,558 @@
+//! End-to-end tests of the v-Bundle system: the DHT boot protocol, the
+//! decentralized shuffling loop, oscillation guards and failure handling.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use vbundle_core::{
+    metrics, Cluster, Customer, CustomerId, ResourceSpec, ResourceVector, ServerStatus,
+    VBundleConfig, VmRecord,
+};
+use vbundle_dcn::{Bandwidth, Topology};
+use vbundle_sim::{SimDuration, SimTime};
+
+fn fast_config() -> VBundleConfig {
+    VBundleConfig::default()
+        .with_update_interval(SimDuration::from_secs(10))
+        .with_rebalance_interval(SimDuration::from_secs(40))
+}
+
+fn bw(mbps: f64) -> Bandwidth {
+    Bandwidth::from_mbps(mbps)
+}
+
+/// Seeds `cluster` with an imbalanced load: `hot` servers at
+/// `hot_demand` Mbps demand and the rest at `cold_demand`, using one
+/// 0-reservation VM per 100 Mbps of demand so VMs are individually
+/// movable.
+fn seed_imbalance(cluster: &mut Cluster, hot: usize, hot_demand: f64, cold_demand: f64) {
+    let n = cluster.num_servers();
+    for server in 0..n {
+        let target = if server < hot { hot_demand } else { cold_demand };
+        let mut remaining = target;
+        while remaining > 1e-9 {
+            let chunk = remaining.min(100.0);
+            let id = cluster.alloc_vm_id();
+            let mut vm = VmRecord::new(
+                id,
+                CustomerId(0),
+                ResourceSpec::bandwidth(bw(0.0), bw(1000.0)),
+            );
+            vm.demand = ResourceVector::bandwidth_only(bw(chunk));
+            let sid = cluster.topo.server(server);
+            cluster.install_vm(sid, vm);
+            remaining -= chunk;
+        }
+    }
+    cluster.reindex();
+}
+
+#[test]
+fn boot_protocol_places_all_and_clusters_customers() {
+    let topo = Arc::new(Topology::paper_testbed());
+    let mut cluster = Cluster::builder(topo).seed(3).build();
+    let customers = Customer::paper_five();
+    // 15 servers × 1 Gbps; 40 VMs × 100 Mbps reservation fits easily.
+    let spec = ResourceSpec::bandwidth(bw(100.0), bw(200.0));
+    for i in 0..40 {
+        let customer = &customers[i % customers.len()];
+        let host = cluster.boot_and_run(
+            i % 15,
+            customer,
+            spec,
+            ResourceVector::ZERO,
+            SimDuration::from_secs(60),
+        );
+        assert!(host.is_some(), "VM {i} failed to place");
+    }
+    assert_eq!(cluster.num_vms(), 40);
+
+    // Locality: each customer's 8 VMs span few racks (4 racks total).
+    let placements: Vec<_> = cluster
+        .placements()
+        .into_iter()
+        .map(|(_, c, s)| (c, s))
+        .collect();
+    let locality = metrics::customer_locality(&cluster.topo, &placements);
+    for l in &locality {
+        assert_eq!(l.vms, 8);
+        assert!(
+            l.racks_spanned <= 2,
+            "{}: spans {} racks",
+            l.customer,
+            l.racks_spanned
+        );
+    }
+}
+
+#[test]
+fn boot_rejected_when_cluster_full() {
+    let topo = Arc::new(
+        Topology::builder()
+            .pods(1)
+            .racks_per_pod(2)
+            .servers_per_rack(2)
+            .build(),
+    );
+    let mut cluster = Cluster::builder(topo).seed(5).build();
+    let c = Customer::new(CustomerId(0), "greedy-tenant");
+    // 4 servers × 1 Gbps: 8 × 500 Mbps reservations fill everything.
+    let spec = ResourceSpec::bandwidth(bw(500.0), bw(1000.0));
+    for i in 0..8 {
+        assert!(
+            cluster
+                .boot_and_run(0, &c, spec, ResourceVector::ZERO, SimDuration::from_secs(60))
+                .is_some(),
+            "VM {i} should fit"
+        );
+    }
+    let host = cluster.boot_and_run(
+        0,
+        &c,
+        spec,
+        ResourceVector::ZERO,
+        SimDuration::from_secs(60),
+    );
+    assert!(host.is_none(), "9th 500 Mbps VM cannot fit anywhere");
+    assert_eq!(cluster.num_vms(), 8);
+}
+
+#[test]
+fn rebalancing_relieves_hot_servers() {
+    let topo = Arc::new(
+        Topology::builder()
+            .pods(1)
+            .racks_per_pod(4)
+            .servers_per_rack(4)
+            .build(),
+    );
+    let mut cluster = Cluster::builder(Arc::clone(&topo))
+        .vbundle(fast_config().with_threshold(0.15))
+        .seed(11)
+        .build();
+    // 4 hot servers at 95%, 12 cold at 30%: mean ≈ 46%.
+    seed_imbalance(&mut cluster, 4, 950.0, 300.0);
+    let before = cluster.utilizations();
+    let sd_before = metrics::std_dev(&before);
+    assert!(before.iter().any(|&u| u > 0.9));
+
+    cluster.run_until(SimTime::from_mins(20));
+
+    let after = cluster.utilizations();
+    let sd_after = metrics::std_dev(&after);
+    let mean = metrics::mean(&after);
+    assert!(
+        cluster.total_migrations() > 0,
+        "no migrations happened at all"
+    );
+    assert!(
+        sd_after < sd_before,
+        "SD did not improve: {sd_before} -> {sd_after}"
+    );
+    for (i, &u) in after.iter().enumerate() {
+        assert!(
+            u <= mean + 0.15 + 0.101,
+            "server {i} still hot: {u} (mean {mean})"
+        );
+    }
+    // Conservation: no VM lost or duplicated.
+    assert_eq!(cluster.num_vms(), (4 * 10) + (12 * 3));
+}
+
+#[test]
+fn rebalancing_converges_and_stops() {
+    let topo = Arc::new(
+        Topology::builder()
+            .pods(1)
+            .racks_per_pod(4)
+            .servers_per_rack(4)
+            .build(),
+    );
+    let mut cluster = Cluster::builder(topo)
+        .vbundle(fast_config().with_threshold(0.15))
+        .seed(13)
+        .build();
+    seed_imbalance(&mut cluster, 4, 900.0, 200.0);
+    cluster.run_until(SimTime::from_mins(30));
+    let migrations_at_30 = cluster.total_migrations();
+    cluster.run_until(SimTime::from_mins(60));
+    let migrations_at_60 = cluster.total_migrations();
+    assert!(migrations_at_30 > 0);
+    assert!(
+        migrations_at_60 <= migrations_at_30 + 2,
+        "rebalancing keeps thrashing: {migrations_at_30} -> {migrations_at_60}"
+    );
+}
+
+#[test]
+fn balanced_cluster_never_migrates() {
+    let topo = Arc::new(
+        Topology::builder()
+            .pods(1)
+            .racks_per_pod(2)
+            .servers_per_rack(4)
+            .build(),
+    );
+    let mut cluster = Cluster::builder(topo)
+        .vbundle(fast_config())
+        .seed(17)
+        .build();
+    seed_imbalance(&mut cluster, 0, 0.0, 400.0); // uniform 40%
+    cluster.run_until(SimTime::from_mins(30));
+    assert_eq!(cluster.total_migrations(), 0);
+    // Everyone sees the same mean and nobody is a shedder.
+    for i in 0..cluster.num_servers() {
+        assert_ne!(cluster.controller(i).status(), ServerStatus::Shedder);
+    }
+}
+
+#[test]
+fn receivers_never_pushed_over_threshold() {
+    let topo = Arc::new(
+        Topology::builder()
+            .pods(1)
+            .racks_per_pod(4)
+            .servers_per_rack(4)
+            .build(),
+    );
+    let threshold = 0.15;
+    let mut cluster = Cluster::builder(topo)
+        .vbundle(fast_config().with_threshold(threshold))
+        .seed(19)
+        .build();
+    seed_imbalance(&mut cluster, 6, 1000.0, 100.0);
+    cluster.run_until(SimTime::from_mins(40));
+    let utils = cluster.utilizations();
+    let mean = metrics::mean(&utils);
+    // The acceptance double-check (§III.C step 3) keeps every receiver at
+    // or below mean + threshold (small epsilon for demand quantization).
+    for i in 6..cluster.num_servers() {
+        assert!(
+            utils[i] <= mean + threshold + 0.101,
+            "receiver {i} overshot: {} (mean {mean})",
+            utils[i]
+        );
+    }
+}
+
+#[test]
+fn cost_benefit_gate_blocks_expensive_migrations() {
+    let topo = Arc::new(
+        Topology::builder()
+            .pods(1)
+            .racks_per_pod(2)
+            .servers_per_rack(4)
+            .build(),
+    );
+    let build = |cost_benefit: bool| {
+        let mut cluster = Cluster::builder(Arc::clone(&topo))
+            .vbundle(
+                fast_config()
+                    .with_threshold(0.15)
+                    .with_cost_benefit(cost_benefit),
+            )
+            .seed(23)
+            .build();
+        // Hot server whose VMs have huge memory footprints but whose
+        // bandwidth deficit is tiny: moving them costs more than it helps.
+        for i in 0..8 {
+            let id = cluster.alloc_vm_id();
+            let mut vm = VmRecord::new(
+                id,
+                CustomerId(0),
+                ResourceSpec::new(
+                    ResourceVector::new(0.0, 0.0, bw(0.0)),
+                    ResourceVector::new(1.0, 2_000_000.0, bw(1000.0)),
+                ),
+            );
+            vm.demand = ResourceVector::new(0.0, 2_000_000.0, bw(130.0));
+            let sid = cluster.topo.server(i % 2);
+            cluster.install_vm(sid, vm);
+        }
+        cluster.reindex();
+        cluster.run_until(SimTime::from_mins(20));
+        cluster
+    };
+    let gated = build(true);
+    let ungated = build(false);
+    assert!(ungated.total_migrations() > 0, "baseline must migrate");
+    let gated_count: u64 = (0..gated.num_servers())
+        .map(|i| gated.controller(i).stats.migrations_gated)
+        .sum();
+    assert!(gated_count > 0, "gate never fired");
+    assert!(
+        gated.total_migrations() < ungated.total_migrations(),
+        "gate did not reduce migrations"
+    );
+}
+
+#[test]
+fn receiver_failure_returns_vm_to_shedder() {
+    let topo = Arc::new(
+        Topology::builder()
+            .pods(1)
+            .racks_per_pod(4)
+            .servers_per_rack(4)
+            .build(),
+    );
+    let mut cluster = Cluster::builder(topo)
+        .vbundle(
+            fast_config()
+                .with_threshold(0.15)
+                // Long migration so we can kill the receiver mid-flight.
+                .with_update_interval(SimDuration::from_secs(10)),
+        )
+        .seed(29)
+        .build();
+    seed_imbalance(&mut cluster, 2, 900.0, 100.0);
+    let total_before = cluster.num_vms();
+    cluster.run_until(SimTime::from_mins(10));
+    // Kill half the cold servers; any in-flight or future migrations to
+    // them bounce and the VMs must survive somewhere.
+    for i in 8..12 {
+        let actor = vbundle_sim::ActorId::new(i as u32);
+        cluster.engine.fail(actor);
+    }
+    cluster.run_until(SimTime::from_mins(40));
+    let alive_vms: usize = (0..cluster.num_servers())
+        .filter(|&i| cluster.engine.is_alive(vbundle_sim::ActorId::new(i as u32)))
+        .map(|i| cluster.controller(i).vms().len())
+        .sum();
+    let dead_vms: usize = (8..12).map(|i| cluster.controller(i).vms().len()).sum();
+    assert_eq!(
+        alive_vms + dead_vms,
+        total_before,
+        "VMs lost or duplicated after receiver failure"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Whatever the initial demand skew, rebalancing never loses VMs and
+    /// never leaves the cluster with higher dispersion than it started.
+    #[test]
+    fn prop_rebalance_conserves_and_improves(
+        seed in any::<u64>(),
+        hot in 1usize..6,
+        hot_demand in 700.0f64..1000.0,
+        cold_demand in 0.0f64..300.0,
+    ) {
+        let topo = Arc::new(
+            Topology::builder()
+                .pods(1)
+                .racks_per_pod(3)
+                .servers_per_rack(4)
+                .build(),
+        );
+        let mut cluster = Cluster::builder(topo)
+            .vbundle(fast_config().with_threshold(0.15))
+            .seed(seed)
+            .build();
+        seed_imbalance(&mut cluster, hot, hot_demand, cold_demand);
+        let vms_before = cluster.num_vms();
+        let sd_before = metrics::std_dev(&cluster.utilizations());
+        cluster.run_until(SimTime::from_mins(30));
+        prop_assert_eq!(cluster.num_vms(), vms_before);
+        let sd_after = metrics::std_dev(&cluster.utilizations());
+        prop_assert!(
+            sd_after <= sd_before + 1e-9,
+            "dispersion grew: {} -> {}", sd_before, sd_after
+        );
+    }
+}
+
+/// Multi-metric shuffling (§VII future work, implemented here): memory
+/// pressure alone — with bandwidth perfectly balanced — triggers
+/// rebalancing when `multi_metric` is on, and does nothing when off.
+#[test]
+fn multi_metric_sheds_on_memory_pressure() {
+    let run = |multi: bool| {
+        let topo = Arc::new(
+            Topology::builder()
+                .pods(1)
+                .racks_per_pod(4)
+                .servers_per_rack(4)
+                .build(),
+        );
+        let mut cluster = Cluster::builder(topo)
+            .vbundle(
+                fast_config()
+                    .with_threshold(0.15)
+                    .with_multi_metric(multi),
+            )
+            .seed(31)
+            .build();
+        // Every server has the same light bandwidth demand, but the first
+        // four are memory-hot: 10 VMs × 1.9 GB on 16 GB hosts (≈ 1.19
+        // memory utilization) vs 10 × 0.3 GB (≈ 0.19) elsewhere.
+        for server in 0..16usize {
+            let mem = if server < 4 { 1_950.0 } else { 300.0 };
+            for _ in 0..10 {
+                let id = cluster.alloc_vm_id();
+                let mut vm = VmRecord::new(
+                    id,
+                    CustomerId(0),
+                    vbundle_core::ResourceSpec::new(
+                        ResourceVector::ZERO,
+                        ResourceVector::new(4.0, 16_384.0, bw(1000.0)),
+                    ),
+                );
+                vm.demand = ResourceVector::new(0.1, mem, bw(30.0));
+                let sid = cluster.topo.server(server);
+                cluster.install_vm(sid, vm);
+            }
+        }
+        cluster.reindex();
+        cluster.run_until(SimTime::from_mins(25));
+        let mem_utils: Vec<f64> = (0..16)
+            .map(|i| {
+                cluster
+                    .controller(i)
+                    .utilization_for(vbundle_core::ResourceKind::Memory)
+            })
+            .collect();
+        (cluster.total_migrations(), mem_utils)
+    };
+
+    let (migrations_off, _) = run(false);
+    assert_eq!(
+        migrations_off, 0,
+        "bandwidth-only mode must ignore memory pressure"
+    );
+
+    let (migrations_on, mem_utils) = run(true);
+    assert!(migrations_on > 0, "multi-metric mode must react");
+    let mean = metrics::mean(&mem_utils);
+    for (i, &u) in mem_utils.iter().enumerate() {
+        assert!(
+            u <= mean + 0.15 + 0.13,
+            "server {i} memory still hot: {u} (mean {mean})"
+        );
+    }
+}
+
+/// With the oscillation guard disabled (ablation), the system still
+/// conserves VMs and converges — it just takes more migrations.
+#[test]
+fn guardless_shuffle_still_conserves() {
+    let topo = Arc::new(
+        Topology::builder()
+            .pods(1)
+            .racks_per_pod(4)
+            .servers_per_rack(4)
+            .build(),
+    );
+    let mut cluster = Cluster::builder(topo)
+        .vbundle(
+            fast_config()
+                .with_threshold(0.15)
+                .with_oscillation_guard(false),
+        )
+        .seed(37)
+        .build();
+    seed_imbalance(&mut cluster, 4, 900.0, 200.0);
+    let before = cluster.num_vms();
+    cluster.run_until(SimTime::from_mins(30));
+    assert_eq!(cluster.num_vms(), before);
+    assert!(cluster.total_migrations() > 0);
+}
+
+/// The full VM lifecycle: boot through the protocol, shut down, and the
+/// freed reservation admits a new VM on the same spot.
+#[test]
+fn shutdown_releases_reservations() {
+    let topo = Arc::new(
+        Topology::builder()
+            .pods(1)
+            .racks_per_pod(1)
+            .servers_per_rack(2)
+            .build(),
+    );
+    let mut cluster = Cluster::builder(topo).seed(41).build();
+    let c = Customer::new(CustomerId(0), "lifecycle");
+    // Fill both servers completely.
+    let spec = ResourceSpec::bandwidth(bw(500.0), bw(1000.0));
+    let mut vms = Vec::new();
+    for _ in 0..4 {
+        let (req, vm) = cluster.request_boot(0, &c, spec, ResourceVector::ZERO);
+        while cluster.boot_result(0, req).is_none() {
+            cluster.run_for(SimDuration::from_millis(100));
+        }
+        assert!(cluster.boot_result(0, req).unwrap().is_some());
+        vms.push(vm);
+    }
+    // A fifth VM cannot fit...
+    assert!(cluster
+        .boot_and_run(0, &c, spec, ResourceVector::ZERO, SimDuration::from_secs(30))
+        .is_none());
+    // ...until one shuts down.
+    cluster.reindex();
+    let record = cluster.shutdown_vm(vms[1]).expect("was running");
+    assert_eq!(record.id, vms[1]);
+    assert_eq!(cluster.num_vms(), 3);
+    assert!(cluster.shutdown_vm(vms[1]).is_none(), "double shutdown");
+    let host = cluster.boot_and_run(
+        0,
+        &c,
+        spec,
+        ResourceVector::ZERO,
+        SimDuration::from_secs(30),
+    );
+    assert!(host.is_some(), "freed reservation must admit a new VM");
+    assert_eq!(cluster.num_vms(), 4);
+}
+
+/// Heterogeneous hardware: big and small servers shuffle correctly — the
+/// admission and acceptance checks use each server's own capacity.
+#[test]
+fn heterogeneous_capacities_respected() {
+    let topo = Arc::new(
+        Topology::builder()
+            .pods(1)
+            .racks_per_pod(4)
+            .servers_per_rack(4)
+            .build(),
+    );
+    // Even servers have 1 Gbps NICs, odd servers only 500 Mbps.
+    let mut cluster = Cluster::builder(Arc::clone(&topo))
+        .vbundle(fast_config().with_threshold(0.15))
+        .capacity_fn(|i| {
+            ResourceVector::bandwidth_only(bw(if i % 2 == 0 { 1000.0 } else { 500.0 }))
+        })
+        .seed(43)
+        .build();
+    assert_eq!(
+        cluster.controller(1).capacity().bandwidth,
+        bw(500.0),
+        "capacity override applied"
+    );
+    // Overload two big servers; the rest idle.
+    for server in 0..16usize {
+        let demand = if server < 2 { 900.0 } else { 50.0 };
+        for _ in 0..9 {
+            let id = cluster.alloc_vm_id();
+            let mut vm = VmRecord::new(
+                id,
+                CustomerId(0),
+                ResourceSpec::bandwidth(bw(0.0), bw(1000.0)),
+            );
+            vm.demand = ResourceVector::bandwidth_only(bw(demand / 9.0));
+            let sid = cluster.topo.server(server);
+            cluster.install_vm(sid, vm);
+        }
+    }
+    cluster.reindex();
+    cluster.run_until(SimTime::from_mins(25));
+    assert!(cluster.total_migrations() > 0);
+    // No server ends above its own NIC in demand terms, and small servers
+    // were not overfilled: utilization = demand / own capacity stays sane.
+    for i in 0..16 {
+        let c = cluster.controller(i);
+        assert!(
+            c.utilization() <= 1.0 + 1e-9,
+            "server {i} overfilled: {}",
+            c.utilization()
+        );
+    }
+}

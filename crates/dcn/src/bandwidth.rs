@@ -1,0 +1,203 @@
+//! The [`Bandwidth`] quantity type.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A network bandwidth quantity in megabits per second.
+///
+/// Used for NIC capacities, VM reservations/limits and demands throughout
+/// the workspace, so that a capacity can never be silently confused with a
+/// CPU share or a byte count.
+///
+/// ```
+/// use vbundle_dcn::Bandwidth;
+/// let nic = Bandwidth::from_mbps(400.0);
+/// let vm = Bandwidth::from_mbps(100.0);
+/// assert_eq!(nic - vm * 3.0, Bandwidth::from_mbps(100.0));
+/// assert_eq!(vm / nic, 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// Zero bandwidth.
+    pub const ZERO: Bandwidth = Bandwidth(0.0);
+
+    /// Creates a bandwidth of `mbps` megabits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `mbps` is negative or NaN.
+    pub fn from_mbps(mbps: f64) -> Self {
+        debug_assert!(mbps >= 0.0, "bandwidth must be non-negative, got {mbps}");
+        Bandwidth(mbps)
+    }
+
+    /// Creates a bandwidth of `gbps` gigabits per second.
+    pub fn from_gbps(gbps: f64) -> Self {
+        Bandwidth::from_mbps(gbps * 1000.0)
+    }
+
+    /// The value in megabits per second.
+    pub fn as_mbps(self) -> f64 {
+        self.0
+    }
+
+    /// The value in gigabits per second.
+    pub fn as_gbps(self) -> f64 {
+        self.0 / 1000.0
+    }
+
+    /// True if this is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// The smaller of two bandwidths.
+    pub fn min(self, other: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.min(other.0))
+    }
+
+    /// The larger of two bandwidths.
+    pub fn max(self, other: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.max(other.0))
+    }
+
+    /// Subtraction clamped at zero (capacity can never go negative).
+    pub fn saturating_sub(self, other: Bandwidth) -> Bandwidth {
+        Bandwidth((self.0 - other.0).max(0.0))
+    }
+
+    /// This bandwidth as a fraction of `capacity`, or 0 for zero capacity.
+    pub fn fraction_of(self, capacity: Bandwidth) -> f64 {
+        if capacity.0 == 0.0 {
+            0.0
+        } else {
+            self.0 / capacity.0
+        }
+    }
+}
+
+impl Add for Bandwidth {
+    type Output = Bandwidth;
+    fn add(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bandwidth {
+    fn add_assign(&mut self, rhs: Bandwidth) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bandwidth {
+    type Output = Bandwidth;
+    /// # Panics
+    ///
+    /// Panics in debug builds if the result would be negative; use
+    /// [`Bandwidth::saturating_sub`] when underflow is expected.
+    fn sub(self, rhs: Bandwidth) -> Bandwidth {
+        debug_assert!(
+            self.0 >= rhs.0 - 1e-9,
+            "bandwidth subtraction underflow: {} - {}",
+            self.0,
+            rhs.0
+        );
+        Bandwidth((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl SubAssign for Bandwidth {
+    fn sub_assign(&mut self, rhs: Bandwidth) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Bandwidth {
+    type Output = Bandwidth;
+    fn mul(self, rhs: f64) -> Bandwidth {
+        Bandwidth(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Bandwidth {
+    type Output = Bandwidth;
+    fn div(self, rhs: f64) -> Bandwidth {
+        Bandwidth(self.0 / rhs)
+    }
+}
+
+impl Div for Bandwidth {
+    type Output = f64;
+    /// Dimensionless ratio of two bandwidths.
+    fn div(self, rhs: Bandwidth) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Bandwidth {
+    fn sum<I: Iterator<Item = Bandwidth>>(iter: I) -> Bandwidth {
+        iter.fold(Bandwidth::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} Mbps", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_units() {
+        assert_eq!(Bandwidth::from_gbps(1.0).as_mbps(), 1000.0);
+        assert_eq!(Bandwidth::from_mbps(500.0).as_gbps(), 0.5);
+        assert!(Bandwidth::ZERO.is_zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Bandwidth::from_mbps(100.0);
+        let b = Bandwidth::from_mbps(40.0);
+        assert_eq!(a + b, Bandwidth::from_mbps(140.0));
+        assert_eq!(a - b, Bandwidth::from_mbps(60.0));
+        assert_eq!(a * 2.0, Bandwidth::from_mbps(200.0));
+        assert_eq!(a / 4.0, Bandwidth::from_mbps(25.0));
+        assert_eq!(b / a, 0.4);
+        assert_eq!(b.saturating_sub(a), Bandwidth::ZERO);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn fraction_handles_zero_capacity() {
+        assert_eq!(Bandwidth::from_mbps(10.0).fraction_of(Bandwidth::ZERO), 0.0);
+        assert_eq!(
+            Bandwidth::from_mbps(10.0).fraction_of(Bandwidth::from_mbps(40.0)),
+            0.25
+        );
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Bandwidth = (1..=4).map(|i| Bandwidth::from_mbps(i as f64)).sum();
+        assert_eq!(total, Bandwidth::from_mbps(10.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", Bandwidth::from_mbps(12.5)), "12.500 Mbps");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    #[cfg(debug_assertions)]
+    fn negative_construction_panics() {
+        let _ = Bandwidth::from_mbps(-1.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Physical proximity levels and the topology-aware latency model.
+
+use std::sync::Arc;
+
+use vbundle_sim::{ActorId, LatencyModel, SimDuration};
+
+use crate::{ServerId, Topology};
+
+/// How physically close two servers are in the datacenter hierarchy.
+///
+/// The discriminant doubles as a numeric distance (0–3), with lower values
+/// meaning closer — the proximity metric used by Pastry's neighbor set and
+/// by v-Bundle's placement and anycast preferences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u32)]
+pub enum ProximityLevel {
+    /// The same physical machine.
+    SameServer = 0,
+    /// Different machines under the same ToR switch.
+    SameRack = 1,
+    /// Different racks under the same aggregation switch.
+    SamePod = 2,
+    /// Different pods, traversing the datacenter core.
+    CrossPod = 3,
+}
+
+impl ProximityLevel {
+    /// All levels, closest first.
+    pub const ALL: [ProximityLevel; 4] = [
+        ProximityLevel::SameServer,
+        ProximityLevel::SameRack,
+        ProximityLevel::SamePod,
+        ProximityLevel::CrossPod,
+    ];
+}
+
+/// A [`LatencyModel`] that derives per-message delay from the topology:
+/// intra-rack hops are cheaper than cross-pod hops.
+///
+/// Actor index `i` is taken to be server index `i`, the convention used by
+/// every simulation harness in this workspace.
+///
+/// ```
+/// use std::sync::Arc;
+/// use vbundle_dcn::{Topology, TopologyLatency};
+/// use vbundle_sim::{ActorId, LatencyModel};
+///
+/// let topo = Arc::new(Topology::paper_testbed());
+/// let model = TopologyLatency::new(topo);
+/// let same_rack = model.latency(ActorId::new(0), ActorId::new(1));
+/// let cross_rack = model.latency(ActorId::new(0), ActorId::new(14));
+/// assert!(same_rack < cross_rack);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopologyLatency {
+    topo: Arc<Topology>,
+    /// One-way delay per proximity level, indexed by `ProximityLevel as u32`.
+    levels: [SimDuration; 4],
+}
+
+impl TopologyLatency {
+    /// Creates a model with representative datacenter delays:
+    /// 10 µs loopback, 100 µs intra-rack, 250 µs intra-pod, 500 µs cross-pod.
+    pub fn new(topo: Arc<Topology>) -> Self {
+        TopologyLatency {
+            topo,
+            levels: [
+                SimDuration::from_micros(10),
+                SimDuration::from_micros(100),
+                SimDuration::from_micros(250),
+                SimDuration::from_micros(500),
+            ],
+        }
+    }
+
+    /// Creates a model matching the paper's measurement environment
+    /// (§V.C / Fig. 14): a flat ~10 ms LAN hop regardless of placement,
+    /// except for loopback.
+    pub fn paper_lan(topo: Arc<Topology>) -> Self {
+        TopologyLatency {
+            topo,
+            levels: [
+                SimDuration::from_micros(10),
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(10),
+                SimDuration::from_millis(10),
+            ],
+        }
+    }
+
+    /// Overrides the delay for one proximity level.
+    pub fn with_level(mut self, level: ProximityLevel, delay: SimDuration) -> Self {
+        self.levels[level as usize] = delay;
+        self
+    }
+
+    /// The delay configured for `level`.
+    pub fn level_delay(&self, level: ProximityLevel) -> SimDuration {
+        self.levels[level as usize]
+    }
+
+    fn server(&self, actor: ActorId) -> Option<ServerId> {
+        if actor.index() < self.topo.num_servers() {
+            Some(self.topo.server(actor.index()))
+        } else {
+            None
+        }
+    }
+}
+
+impl LatencyModel for TopologyLatency {
+    fn latency(&self, from: ActorId, to: ActorId) -> SimDuration {
+        match (self.server(from), self.server(to)) {
+            (Some(a), Some(b)) => self.levels[self.topo.proximity(a, b) as usize],
+            // Actors outside the server range (e.g. a harness front end)
+            // pay the worst-case delay.
+            _ => self.levels[ProximityLevel::CrossPod as usize],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_by_distance() {
+        assert!(ProximityLevel::SameServer < ProximityLevel::SameRack);
+        assert!(ProximityLevel::SameRack < ProximityLevel::SamePod);
+        assert!(ProximityLevel::SamePod < ProximityLevel::CrossPod);
+        assert_eq!(ProximityLevel::ALL.len(), 4);
+        assert_eq!(ProximityLevel::CrossPod as u32, 3);
+    }
+
+    #[test]
+    fn topology_latency_tiers() {
+        let topo = Arc::new(
+            Topology::builder()
+                .pods(2)
+                .racks_per_pod(2)
+                .servers_per_rack(2)
+                .build(),
+        );
+        let m = TopologyLatency::new(topo);
+        let lat = |a: u32, b: u32| m.latency(ActorId::new(a), ActorId::new(b));
+        assert_eq!(lat(0, 0), SimDuration::from_micros(10));
+        assert_eq!(lat(0, 1), SimDuration::from_micros(100));
+        assert_eq!(lat(0, 2), SimDuration::from_micros(250));
+        assert_eq!(lat(0, 4), SimDuration::from_micros(500));
+        // Out-of-range actor pays worst case.
+        assert_eq!(lat(0, 100), SimDuration::from_micros(500));
+    }
+
+    #[test]
+    fn paper_lan_is_flat_10ms() {
+        let topo = Arc::new(Topology::paper_testbed());
+        let m = TopologyLatency::paper_lan(topo);
+        assert_eq!(
+            m.latency(ActorId::new(0), ActorId::new(14)),
+            SimDuration::from_millis(10)
+        );
+        assert_eq!(
+            m.latency(ActorId::new(0), ActorId::new(1)),
+            SimDuration::from_millis(10)
+        );
+    }
+
+    #[test]
+    fn with_level_overrides() {
+        let topo = Arc::new(Topology::paper_testbed());
+        let m = TopologyLatency::new(topo)
+            .with_level(ProximityLevel::SameRack, SimDuration::from_millis(2));
+        assert_eq!(
+            m.level_delay(ProximityLevel::SameRack),
+            SimDuration::from_millis(2)
+        );
+    }
+}

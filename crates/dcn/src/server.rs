@@ -1,0 +1,71 @@
+//! Per-server physical capacities.
+
+use crate::Bandwidth;
+
+/// Physical capacities of one server (the paper's PM).
+///
+/// The paper's running example (§I, Fig. 1) uses hosts with a 400 Mbps NIC
+/// hosting VMs with 100/200 Mbps allocations; the testbed (§IV) uses
+/// dual-socket Xeon 5150 machines with 16 GB memory and 1 Gbps NICs.
+///
+/// ```
+/// use vbundle_dcn::{Bandwidth, ServerCapacity};
+/// let cap = ServerCapacity::new(4.0, 16_384.0, Bandwidth::from_gbps(1.0));
+/// assert_eq!(cap.bandwidth.as_mbps(), 1000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerCapacity {
+    /// Compute capacity in abstract CPU units (EC2-style compute units).
+    pub cpu_units: f64,
+    /// Memory in megabytes.
+    pub memory_mb: f64,
+    /// NIC bandwidth.
+    pub bandwidth: Bandwidth,
+}
+
+impl ServerCapacity {
+    /// Creates a capacity description.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `cpu_units` or `memory_mb` is negative.
+    pub fn new(cpu_units: f64, memory_mb: f64, bandwidth: Bandwidth) -> Self {
+        debug_assert!(cpu_units >= 0.0 && memory_mb >= 0.0);
+        ServerCapacity {
+            cpu_units,
+            memory_mb,
+            bandwidth,
+        }
+    }
+
+    /// The paper's testbed server: 4 cores, 16 GB, 1 Gbps NIC.
+    pub fn paper_testbed() -> Self {
+        ServerCapacity::new(4.0, 16_384.0, Bandwidth::from_gbps(1.0))
+    }
+
+    /// The paper's Figure 1 example host: 2 cores, 4 GB, 400 Mbps NIC.
+    pub fn figure1_example() -> Self {
+        ServerCapacity::new(2.0, 4_096.0, Bandwidth::from_mbps(400.0))
+    }
+}
+
+impl Default for ServerCapacity {
+    fn default() -> Self {
+        ServerCapacity::paper_testbed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper() {
+        let t = ServerCapacity::paper_testbed();
+        assert_eq!(t.memory_mb, 16_384.0);
+        assert_eq!(t.bandwidth, Bandwidth::from_gbps(1.0));
+        let f = ServerCapacity::figure1_example();
+        assert_eq!(f.bandwidth, Bandwidth::from_mbps(400.0));
+        assert_eq!(ServerCapacity::default(), t);
+    }
+}

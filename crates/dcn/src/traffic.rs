@@ -1,0 +1,319 @@
+//! Traffic matrices and bisection-bandwidth accounting.
+//!
+//! Figures 7–8 of the paper argue that v-Bundle's placement minimizes the
+//! inter-VM traffic that must traverse ToR up-links. [`TrafficMatrix`]
+//! holds server-to-server flow rates, and [`TrafficMatrix::bisection_report`]
+//! classifies them by the highest network layer they touch and computes the
+//! load each rack's up-link would carry.
+
+use crate::{Bandwidth, ProximityLevel, RackId, ServerId, Topology};
+
+/// One directed server-to-server flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Flow {
+    /// Sending server.
+    pub src: ServerId,
+    /// Receiving server.
+    pub dst: ServerId,
+    /// Flow rate.
+    pub rate: Bandwidth,
+}
+
+/// A collection of server-to-server flows.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficMatrix {
+    flows: Vec<Flow>,
+}
+
+impl TrafficMatrix {
+    /// Creates an empty traffic matrix.
+    pub fn new() -> Self {
+        TrafficMatrix::default()
+    }
+
+    /// Adds a directed flow of `rate` from `src` to `dst`.
+    pub fn add_flow(&mut self, src: ServerId, dst: ServerId, rate: Bandwidth) {
+        self.flows.push(Flow { src, dst, rate });
+    }
+
+    /// The flows added so far.
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// Number of flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True if no flows were added.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Total offered load across all flows.
+    pub fn total(&self) -> Bandwidth {
+        self.flows.iter().map(|f| f.rate).sum()
+    }
+
+    /// Classifies every flow by proximity level and computes per-rack
+    /// up-link loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flow references a server outside `topo`.
+    pub fn bisection_report(&self, topo: &Topology) -> BisectionReport {
+        let mut by_level = [Bandwidth::ZERO; 4];
+        let mut uplink_load = vec![Bandwidth::ZERO; topo.num_racks()];
+        for flow in &self.flows {
+            let level = topo.proximity(flow.src, flow.dst);
+            by_level[level as usize] += flow.rate;
+            if level >= ProximityLevel::SamePod {
+                // The flow leaves the source rack's ToR and enters the
+                // destination rack's ToR.
+                uplink_load[topo.rack_of(flow.src).index()] += flow.rate;
+                uplink_load[topo.rack_of(flow.dst).index()] += flow.rate;
+            }
+        }
+        let mut pod_load = vec![Bandwidth::ZERO; topo.num_pods()];
+        for flow in &self.flows {
+            if topo.proximity(flow.src, flow.dst) == ProximityLevel::CrossPod {
+                pod_load[topo.pod_of(flow.src).index()] += flow.rate;
+                pod_load[topo.pod_of(flow.dst).index()] += flow.rate;
+            }
+        }
+        let uplinks: Vec<UplinkLoad> = topo
+            .racks()
+            .map(|rack| UplinkLoad {
+                rack,
+                load: uplink_load[rack.index()],
+                capacity: topo.tor_uplink_capacity(rack),
+            })
+            .collect();
+        BisectionReport {
+            intra_server: by_level[ProximityLevel::SameServer as usize],
+            intra_rack: by_level[ProximityLevel::SameRack as usize],
+            cross_rack: by_level[ProximityLevel::SamePod as usize],
+            cross_pod: by_level[ProximityLevel::CrossPod as usize],
+            uplinks,
+            pod_uplinks: pod_load,
+        }
+    }
+}
+
+impl FromIterator<Flow> for TrafficMatrix {
+    fn from_iter<I: IntoIterator<Item = Flow>>(iter: I) -> Self {
+        TrafficMatrix {
+            flows: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Flow> for TrafficMatrix {
+    fn extend<I: IntoIterator<Item = Flow>>(&mut self, iter: I) {
+        self.flows.extend(iter);
+    }
+}
+
+/// Load versus capacity on one rack's ToR up-link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UplinkLoad {
+    /// The rack whose up-link this is.
+    pub rack: RackId,
+    /// Traffic crossing this up-link (in either direction).
+    pub load: Bandwidth,
+    /// The up-link's capacity under the configured oversubscription.
+    pub capacity: Bandwidth,
+}
+
+impl UplinkLoad {
+    /// Load as a fraction of capacity (may exceed 1.0 when saturated).
+    pub fn utilization(&self) -> f64 {
+        self.load.fraction_of(self.capacity)
+    }
+}
+
+/// How a traffic matrix decomposes over the datacenter hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BisectionReport {
+    /// Traffic between VMs on the same server (never touches the network).
+    pub intra_server: Bandwidth,
+    /// Traffic between servers under the same ToR.
+    pub intra_rack: Bandwidth,
+    /// Traffic between racks within one pod (crosses ToR up-links).
+    pub cross_rack: Bandwidth,
+    /// Traffic between pods (crosses ToR up-links and the core).
+    pub cross_pod: Bandwidth,
+    /// Per-rack ToR up-link loads.
+    pub uplinks: Vec<UplinkLoad>,
+    /// Per-pod aggregation-to-core up-link loads (cross-pod traffic only),
+    /// indexed by pod.
+    pub pod_uplinks: Vec<Bandwidth>,
+}
+
+impl BisectionReport {
+    /// Total traffic in the matrix.
+    pub fn total(&self) -> Bandwidth {
+        self.intra_server + self.intra_rack + self.cross_rack + self.cross_pod
+    }
+
+    /// Traffic that crosses at least one ToR up-link — the bi-section
+    /// bandwidth consumption Figures 7–8 minimize.
+    pub fn bisection_traffic(&self) -> Bandwidth {
+        self.cross_rack + self.cross_pod
+    }
+
+    /// Bi-section traffic as a fraction of all traffic (0 when idle).
+    pub fn bisection_fraction(&self) -> f64 {
+        self.bisection_traffic().fraction_of(self.total())
+    }
+
+    /// The most utilized up-link, or `None` for an empty topology.
+    pub fn max_uplink(&self) -> Option<&UplinkLoad> {
+        self.uplinks
+            .iter()
+            .max_by(|a, b| a.utilization().total_cmp(&b.utilization()))
+    }
+
+    /// Mean up-link utilization over all racks.
+    pub fn mean_uplink_utilization(&self) -> f64 {
+        if self.uplinks.is_empty() {
+            return 0.0;
+        }
+        self.uplinks.iter().map(|u| u.utilization()).sum::<f64>() / self.uplinks.len() as f64
+    }
+
+    /// Number of up-links carrying more load than their capacity.
+    pub fn saturated_uplinks(&self) -> usize {
+        self.uplinks
+            .iter()
+            .filter(|u| u.utilization() > 1.0)
+            .count()
+    }
+
+    /// The heaviest-loaded pod up-link, if any pod carries core traffic.
+    pub fn max_pod_uplink(&self) -> Option<Bandwidth> {
+        self.pod_uplinks
+            .iter()
+            .copied()
+            .max_by(|a, b| a.as_mbps().total_cmp(&b.as_mbps()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        // 2 pods × 2 racks × 2 servers: servers 0-1 rack0, 2-3 rack1 (pod0),
+        // 4-5 rack2, 6-7 rack3 (pod1).
+        Topology::builder()
+            .pods(2)
+            .racks_per_pod(2)
+            .servers_per_rack(2)
+            .build()
+    }
+
+    #[test]
+    fn classifies_flows_by_level() {
+        let t = topo();
+        let mut tm = TrafficMatrix::new();
+        tm.add_flow(t.server(0), t.server(0), Bandwidth::from_mbps(10.0));
+        tm.add_flow(t.server(0), t.server(1), Bandwidth::from_mbps(20.0));
+        tm.add_flow(t.server(0), t.server(2), Bandwidth::from_mbps(30.0));
+        tm.add_flow(t.server(0), t.server(6), Bandwidth::from_mbps(40.0));
+        let r = tm.bisection_report(&t);
+        assert_eq!(r.intra_server.as_mbps(), 10.0);
+        assert_eq!(r.intra_rack.as_mbps(), 20.0);
+        assert_eq!(r.cross_rack.as_mbps(), 30.0);
+        assert_eq!(r.cross_pod.as_mbps(), 40.0);
+        assert_eq!(r.total().as_mbps(), 100.0);
+        assert_eq!(r.bisection_traffic().as_mbps(), 70.0);
+        assert!((r.bisection_fraction() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uplink_loads_count_both_ends() {
+        let t = topo();
+        let mut tm = TrafficMatrix::new();
+        tm.add_flow(t.server(0), t.server(6), Bandwidth::from_mbps(100.0));
+        let r = tm.bisection_report(&t);
+        // rack0 (src) and rack3 (dst) each carry the flow; racks 1-2 idle.
+        assert_eq!(r.uplinks[0].load.as_mbps(), 100.0);
+        assert_eq!(r.uplinks[1].load.as_mbps(), 0.0);
+        assert_eq!(r.uplinks[2].load.as_mbps(), 0.0);
+        assert_eq!(r.uplinks[3].load.as_mbps(), 100.0);
+        // Uplink capacity: 2 servers × 1000 Mbps / 8 = 250 Mbps.
+        assert_eq!(r.uplinks[0].capacity.as_mbps(), 250.0);
+        assert!((r.uplinks[0].utilization() - 0.4).abs() < 1e-12);
+        let max = r.max_uplink().unwrap();
+        assert!([0, 3].contains(&max.rack.index())); // both carry the flow
+
+        assert_eq!(r.saturated_uplinks(), 0);
+    }
+
+    #[test]
+    fn saturation_detected() {
+        let t = topo();
+        let mut tm = TrafficMatrix::new();
+        tm.add_flow(t.server(0), t.server(6), Bandwidth::from_mbps(300.0));
+        let r = tm.bisection_report(&t);
+        assert_eq!(r.saturated_uplinks(), 2);
+        assert!(r.max_uplink().unwrap().utilization() > 1.0);
+    }
+
+    #[test]
+    fn intra_rack_spares_uplinks() {
+        let t = topo();
+        let mut tm = TrafficMatrix::new();
+        tm.add_flow(t.server(0), t.server(1), Bandwidth::from_mbps(500.0));
+        let r = tm.bisection_report(&t);
+        assert!(r.uplinks.iter().all(|u| u.load.is_zero()));
+        assert_eq!(r.bisection_fraction(), 0.0);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let t = topo();
+        let mut tm: TrafficMatrix = vec![Flow {
+            src: t.server(0),
+            dst: t.server(1),
+            rate: Bandwidth::from_mbps(5.0),
+        }]
+        .into_iter()
+        .collect();
+        tm.extend([Flow {
+            src: t.server(2),
+            dst: t.server(3),
+            rate: Bandwidth::from_mbps(5.0),
+        }]);
+        assert_eq!(tm.len(), 2);
+        assert!(!tm.is_empty());
+        assert_eq!(tm.total().as_mbps(), 10.0);
+    }
+
+    #[test]
+    fn empty_matrix_report() {
+        let t = topo();
+        let r = TrafficMatrix::new().bisection_report(&t);
+        assert_eq!(r.total(), Bandwidth::ZERO);
+        assert_eq!(r.bisection_fraction(), 0.0);
+        assert_eq!(r.mean_uplink_utilization(), 0.0);
+        assert_eq!(r.max_pod_uplink(), Some(Bandwidth::ZERO));
+    }
+
+    #[test]
+    fn pod_uplinks_count_only_cross_pod_traffic() {
+        let t = topo();
+        let mut tm = TrafficMatrix::new();
+        // Cross-rack within pod 0: no pod uplink load.
+        tm.add_flow(t.server(0), t.server(2), Bandwidth::from_mbps(100.0));
+        // Cross-pod: both pods loaded.
+        tm.add_flow(t.server(0), t.server(6), Bandwidth::from_mbps(40.0));
+        let r = tm.bisection_report(&t);
+        assert_eq!(r.pod_uplinks.len(), 2);
+        assert_eq!(r.pod_uplinks[0].as_mbps(), 40.0);
+        assert_eq!(r.pod_uplinks[1].as_mbps(), 40.0);
+        assert_eq!(r.max_pod_uplink(), Some(Bandwidth::from_mbps(40.0)));
+    }
+}

@@ -1,0 +1,146 @@
+//! Wire messages of the Pastry overlay.
+
+use vbundle_sim::{Message, MsgCategory};
+
+use crate::{Key, NodeHandle};
+
+/// A message being routed toward `key` through the overlay.
+#[derive(Debug, Clone)]
+pub struct RouteEnvelope<M> {
+    /// Destination key; delivery happens at the live node numerically
+    /// closest to it.
+    pub key: Key,
+    /// The application payload.
+    pub payload: M,
+    /// Hops taken so far (loop guard; see
+    /// [`PastryConfig::max_hops`](crate::PastryConfig::max_hops)).
+    pub hops: u32,
+    /// The node that first injected the message.
+    pub origin: NodeHandle,
+}
+
+/// Everything that travels between Pastry nodes. `M` is the application
+/// payload type (for v-Bundle: Scribe messages).
+#[derive(Debug, Clone)]
+pub enum PastryMsg<M> {
+    /// A routed application message.
+    Route(RouteEnvelope<M>),
+    /// A direct (un-routed) application message between known nodes.
+    Direct {
+        /// Sending node.
+        from: NodeHandle,
+        /// The payload.
+        msg: M,
+    },
+    /// A newcomer's join request, routed toward its own id.
+    Join {
+        /// The joining node.
+        newcomer: NodeHandle,
+        /// Hops taken so far.
+        hops: u32,
+    },
+    /// Routing state transferred to a joining node.
+    JoinState {
+        /// The contributing node.
+        from: NodeHandle,
+        /// Handles the newcomer should learn (routing rows, neighbor set,
+        /// and — from the numerically closest node — the leaf set).
+        contacts: Vec<NodeHandle>,
+        /// True when sent by the node numerically closest to the newcomer,
+        /// which completes the join.
+        is_destination: bool,
+    },
+    /// A (newly joined) node announcing itself.
+    Announce(NodeHandle),
+    /// Leaf-set liveness probe.
+    Heartbeat(NodeHandle),
+    /// Reply to a [`PastryMsg::Heartbeat`].
+    HeartbeatAck(NodeHandle),
+    /// Request for the receiver's leaf set (repair).
+    LeafSetRequest(NodeHandle),
+    /// The requested leaf set, including the sender itself.
+    LeafSetReply(Vec<NodeHandle>),
+    /// Graceful departure announcement: receivers evict the sender
+    /// immediately instead of waiting for failure detection.
+    Depart(NodeHandle),
+    /// Routing-table maintenance: request one row of the receiver's table.
+    RowRequest {
+        /// The asking node.
+        from: NodeHandle,
+        /// The row index wanted.
+        row: u8,
+    },
+    /// The requested routing-table row (plus the sender itself).
+    RowReply(Vec<NodeHandle>),
+}
+
+const HANDLE_BYTES: usize = 20; // 16-byte id + 4-byte address
+
+impl<M: Message> Message for PastryMsg<M> {
+    fn wire_size(&self) -> usize {
+        match self {
+            PastryMsg::Route(env) => 8 + HANDLE_BYTES + 16 + env.payload.wire_size(),
+            PastryMsg::Direct { msg, .. } => 4 + HANDLE_BYTES + msg.wire_size(),
+            PastryMsg::Join { .. } => 8 + HANDLE_BYTES,
+            PastryMsg::JoinState { contacts, .. } => 8 + HANDLE_BYTES * (contacts.len() + 1),
+            PastryMsg::Announce(_)
+            | PastryMsg::Heartbeat(_)
+            | PastryMsg::HeartbeatAck(_)
+            | PastryMsg::LeafSetRequest(_)
+            | PastryMsg::Depart(_) => 4 + HANDLE_BYTES,
+            PastryMsg::RowRequest { .. } => 5 + HANDLE_BYTES,
+            PastryMsg::LeafSetReply(v) | PastryMsg::RowReply(v) => 4 + HANDLE_BYTES * v.len(),
+        }
+    }
+
+    fn category(&self) -> MsgCategory {
+        match self {
+            PastryMsg::Route(env) => env.payload.category(),
+            PastryMsg::Direct { msg, .. } => msg.category(),
+            _ => MsgCategory::Maintenance,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Id;
+    use vbundle_sim::ActorId;
+
+    #[derive(Debug, Clone)]
+    struct Payload;
+    impl Message for Payload {
+        fn wire_size(&self) -> usize {
+            100
+        }
+        fn category(&self) -> MsgCategory {
+            MsgCategory::Payload
+        }
+    }
+
+    fn handle() -> NodeHandle {
+        NodeHandle::new(Id::from_u128(1), ActorId::new(0))
+    }
+
+    #[test]
+    fn route_size_includes_payload() {
+        let msg: PastryMsg<Payload> = PastryMsg::Route(RouteEnvelope {
+            key: Id::from_u128(2),
+            payload: Payload,
+            hops: 0,
+            origin: handle(),
+        });
+        assert_eq!(msg.wire_size(), 8 + 20 + 16 + 100);
+        assert_eq!(msg.category(), MsgCategory::Payload);
+    }
+
+    #[test]
+    fn maintenance_messages_categorized() {
+        let msg: PastryMsg<Payload> = PastryMsg::Heartbeat(handle());
+        assert_eq!(msg.category(), MsgCategory::Maintenance);
+        let msg: PastryMsg<Payload> = PastryMsg::LeafSetReply(vec![handle(), handle()]);
+        assert_eq!(msg.wire_size(), 4 + 40);
+        assert_eq!(msg.category(), MsgCategory::Maintenance);
+    }
+}

@@ -1,0 +1,569 @@
+//! The Pastry node actor and the application upcall interface.
+
+use std::collections::HashMap;
+
+use vbundle_sim::{
+    Actor, ActorId, Context as SimContext, Message, SimDuration, SimTime,
+};
+
+use crate::message::{PastryMsg, RouteEnvelope};
+use crate::state::{PastryState, RouteDecision};
+use crate::{Key, NodeHandle, PastryConfig};
+
+/// Timer tags at or above this value are reserved for Pastry's own use;
+/// applications must schedule with smaller tags.
+pub const PASTRY_TAG_BASE: u64 = 1 << 63;
+
+const HEARTBEAT_TAG: u64 = PASTRY_TAG_BASE;
+const MAINTENANCE_TAG: u64 = PASTRY_TAG_BASE + 1;
+
+/// An application layered over a Pastry node (for v-Bundle: Scribe).
+///
+/// The upcall set mirrors the published Pastry API: `deliver` fires at the
+/// key's root, `forward` fires at every intermediate node (and may consume
+/// or rewrite the message — Scribe builds its trees in exactly this hook).
+pub trait PastryApp: Sized {
+    /// The application's message type, carried opaquely by the overlay.
+    type Msg: Message + Clone;
+
+    /// The node started (state may still be empty if the node is joining).
+    fn on_start(&mut self, ctx: &mut AppCtx<'_, '_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// The node completed a protocol join. (Nodes created with pre-built
+    /// state are born joined and never receive this.)
+    fn on_joined(&mut self, ctx: &mut AppCtx<'_, '_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// A routed message reached the node responsible for `key`.
+    fn deliver(
+        &mut self,
+        ctx: &mut AppCtx<'_, '_, Self::Msg>,
+        key: Key,
+        msg: Self::Msg,
+        origin: NodeHandle,
+    );
+
+    /// A routed message is about to be forwarded to `next`. Return
+    /// `Some(msg)` (possibly rewritten) to let it continue, or `None` to
+    /// consume it here.
+    fn forward(
+        &mut self,
+        ctx: &mut AppCtx<'_, '_, Self::Msg>,
+        key: Key,
+        msg: Self::Msg,
+        next: NodeHandle,
+    ) -> Option<Self::Msg> {
+        let _ = (ctx, key, &next);
+        Some(msg)
+    }
+
+    /// A direct (un-routed) message from a peer application.
+    fn on_direct(&mut self, ctx: &mut AppCtx<'_, '_, Self::Msg>, from: NodeHandle, msg: Self::Msg) {
+        let _ = (ctx, from, msg);
+    }
+
+    /// An application timer (scheduled with [`AppCtx::schedule`]) fired.
+    fn on_timer(&mut self, ctx: &mut AppCtx<'_, '_, Self::Msg>, tag: u64) {
+        let _ = (ctx, tag);
+    }
+
+    /// The overlay declared `failed` dead (missed heartbeats or bounced
+    /// sends). The application should drop any state referencing it.
+    fn on_node_failed(&mut self, ctx: &mut AppCtx<'_, '_, Self::Msg>, failed: NodeHandle) {
+        let _ = (ctx, failed);
+    }
+
+    /// A direct application message could not be delivered because the
+    /// target actor failed.
+    fn on_send_failure(&mut self, ctx: &mut AppCtx<'_, '_, Self::Msg>, to: ActorId, msg: Self::Msg) {
+        let _ = (ctx, to, msg);
+    }
+}
+
+/// Capabilities handed to [`PastryApp`] upcalls: routing, direct sends,
+/// timers and read access to the local routing state.
+pub struct AppCtx<'a, 'b, M: Message + Clone> {
+    sim: &'a mut SimContext<'b, PastryMsg<M>>,
+    state: &'a PastryState,
+}
+
+impl<'a, 'b, M: Message + Clone> AppCtx<'a, 'b, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The engine's deterministic RNG.
+    pub fn rng(&mut self) -> &mut rand::rngs::StdRng {
+        self.sim.rng()
+    }
+
+    /// The local node's handle.
+    pub fn self_handle(&self) -> NodeHandle {
+        self.state.handle()
+    }
+
+    /// Read access to the local Pastry state (leaf set, routing table,
+    /// neighbor set).
+    pub fn state(&self) -> &PastryState {
+        self.state
+    }
+
+    /// Physical proximity to another node (smaller = closer).
+    pub fn proximity(&self, h: &NodeHandle) -> u32 {
+        self.state.proximity(h.actor)
+    }
+
+    /// Routes `msg` toward `key` through the overlay, starting at the
+    /// local node. Processing begins after a loopback delay, exactly as if
+    /// the node had routed a received message.
+    pub fn route(&mut self, key: Key, msg: M) {
+        let env = RouteEnvelope {
+            key,
+            payload: msg,
+            hops: 0,
+            origin: self.state.handle(),
+        };
+        let me = self.state.handle().actor;
+        self.sim.send(me, PastryMsg::Route(env));
+    }
+
+    /// Sends `msg` directly to a known node, bypassing routing.
+    pub fn send_direct(&mut self, to: NodeHandle, msg: M) {
+        self.send_direct_after(to, msg, SimDuration::ZERO);
+    }
+
+    /// Sends `msg` directly to a known node after an extra local delay
+    /// (modelling per-node processing time) on top of network latency.
+    pub fn send_direct_after(&mut self, to: NodeHandle, msg: M, extra: SimDuration) {
+        let from = self.state.handle();
+        self.sim
+            .send_after(to.actor, PastryMsg::Direct { from, msg }, extra);
+    }
+
+    /// Arms an application timer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` collides with the reserved Pastry tag space
+    /// (`tag >= PASTRY_TAG_BASE`).
+    pub fn schedule(&mut self, delay: SimDuration, tag: u64) {
+        assert!(tag < PASTRY_TAG_BASE, "timer tag collides with Pastry");
+        self.sim.schedule(delay, tag);
+    }
+}
+
+/// A Pastry overlay node hosting an application of type `A`.
+///
+/// Implements [`Actor`] for the simulation engine; see
+/// [`overlay::launch`](crate::overlay::launch) for assembling a whole
+/// overlay.
+pub struct PastryNode<A: PastryApp> {
+    state: PastryState,
+    app: A,
+    config: PastryConfig,
+    joined: bool,
+    bootstrap: Option<ActorId>,
+    last_ack: HashMap<u128, SimTime>,
+}
+
+impl<A: PastryApp> PastryNode<A> {
+    /// Creates a node with pre-built routing state (the paper's
+    /// "centralized certificate authority" mode, §II.B): the node is born
+    /// joined.
+    pub fn with_state(state: PastryState, app: A, config: PastryConfig) -> Self {
+        PastryNode {
+            state,
+            app,
+            config,
+            joined: true,
+            bootstrap: None,
+            last_ack: HashMap::new(),
+        }
+    }
+
+    /// Creates a node with empty state that will join through `bootstrap`
+    /// (a physically nearby, already-joined node) when started.
+    pub fn joining(state: PastryState, bootstrap: ActorId, app: A, config: PastryConfig) -> Self {
+        PastryNode {
+            state,
+            app,
+            config,
+            joined: false,
+            bootstrap: Some(bootstrap),
+            last_ack: HashMap::new(),
+        }
+    }
+
+    /// The node's routing state.
+    pub fn state(&self) -> &PastryState {
+        &self.state
+    }
+
+    /// The hosted application.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Mutable access to the hosted application. Prefer
+    /// [`PastryNode::app_call`] when the application needs to send
+    /// messages.
+    pub fn app_mut(&mut self) -> &mut A {
+        &mut self.app
+    }
+
+    /// Whether the node has completed its join.
+    pub fn is_joined(&self) -> bool {
+        self.joined
+    }
+
+    /// Announces this node's graceful departure to every peer it knows:
+    /// they evict it immediately instead of waiting for failure
+    /// detection. Call right before failing the actor.
+    pub fn announce_departure(&mut self, ctx: &mut SimContext<'_, PastryMsg<A::Msg>>) {
+        let me = self.state.handle();
+        for peer in self.state.known_nodes() {
+            ctx.send(peer.actor, PastryMsg::Depart(me));
+        }
+    }
+
+    /// Runs `f` against the application with a full [`AppCtx`] — the
+    /// harness entry point for injecting work (e.g. "boot this VM").
+    pub fn app_call<R>(
+        &mut self,
+        ctx: &mut SimContext<'_, PastryMsg<A::Msg>>,
+        f: impl FnOnce(&mut A, &mut AppCtx<'_, '_, A::Msg>) -> R,
+    ) -> R {
+        let mut app_ctx = AppCtx {
+            sim: ctx,
+            state: &self.state,
+        };
+        f(&mut self.app, &mut app_ctx)
+    }
+
+    fn handle_route(
+        &mut self,
+        ctx: &mut SimContext<'_, PastryMsg<A::Msg>>,
+        mut env: RouteEnvelope<A::Msg>,
+    ) {
+        env.hops += 1;
+        self.state.learn(env.origin);
+        let decision = if env.hops > self.config.max_hops {
+            RouteDecision::DeliverHere
+        } else {
+            self.state.route_decision(env.key)
+        };
+        match decision {
+            RouteDecision::DeliverHere => {
+                let mut app_ctx = AppCtx {
+                    sim: ctx,
+                    state: &self.state,
+                };
+                self.app.deliver(&mut app_ctx, env.key, env.payload, env.origin);
+            }
+            RouteDecision::Forward(next) => {
+                let mut app_ctx = AppCtx {
+                    sim: ctx,
+                    state: &self.state,
+                };
+                if let Some(payload) = self.app.forward(&mut app_ctx, env.key, env.payload, next) {
+                    env.payload = payload;
+                    ctx.send(next.actor, PastryMsg::Route(env));
+                }
+            }
+        }
+    }
+
+    fn handle_join(
+        &mut self,
+        ctx: &mut SimContext<'_, PastryMsg<A::Msg>>,
+        newcomer: NodeHandle,
+        hops: u32,
+    ) {
+        // Decide before learning the newcomer, or we would route to it.
+        let decision = if hops >= self.config.max_hops {
+            RouteDecision::DeliverHere
+        } else {
+            self.state.route_decision(newcomer.id)
+        };
+        let is_destination = matches!(decision, RouteDecision::DeliverHere)
+            || matches!(decision, RouteDecision::Forward(h) if h.id == newcomer.id);
+        // Contribute the routing rows the newcomer shares with us, plus our
+        // neighbor set (physical locality) and, at the destination, our
+        // leaf set (numeric locality).
+        let mut contacts: Vec<NodeHandle> = Vec::new();
+        let shared = self.state.id().shared_prefix_len(newcomer.id);
+        for row in 0..=shared.min(crate::id::NUM_DIGITS - 1) {
+            contacts.extend(self.state.routing_table().row(row));
+        }
+        contacts.extend(self.state.neighbor_set().members());
+        if is_destination {
+            contacts.extend(self.state.leaf_set().members());
+        }
+        contacts.retain(|c| c.id != newcomer.id);
+        contacts.dedup_by_key(|c| c.id);
+        ctx.send(
+            newcomer.actor,
+            PastryMsg::JoinState {
+                from: self.state.handle(),
+                contacts,
+                is_destination,
+            },
+        );
+        self.state.learn(newcomer);
+        if let RouteDecision::Forward(next) = decision {
+            if next.id != newcomer.id {
+                ctx.send(
+                    next.actor,
+                    PastryMsg::Join {
+                        newcomer,
+                        hops: hops + 1,
+                    },
+                );
+            }
+        }
+    }
+
+    fn complete_join(&mut self, ctx: &mut SimContext<'_, PastryMsg<A::Msg>>) {
+        if self.joined {
+            return;
+        }
+        self.joined = true;
+        let me = self.state.handle();
+        for peer in self.state.known_nodes() {
+            ctx.send(peer.actor, PastryMsg::Announce(me));
+        }
+        let mut app_ctx = AppCtx {
+            sim: ctx,
+            state: &self.state,
+        };
+        self.app.on_joined(&mut app_ctx);
+    }
+
+    fn fail_node(&mut self, ctx: &mut SimContext<'_, PastryMsg<A::Msg>>, failed: NodeHandle) {
+        if !self.state.forget(failed.id) {
+            return;
+        }
+        self.last_ack.remove(&failed.id.as_u128());
+        // Leaf-set repair: pull the leaf sets of the surviving extremes.
+        let me = self.state.handle();
+        for extreme in [
+            self.state.leaf_set().cw_extreme(),
+            self.state.leaf_set().ccw_extreme(),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            ctx.send(extreme.actor, PastryMsg::LeafSetRequest(me));
+        }
+        let mut app_ctx = AppCtx {
+            sim: ctx,
+            state: &self.state,
+        };
+        self.app.on_node_failed(&mut app_ctx, failed);
+    }
+
+    /// One routing-table maintenance round: ask a random known peer for
+    /// the routing-table row corresponding to our shared prefix (the row
+    /// most useful to us), as in Pastry's published maintenance task.
+    fn maintenance_round(&mut self, ctx: &mut SimContext<'_, PastryMsg<A::Msg>>) {
+        let Some(interval) = self.config.maintenance else {
+            return;
+        };
+        let known = self.state.known_nodes();
+        if !known.is_empty() {
+            use rand::Rng;
+            let peer = known[ctx.rng().gen_range(0..known.len())];
+            let row = self.state.id().shared_prefix_len(peer.id) as u8;
+            let me = self.state.handle();
+            ctx.send(peer.actor, PastryMsg::RowRequest { from: me, row });
+        }
+        ctx.schedule(interval, MAINTENANCE_TAG);
+    }
+
+    fn heartbeat_round(&mut self, ctx: &mut SimContext<'_, PastryMsg<A::Msg>>) {
+        let Some(interval) = self.config.heartbeat else {
+            return;
+        };
+        let now = ctx.now();
+        let deadline = interval * self.config.failure_multiplier as u64;
+        let mut dead = Vec::new();
+        let me = self.state.handle();
+        for member in self.state.leaf_set().members() {
+            let seen = *self.last_ack.entry(member.id.as_u128()).or_insert(now);
+            if now.saturating_since(seen) > deadline {
+                dead.push(member);
+            } else {
+                ctx.send(member.actor, PastryMsg::Heartbeat(me));
+            }
+        }
+        for d in dead {
+            self.fail_node(ctx, d);
+        }
+        ctx.schedule(interval, HEARTBEAT_TAG);
+    }
+}
+
+impl<A: PastryApp> Actor<PastryMsg<A::Msg>> for PastryNode<A> {
+    fn on_start(&mut self, ctx: &mut SimContext<'_, PastryMsg<A::Msg>>) {
+        if let Some(interval) = self.config.heartbeat {
+            ctx.schedule(interval, HEARTBEAT_TAG);
+        }
+        if let Some(interval) = self.config.maintenance {
+            ctx.schedule(interval, MAINTENANCE_TAG);
+        }
+        if let Some(bootstrap) = self.bootstrap {
+            ctx.send(
+                bootstrap,
+                PastryMsg::Join {
+                    newcomer: self.state.handle(),
+                    hops: 0,
+                },
+            );
+        }
+        let mut app_ctx = AppCtx {
+            sim: ctx,
+            state: &self.state,
+        };
+        self.app.on_start(&mut app_ctx);
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut SimContext<'_, PastryMsg<A::Msg>>,
+        _from: ActorId,
+        msg: PastryMsg<A::Msg>,
+    ) {
+        match msg {
+            PastryMsg::Route(env) => self.handle_route(ctx, env),
+            PastryMsg::Direct { from, msg } => {
+                self.state.learn(from);
+                let mut app_ctx = AppCtx {
+                    sim: ctx,
+                    state: &self.state,
+                };
+                self.app.on_direct(&mut app_ctx, from, msg);
+            }
+            PastryMsg::Join { newcomer, hops } => self.handle_join(ctx, newcomer, hops),
+            PastryMsg::JoinState {
+                from,
+                contacts,
+                is_destination,
+            } => {
+                self.state.learn(from);
+                for c in contacts {
+                    self.state.learn(c);
+                }
+                if is_destination {
+                    self.complete_join(ctx);
+                }
+            }
+            PastryMsg::Announce(h) => {
+                self.state.learn(h);
+            }
+            PastryMsg::Heartbeat(h) => {
+                self.state.learn(h);
+                let me = self.state.handle();
+                ctx.send(h.actor, PastryMsg::HeartbeatAck(me));
+            }
+            PastryMsg::HeartbeatAck(h) => {
+                self.last_ack.insert(h.id.as_u128(), ctx.now());
+            }
+            PastryMsg::LeafSetRequest(h) => {
+                self.state.learn(h);
+                let mut reply = self.state.leaf_set().members();
+                reply.push(self.state.handle());
+                ctx.send(h.actor, PastryMsg::LeafSetReply(reply));
+            }
+            PastryMsg::LeafSetReply(contacts) => {
+                for c in contacts {
+                    self.state.learn(c);
+                }
+            }
+            PastryMsg::Depart(h) => {
+                // A graceful goodbye: evict immediately and repair.
+                self.fail_node(ctx, h);
+            }
+            PastryMsg::RowRequest { from, row } => {
+                self.state.learn(from);
+                let mut reply = self.state.routing_table().row(row as usize);
+                reply.push(self.state.handle());
+                ctx.send(from.actor, PastryMsg::RowReply(reply));
+            }
+            PastryMsg::RowReply(contacts) => {
+                for c in contacts {
+                    self.state.learn(c);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut SimContext<'_, PastryMsg<A::Msg>>, tag: u64) {
+        if tag >= PASTRY_TAG_BASE {
+            if tag == HEARTBEAT_TAG {
+                self.heartbeat_round(ctx);
+            } else if tag == MAINTENANCE_TAG {
+                self.maintenance_round(ctx);
+            }
+        } else {
+            let mut app_ctx = AppCtx {
+                sim: ctx,
+                state: &self.state,
+            };
+            self.app.on_timer(&mut app_ctx, tag);
+        }
+    }
+
+    fn on_delivery_failure(
+        &mut self,
+        ctx: &mut SimContext<'_, PastryMsg<A::Msg>>,
+        to: ActorId,
+        msg: PastryMsg<A::Msg>,
+    ) {
+        // One node per actor: evict whatever we knew at that address.
+        let dead: Vec<NodeHandle> = self
+            .state
+            .known_nodes()
+            .into_iter()
+            .filter(|h| h.actor == to)
+            .collect();
+        for d in dead {
+            self.fail_node(ctx, d);
+        }
+        match msg {
+            // Retry the payload along a (now repaired) alternative path.
+            PastryMsg::Route(env) => self.handle_route(ctx, env),
+            PastryMsg::Join { newcomer, hops } => {
+                if newcomer.id != self.state.id() {
+                    self.handle_join(ctx, newcomer, hops);
+                } else if let Some(bootstrap) = self.bootstrap {
+                    // Our own join bounced off a dead bootstrap; retry.
+                    if bootstrap != to {
+                        ctx.send(bootstrap, PastryMsg::Join { newcomer, hops: 0 });
+                    }
+                }
+            }
+            PastryMsg::Direct { msg, .. } => {
+                let mut app_ctx = AppCtx {
+                    sim: ctx,
+                    state: &self.state,
+                };
+                self.app.on_send_failure(&mut app_ctx, to, msg);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl<A: PastryApp> std::fmt::Debug for PastryNode<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PastryNode")
+            .field("id", &self.state.id())
+            .field("joined", &self.joined)
+            .field("known", &self.state.known_nodes().len())
+            .finish()
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the 128-bit identifier space: the algebra the
+//! routing correctness proofs lean on.
+
+use proptest::prelude::*;
+use vbundle_pastry::id::{BITS_PER_DIGIT, DIGIT_BASE, NUM_DIGITS};
+use vbundle_pastry::Id;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Digits reconstruct the id (MSB-first, base 16).
+    #[test]
+    fn digits_reconstruct_id(v in any::<u128>()) {
+        let id = Id::from_u128(v);
+        let mut rebuilt: u128 = 0;
+        for i in 0..NUM_DIGITS {
+            let d = id.digit(i);
+            prop_assert!(d < DIGIT_BASE);
+            rebuilt = (rebuilt << BITS_PER_DIGIT) | d as u128;
+        }
+        prop_assert_eq!(rebuilt, v);
+    }
+
+    /// Shared prefix length is symmetric, maximal iff equal, and equals
+    /// the number of leading digits that agree.
+    #[test]
+    fn shared_prefix_properties(a in any::<u128>(), b in any::<u128>()) {
+        let (x, y) = (Id::from_u128(a), Id::from_u128(b));
+        let p = x.shared_prefix_len(y);
+        prop_assert_eq!(p, y.shared_prefix_len(x));
+        if a == b {
+            prop_assert_eq!(p, NUM_DIGITS);
+        } else {
+            prop_assert!(p < NUM_DIGITS);
+            for i in 0..p {
+                prop_assert_eq!(x.digit(i), y.digit(i));
+            }
+            prop_assert_ne!(x.digit(p), y.digit(p));
+        }
+    }
+
+    /// Ring distance is a metric on the circle: symmetric, zero iff
+    /// equal, bounded by half the ring, and satisfies the triangle
+    /// inequality.
+    #[test]
+    fn ring_distance_is_metric(a in any::<u128>(), b in any::<u128>(), c in any::<u128>()) {
+        let (x, y, z) = (Id::from_u128(a), Id::from_u128(b), Id::from_u128(c));
+        prop_assert_eq!(x.ring_distance(y), y.ring_distance(x));
+        prop_assert_eq!(x.ring_distance(x), 0);
+        if a != b {
+            prop_assert!(x.ring_distance(y) > 0);
+        }
+        prop_assert!(x.ring_distance(y) <= u128::MAX / 2 + 1);
+        // Triangle inequality (saturating to avoid overflow in the sum).
+        let direct = x.ring_distance(z);
+        let via = x.ring_distance(y).saturating_add(y.ring_distance(z));
+        prop_assert!(direct <= via);
+    }
+
+    /// Clockwise distances around the ring sum to zero (mod 2^128).
+    #[test]
+    fn cw_distances_cancel(a in any::<u128>(), b in any::<u128>()) {
+        let (x, y) = (Id::from_u128(a), Id::from_u128(b));
+        prop_assert_eq!(x.cw_distance(y).wrapping_add(y.cw_distance(x)), 0);
+    }
+
+    /// `closer_of` returns one of its arguments, is commutative, and
+    /// picks a non-farther one.
+    #[test]
+    fn closer_of_sound(k in any::<u128>(), a in any::<u128>(), b in any::<u128>()) {
+        let (key, x, y) = (Id::from_u128(k), Id::from_u128(a), Id::from_u128(b));
+        let c = key.closer_of(x, y);
+        prop_assert!(c == x || c == y);
+        prop_assert_eq!(c, key.closer_of(y, x));
+        prop_assert!(key.ring_distance(c) <= key.ring_distance(x));
+        prop_assert!(key.ring_distance(c) <= key.ring_distance(y));
+    }
+
+    /// Arc membership: any point is either on the arc from a to b or on
+    /// the arc from b to a (or is an endpoint), never neither.
+    #[test]
+    fn arcs_cover_the_ring(a in any::<u128>(), b in any::<u128>(), p in any::<u128>()) {
+        prop_assume!(a != b);
+        let (x, y, q) = (Id::from_u128(a), Id::from_u128(b), Id::from_u128(p));
+        let on_xy = q.in_cw_arc(x, y);
+        let on_yx = q.in_cw_arc(y, x);
+        if p == a {
+            prop_assert!(!on_xy && on_yx);
+        } else if p == b {
+            prop_assert!(on_xy && !on_yx);
+        } else {
+            prop_assert!(on_xy ^ on_yx, "point must be on exactly one arc");
+        }
+    }
+
+    /// Name hashing is deterministic and case/content sensitive enough to
+    /// separate distinct names (no collisions observed over the space
+    /// proptest explores).
+    #[test]
+    fn name_hash_injective_in_practice(a in "[a-zA-Z0-9]{1,16}", b in "[a-zA-Z0-9]{1,16}") {
+        if a != b {
+            prop_assert_ne!(Id::from_name(&a), Id::from_name(&b));
+        } else {
+            prop_assert_eq!(Id::from_name(&a), Id::from_name(&b));
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Group identity and per-group tree state.
+
+use vbundle_pastry::{Id, NodeHandle};
+
+/// Identifies a Scribe group: a pseudo-random Pastry key, usually the hash
+/// of the group's textual name (optionally concatenated with its creator,
+/// as the paper describes).
+pub type GroupId = Id;
+
+/// Derives a group id from a textual name.
+///
+/// ```
+/// use vbundle_scribe::group_id;
+/// assert_eq!(group_id("BW_Demand"), group_id("BW_Demand"));
+/// assert_ne!(group_id("BW_Demand"), group_id("BW_Capacity"));
+/// ```
+pub fn group_id(name: &str) -> GroupId {
+    Id::from_name(name)
+}
+
+/// Derives a group id from a name and its creator, matching the paper's
+/// `hash(name ++ creator)` convention.
+pub fn group_id_with_creator(name: &str, creator: &str) -> GroupId {
+    Id::from_name(&format!("{name}\u{1f}{creator}"))
+}
+
+/// One node's state for one group tree.
+#[derive(Debug, Clone, Default)]
+pub struct GroupState {
+    /// The node's parent in the tree (`None` at the root or while joining).
+    pub parent: Option<NodeHandle>,
+    /// Children grafted below this node.
+    pub children: Vec<NodeHandle>,
+    /// Whether the local node subscribed to the group (vs. acting as a
+    /// pure forwarder on other members' join routes).
+    pub member: bool,
+    /// Whether the local node is the group's rendezvous root.
+    pub root: bool,
+    /// Root-only: sequence number of the next multicast published.
+    pub next_seq: u64,
+    /// Member-only: `(root id, seq)` of the last multicast delivered —
+    /// duplicates (e.g. after transient double-grafting during repair)
+    /// are suppressed; the window resets when the rendezvous root moves.
+    pub last_delivered: Option<(u128, u64)>,
+}
+
+impl GroupState {
+    /// True if the node participates in the tree at all.
+    pub fn in_tree(&self) -> bool {
+        self.member || self.root || self.parent.is_some() || !self.children.is_empty()
+    }
+
+    /// Adds `child` if not present. Returns `true` if added.
+    pub fn add_child(&mut self, child: NodeHandle) -> bool {
+        if self.children.iter().any(|c| c.id == child.id) {
+            false
+        } else {
+            self.children.push(child);
+            true
+        }
+    }
+
+    /// Removes `child`. Returns `true` if it was present.
+    pub fn remove_child(&mut self, id: Id) -> bool {
+        let before = self.children.len();
+        self.children.retain(|c| c.id != id);
+        before != self.children.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbundle_sim::ActorId;
+
+    fn h(v: u128) -> NodeHandle {
+        NodeHandle::new(Id::from_u128(v), ActorId::new(v as u32))
+    }
+
+    #[test]
+    fn group_ids_stable_and_distinct() {
+        assert_eq!(group_id("less-loaded"), group_id("less-loaded"));
+        assert_ne!(
+            group_id_with_creator("g", "alice"),
+            group_id_with_creator("g", "bob")
+        );
+        // Separator prevents ambiguity between (name, creator) splits.
+        assert_ne!(
+            group_id_with_creator("ab", "c"),
+            group_id_with_creator("a", "bc")
+        );
+    }
+
+    #[test]
+    fn children_are_a_set() {
+        let mut st = GroupState::default();
+        assert!(!st.in_tree());
+        assert!(st.add_child(h(1)));
+        assert!(!st.add_child(h(1)));
+        assert!(st.in_tree());
+        assert!(st.remove_child(Id::from_u128(1)));
+        assert!(!st.remove_child(Id::from_u128(1)));
+        assert!(!st.in_tree());
+    }
+
+    #[test]
+    fn membership_marks_in_tree() {
+        let st = GroupState {
+            member: true,
+            ..GroupState::default()
+        };
+        assert!(st.in_tree());
+        let st = GroupState {
+            root: true,
+            ..GroupState::default()
+        };
+        assert!(st.in_tree());
+    }
+}

@@ -1,0 +1,175 @@
+//! Wire messages of the Scribe layer (carried as Pastry payloads).
+
+use vbundle_pastry::NodeHandle;
+use vbundle_sim::{ActorId, Message, MsgCategory};
+
+use crate::GroupId;
+
+/// State of one anycast traversal: a depth-first search of the group tree
+/// (§III.A of the v-Bundle paper).
+#[derive(Debug, Clone)]
+pub struct AnycastEnvelope<M> {
+    /// The group being searched.
+    pub group: GroupId,
+    /// The application payload (e.g. a v-Bundle load-balance query).
+    pub payload: M,
+    /// The node that issued the anycast.
+    pub origin: NodeHandle,
+    /// Nodes the DFS has entered (parents skip these when descending).
+    pub visited: Vec<ActorId>,
+    /// Members that were offered the payload and declined. Tracked
+    /// separately from `visited`: a node may be *entered* (and descend into
+    /// a child that is closer to the origin) before its own membership is
+    /// offered on backtrack.
+    pub offered: Vec<ActorId>,
+    /// Remaining traversal budget; the search fails when it reaches zero.
+    pub ttl: u32,
+}
+
+/// Everything the Scribe layer sends. `M` is the client payload type.
+#[derive(Debug, Clone)]
+pub enum ScribeMsg<M> {
+    /// Routed toward the group id; grafts `child` onto the tree at the
+    /// first tree node the route meets.
+    Join {
+        /// The group being joined.
+        group: GroupId,
+        /// The node to graft (rewritten hop by hop).
+        child: NodeHandle,
+    },
+    /// Sent directly to the parent when an empty, non-member forwarder
+    /// prunes itself.
+    Leave {
+        /// The group being left.
+        group: GroupId,
+        /// The departing child.
+        child: NodeHandle,
+    },
+    /// A multicast payload routed toward the group's root.
+    Publish {
+        /// The target group.
+        group: GroupId,
+        /// The payload.
+        payload: M,
+    },
+    /// A multicast payload flowing down the tree (parent to child).
+    Disseminate {
+        /// The group.
+        group: GroupId,
+        /// The payload.
+        payload: M,
+        /// Loop guard.
+        ttl: u32,
+        /// Root-assigned sequence number (for duplicate suppression).
+        seq: u64,
+        /// The publishing root's id (sequence numbers are root-scoped).
+        root: u128,
+    },
+    /// An anycast routed toward the group (intercepted by the first tree
+    /// node on the route).
+    Anycast(AnycastEnvelope<M>),
+    /// One DFS step of an anycast, sent directly between tree nodes.
+    AnycastStep(AnycastEnvelope<M>),
+    /// Anycast exhausted the tree without an acceptor; returned to origin.
+    AnycastFail {
+        /// The group searched.
+        group: GroupId,
+        /// The original payload.
+        payload: M,
+    },
+    /// A direct client-to-client message.
+    Client(M),
+    /// Child → parent liveness probe; a dead parent bounces it (triggering
+    /// re-join), a parent that pruned its state answers [`ScribeMsg::ProbeNack`].
+    ParentProbe {
+        /// The group being probed.
+        group: GroupId,
+        /// The probing child.
+        child: NodeHandle,
+    },
+    /// Parent's answer to a probe for a group it no longer has state for.
+    ProbeNack {
+        /// The group.
+        group: GroupId,
+    },
+}
+
+const GROUP_BYTES: usize = 16;
+const HANDLE_BYTES: usize = 20;
+
+impl<M: Message> Message for ScribeMsg<M> {
+    fn wire_size(&self) -> usize {
+        match self {
+            ScribeMsg::Join { .. } | ScribeMsg::Leave { .. } => GROUP_BYTES + HANDLE_BYTES + 4,
+            ScribeMsg::Publish { payload, .. } => GROUP_BYTES + 4 + payload.wire_size(),
+            ScribeMsg::Disseminate { payload, .. } => GROUP_BYTES + 32 + payload.wire_size(),
+            ScribeMsg::Anycast(env) | ScribeMsg::AnycastStep(env) => {
+                GROUP_BYTES
+                    + HANDLE_BYTES
+                    + 8
+                    + 4 * (env.visited.len() + env.offered.len())
+                    + env.payload.wire_size()
+            }
+            ScribeMsg::AnycastFail { payload, .. } => GROUP_BYTES + 4 + payload.wire_size(),
+            ScribeMsg::Client(m) => 4 + m.wire_size(),
+            ScribeMsg::ParentProbe { .. } => GROUP_BYTES + HANDLE_BYTES + 4,
+            ScribeMsg::ProbeNack { .. } => GROUP_BYTES + 4,
+        }
+    }
+
+    fn category(&self) -> MsgCategory {
+        match self {
+            ScribeMsg::Join { .. }
+            | ScribeMsg::Leave { .. }
+            | ScribeMsg::ParentProbe { .. }
+            | ScribeMsg::ProbeNack { .. } => MsgCategory::Maintenance,
+            ScribeMsg::Publish { payload, .. }
+            | ScribeMsg::Disseminate { payload, .. }
+            | ScribeMsg::AnycastFail { payload, .. } => payload.category(),
+            ScribeMsg::Anycast(env) | ScribeMsg::AnycastStep(env) => env.payload.category(),
+            ScribeMsg::Client(m) => m.category(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbundle_pastry::Id;
+
+    #[derive(Debug, Clone)]
+    struct P;
+    impl Message for P {
+        fn wire_size(&self) -> usize {
+            50
+        }
+    }
+
+    #[test]
+    fn sizes_and_categories() {
+        let h = NodeHandle::new(Id::from_u128(1), ActorId::new(0));
+        let join: ScribeMsg<P> = ScribeMsg::Join {
+            group: Id::from_u128(2),
+            child: h,
+        };
+        assert_eq!(join.wire_size(), 40);
+        assert_eq!(join.category(), MsgCategory::Maintenance);
+
+        let pubm: ScribeMsg<P> = ScribeMsg::Publish {
+            group: Id::from_u128(2),
+            payload: P,
+        };
+        assert_eq!(pubm.wire_size(), 70);
+        assert_eq!(pubm.category(), MsgCategory::Payload);
+
+        let any: ScribeMsg<P> = ScribeMsg::Anycast(AnycastEnvelope {
+            group: Id::from_u128(2),
+            payload: P,
+            origin: h,
+            visited: vec![ActorId::new(1), ActorId::new(2)],
+            offered: vec![],
+            ttl: 10,
+        });
+        assert_eq!(any.wire_size(), 16 + 20 + 8 + 8 + 50);
+    }
+}

@@ -1,0 +1,101 @@
+//! Network latency models.
+//!
+//! The engine asks the installed [`LatencyModel`] for the one-way delay of
+//! every message. The v-Bundle paper's overhead measurements (§V.C, Fig. 14)
+//! assume a ~10 ms local-area hop; the datacenter crate provides a
+//! topology-aware model where same-rack hops are cheaper than cross-pod
+//! hops.
+
+use crate::actor::ActorId;
+use crate::time::SimDuration;
+
+/// One-way message latency between two actors.
+pub trait LatencyModel {
+    /// The delay a message from `from` to `to` experiences on the wire.
+    fn latency(&self, from: ActorId, to: ActorId) -> SimDuration;
+}
+
+/// The same latency for every pair of actors (self-sends included).
+///
+/// ```
+/// use vbundle_sim::{ActorId, ConstantLatency, LatencyModel, SimDuration};
+/// let model = ConstantLatency(SimDuration::from_millis(10));
+/// assert_eq!(
+///     model.latency(ActorId::new(0), ActorId::new(1)),
+///     SimDuration::from_millis(10),
+/// );
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantLatency(pub SimDuration);
+
+impl LatencyModel for ConstantLatency {
+    fn latency(&self, _from: ActorId, _to: ActorId) -> SimDuration {
+        self.0
+    }
+}
+
+/// Adapts a closure into a [`LatencyModel`].
+///
+/// ```
+/// use vbundle_sim::{ActorId, LatencyFn, LatencyModel, SimDuration};
+/// let model = LatencyFn::new(|a: ActorId, b: ActorId| {
+///     if a == b { SimDuration::ZERO } else { SimDuration::from_millis(1) }
+/// });
+/// assert!(model.latency(ActorId::new(2), ActorId::new(2)).is_zero());
+/// ```
+pub struct LatencyFn<F>(F);
+
+impl<F> LatencyFn<F>
+where
+    F: Fn(ActorId, ActorId) -> SimDuration,
+{
+    /// Wraps `f` as a latency model.
+    pub fn new(f: F) -> Self {
+        LatencyFn(f)
+    }
+}
+
+impl<F> LatencyModel for LatencyFn<F>
+where
+    F: Fn(ActorId, ActorId) -> SimDuration,
+{
+    fn latency(&self, from: ActorId, to: ActorId) -> SimDuration {
+        (self.0)(from, to)
+    }
+}
+
+impl<F> std::fmt::Debug for LatencyFn<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("LatencyFn(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_uniform() {
+        let m = ConstantLatency(SimDuration::from_micros(500));
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                assert_eq!(
+                    m.latency(ActorId::new(i), ActorId::new(j)),
+                    SimDuration::from_micros(500)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closure_model_dispatches() {
+        let m = LatencyFn::new(|a: ActorId, b: ActorId| {
+            SimDuration::from_micros((a.index() + b.index()) as u64)
+        });
+        assert_eq!(
+            m.latency(ActorId::new(1), ActorId::new(2)),
+            SimDuration::from_micros(3)
+        );
+        assert!(format!("{m:?}").contains("LatencyFn"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Empirical cumulative distribution functions — Figures 13 and 15 both
+//! report CDFs.
+
+/// An empirical CDF over `f64` samples.
+///
+/// ```
+/// use vbundle_workloads::Cdf;
+/// let cdf = Cdf::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(cdf.fraction_at_or_below(2.0), 0.5);
+/// assert_eq!(cdf.quantile(0.5), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples (NaNs are dropped).
+    pub fn from_samples(mut samples: Vec<f64>) -> Cdf {
+        samples.retain(|x| !x.is_nan());
+        samples.sort_by(f64::total_cmp);
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≤ `x` (0 for an empty CDF).
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `p`-quantile (0 ≤ p ≤ 1), nearest-rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CDF is empty or `p` is outside `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
+        assert!((0.0..=1.0).contains(&p), "p out of range");
+        let idx = ((p * self.sorted.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.sorted.len() - 1);
+        self.sorted[idx]
+    }
+
+    /// Evenly spaced `(value, fraction)` points for plotting, `n ≥ 2`.
+    pub fn plot_points(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || n < 2 {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|i| {
+                let p = i as f64 / (n - 1) as f64;
+                (self.quantile(p.max(1e-12)), p)
+            })
+            .collect()
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+}
+
+impl FromIterator<f64> for Cdf {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Cdf {
+        Cdf::from_samples(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_and_quantiles() {
+        let cdf: Cdf = vec![10.0, 20.0, 30.0, 40.0, 50.0].into_iter().collect();
+        assert_eq!(cdf.len(), 5);
+        assert_eq!(cdf.fraction_at_or_below(5.0), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(30.0), 0.6);
+        assert_eq!(cdf.fraction_at_or_below(100.0), 1.0);
+        assert_eq!(cdf.quantile(0.2), 10.0);
+        assert_eq!(cdf.quantile(1.0), 50.0);
+        assert_eq!(cdf.min(), Some(10.0));
+        assert_eq!(cdf.max(), Some(50.0));
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let cdf = Cdf::default();
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_at_or_below(1.0), 0.0);
+        assert!(cdf.plot_points(10).is_empty());
+    }
+
+    #[test]
+    fn nan_dropped_and_sorted() {
+        let cdf = Cdf::from_samples(vec![3.0, f64::NAN, 1.0, 2.0]);
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(cdf.quantile(0.34), 2.0);
+    }
+
+    #[test]
+    fn plot_points_monotone() {
+        let cdf: Cdf = (1..=100).map(|i| i as f64).collect();
+        let pts = cdf.plot_points(11);
+        assert_eq!(pts.len(), 11);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_of_empty_panics() {
+        Cdf::default().quantile(0.5);
+    }
+}

@@ -1,0 +1,86 @@
+//! Iperf-like interference flows (§V.A).
+//!
+//! The paper runs Iperf client/server pairs continuously to create the
+//! bandwidth bottleneck that starves SIPp. An Iperf flow is greedy: it
+//! offers as much traffic as the link will carry, optionally capped.
+
+use vbundle_dcn::Bandwidth;
+use vbundle_sim::SimTime;
+
+use crate::Trace;
+
+/// A greedy interference flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IperfFlow {
+    /// The target rate the flow tries to push (Iperf UDP `-b`, or the
+    /// TCP saturation point).
+    pub target: Bandwidth,
+    /// When the flow starts.
+    pub start: SimTime,
+    /// When the flow stops (`SimTime::MAX` = runs forever).
+    pub stop: SimTime,
+}
+
+impl IperfFlow {
+    /// A flow that saturates `target` from `start` onward, forever.
+    pub fn continuous(target: Bandwidth, start: SimTime) -> Self {
+        IperfFlow {
+            target,
+            start,
+            stop: SimTime::MAX,
+        }
+    }
+
+    /// The flow's offered load at `t`.
+    pub fn demand_at(&self, t: SimTime) -> Bandwidth {
+        if t >= self.start && t < self.stop {
+            self.target
+        } else {
+            Bandwidth::ZERO
+        }
+    }
+
+    /// The flow as a [`Trace`] (step up at start; note a finite `stop` is
+    /// not representable as a single step and is handled by
+    /// [`IperfFlow::demand_at`]).
+    pub fn as_trace(&self) -> Trace {
+        Trace::step(Bandwidth::ZERO, self.target, self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn continuous_flow_windows() {
+        let f = IperfFlow::continuous(Bandwidth::from_mbps(900.0), SimTime::from_secs(10));
+        assert_eq!(f.demand_at(SimTime::from_secs(5)), Bandwidth::ZERO);
+        assert_eq!(
+            f.demand_at(SimTime::from_secs(10)),
+            Bandwidth::from_mbps(900.0)
+        );
+        assert_eq!(
+            f.demand_at(SimTime::from_mins(100)),
+            Bandwidth::from_mbps(900.0)
+        );
+    }
+
+    #[test]
+    fn bounded_flow_stops() {
+        let f = IperfFlow {
+            target: Bandwidth::from_mbps(100.0),
+            start: SimTime::from_secs(0),
+            stop: SimTime::from_secs(60),
+        };
+        assert_eq!(f.demand_at(SimTime::from_secs(59)), Bandwidth::from_mbps(100.0));
+        assert_eq!(f.demand_at(SimTime::from_secs(60)), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn trace_conversion() {
+        let f = IperfFlow::continuous(Bandwidth::from_mbps(10.0), SimTime::from_secs(1));
+        let t = f.as_trace();
+        assert_eq!(t.demand_at(SimTime::from_secs(2)), Bandwidth::from_mbps(10.0));
+    }
+}

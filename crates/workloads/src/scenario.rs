@@ -1,0 +1,118 @@
+//! Canned demand distributions for the paper's scenarios.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the skewed utilization distribution behind Figures 9–11:
+/// roughly half the servers run hot, the rest cold, with a prescribed
+/// cluster mean (the paper reports 0.6226).
+#[derive(Debug, Clone)]
+pub struct SkewedLoad {
+    /// Fraction of servers drawn from the hot range.
+    pub hot_fraction: f64,
+    /// Hot servers' target utilization range.
+    pub hot_range: (f64, f64),
+    /// Cold servers' target utilization range.
+    pub cold_range: (f64, f64),
+    /// Cluster mean to scale the draw to (`None` = leave as drawn).
+    pub target_mean: Option<f64>,
+    /// Seed for the draw.
+    pub seed: u64,
+}
+
+impl Default for SkewedLoad {
+    fn default() -> Self {
+        SkewedLoad {
+            hot_fraction: 0.5,
+            hot_range: (0.75, 1.2),
+            cold_range: (0.1, 0.6),
+            target_mean: Some(0.6226),
+            seed: 1,
+        }
+    }
+}
+
+impl SkewedLoad {
+    /// Draws per-server target utilizations.
+    ///
+    /// The hot/cold assignment is shuffled, so hot servers are spread over
+    /// the whole index range (as in the paper's Fig. 9 scatter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges are empty or fractions are out of `[0, 1]`.
+    pub fn draw(&self, servers: usize) -> Vec<f64> {
+        assert!((0.0..=1.0).contains(&self.hot_fraction));
+        assert!(self.hot_range.0 < self.hot_range.1);
+        assert!(self.cold_range.0 < self.cold_range.1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let hot_count = (servers as f64 * self.hot_fraction).round() as usize;
+        let mut utils: Vec<f64> = (0..servers)
+            .map(|i| {
+                let (lo, hi) = if i < hot_count {
+                    self.hot_range
+                } else {
+                    self.cold_range
+                };
+                rng.gen_range(lo..hi)
+            })
+            .collect();
+        // Fisher-Yates shuffle for spatial spread.
+        for i in (1..utils.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            utils.swap(i, j);
+        }
+        if let Some(target) = self.target_mean {
+            let mean = utils.iter().sum::<f64>() / utils.len().max(1) as f64;
+            if mean > 0.0 {
+                let scale = target / mean;
+                for u in &mut utils {
+                    *u *= scale;
+                }
+            }
+        }
+        utils
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draw_hits_target_mean() {
+        let load = SkewedLoad::default();
+        let utils = load.draw(3000);
+        assert_eq!(utils.len(), 3000);
+        let mean = utils.iter().sum::<f64>() / 3000.0;
+        assert!((mean - 0.6226).abs() < 1e-9, "mean {mean}");
+        // Roughly half run hot.
+        let hot = utils.iter().filter(|&&u| u > 0.7).count();
+        assert!((1000..=2000).contains(&hot), "hot count {hot}");
+    }
+
+    #[test]
+    fn draw_is_deterministic_per_seed() {
+        let a = SkewedLoad::default().draw(100);
+        let b = SkewedLoad::default().draw(100);
+        assert_eq!(a, b);
+        let c = SkewedLoad {
+            seed: 2,
+            ..SkewedLoad::default()
+        }
+        .draw(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn no_scaling_when_target_none() {
+        let load = SkewedLoad {
+            hot_fraction: 0.0,
+            cold_range: (0.4, 0.5),
+            target_mean: None,
+            ..SkewedLoad::default()
+        };
+        let utils = load.draw(50);
+        assert!(utils.iter().all(|&u| (0.4..0.5).contains(&u)));
+    }
+}

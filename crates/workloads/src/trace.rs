@@ -1,0 +1,238 @@
+//! Deterministic bandwidth-demand traces.
+//!
+//! The paper's scenarios are driven by VM workloads whose demands vary
+//! over time — peaks and lulls that v-Bundle exploits (§I, Fig. 1). Every
+//! trace here is a pure function of time, so replaying a simulation with
+//! the same seed reproduces it exactly.
+
+use vbundle_dcn::Bandwidth;
+use vbundle_sim::{SimDuration, SimTime};
+
+/// A deterministic demand trace: bandwidth as a function of time.
+///
+/// ```
+/// use vbundle_workloads::Trace;
+/// use vbundle_dcn::Bandwidth;
+/// use vbundle_sim::{SimDuration, SimTime};
+///
+/// let t = Trace::step(
+///     Bandwidth::from_mbps(50.0),
+///     Bandwidth::from_mbps(300.0),
+///     SimTime::from_secs(60),
+/// );
+/// assert_eq!(t.demand_at(SimTime::from_secs(30)).as_mbps(), 50.0);
+/// assert_eq!(t.demand_at(SimTime::from_secs(90)).as_mbps(), 300.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Trace {
+    /// Constant demand.
+    Constant(Bandwidth),
+    /// Jumps from `before` to `after` at `at`.
+    Step {
+        /// Demand before the step.
+        before: Bandwidth,
+        /// Demand from the step onward.
+        after: Bandwidth,
+        /// When the step happens.
+        at: SimTime,
+    },
+    /// `mean + amplitude·sin(2π·(t+phase)/period)`, clamped at zero —
+    /// a diurnal-style pattern.
+    Sinusoid {
+        /// Center of the oscillation.
+        mean: Bandwidth,
+        /// Peak deviation from the mean.
+        amplitude: Bandwidth,
+        /// Oscillation period.
+        period: SimDuration,
+        /// Phase offset.
+        phase: SimDuration,
+    },
+    /// Alternates `peak` for `duty·period` then `base` for the rest —
+    /// bursty on/off load.
+    Pulse {
+        /// Demand outside bursts.
+        base: Bandwidth,
+        /// Demand during bursts.
+        peak: Bandwidth,
+        /// Cycle length.
+        period: SimDuration,
+        /// Fraction of the period spent at `peak` (0–1).
+        duty: f64,
+        /// Phase offset.
+        phase: SimDuration,
+    },
+    /// Seeded white noise: demand holds a pseudo-random level in
+    /// `[min, max]` for each `interval`, jumping at interval boundaries.
+    /// Stateless and deterministic — the level is a pure hash of
+    /// `(seed, interval index)`, so replays and out-of-order sampling
+    /// agree.
+    Noise {
+        /// Smallest level.
+        min: Bandwidth,
+        /// Largest level.
+        max: Bandwidth,
+        /// How long each level holds.
+        interval: SimDuration,
+        /// Seed distinguishing one VM's noise from another's.
+        seed: u64,
+    },
+}
+
+impl Trace {
+    /// A constant trace.
+    pub fn constant(bw: Bandwidth) -> Trace {
+        Trace::Constant(bw)
+    }
+
+    /// A step trace.
+    pub fn step(before: Bandwidth, after: Bandwidth, at: SimTime) -> Trace {
+        Trace::Step { before, after, at }
+    }
+
+    /// The demand at instant `t`.
+    pub fn demand_at(&self, t: SimTime) -> Bandwidth {
+        match self {
+            Trace::Constant(bw) => *bw,
+            Trace::Step { before, after, at } => {
+                if t < *at {
+                    *before
+                } else {
+                    *after
+                }
+            }
+            Trace::Sinusoid {
+                mean,
+                amplitude,
+                period,
+                phase,
+            } => {
+                let x = (t.as_secs_f64() + phase.as_secs_f64()) / period.as_secs_f64();
+                let v = mean.as_mbps() + amplitude.as_mbps() * (x * std::f64::consts::TAU).sin();
+                Bandwidth::from_mbps(v.max(0.0))
+            }
+            Trace::Pulse {
+                base,
+                peak,
+                period,
+                duty,
+                phase,
+            } => {
+                let pos = (t.as_secs_f64() + phase.as_secs_f64()) % period.as_secs_f64();
+                if pos < duty * period.as_secs_f64() {
+                    *peak
+                } else {
+                    *base
+                }
+            }
+            Trace::Noise {
+                min,
+                max,
+                interval,
+                seed,
+            } => {
+                let idx = t.as_micros() / interval.as_micros().max(1);
+                // SplitMix64 over (seed, interval index): uniform, cheap,
+                // stateless.
+                let mut x = seed.wrapping_add(idx).wrapping_add(0x9E37_79B9_7F4A_7C15);
+                x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                x ^= x >> 31;
+                let frac = (x >> 11) as f64 / (1u64 << 53) as f64;
+                *min + (*max - *min) * frac
+            }
+        }
+    }
+
+    /// The largest demand this trace can produce.
+    pub fn peak(&self) -> Bandwidth {
+        match self {
+            Trace::Constant(bw) => *bw,
+            Trace::Step { before, after, .. } => before.max(*after),
+            Trace::Sinusoid {
+                mean, amplitude, ..
+            } => *mean + *amplitude,
+            Trace::Pulse { base, peak, .. } => base.max(*peak),
+            Trace::Noise { max, .. } => *max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bw(m: f64) -> Bandwidth {
+        Bandwidth::from_mbps(m)
+    }
+
+    #[test]
+    fn constant_and_step() {
+        let c = Trace::constant(bw(10.0));
+        assert_eq!(c.demand_at(SimTime::ZERO), bw(10.0));
+        assert_eq!(c.demand_at(SimTime::from_mins(100)), bw(10.0));
+        assert_eq!(c.peak(), bw(10.0));
+
+        let s = Trace::step(bw(1.0), bw(9.0), SimTime::from_secs(10));
+        assert_eq!(s.demand_at(SimTime::from_secs(9)), bw(1.0));
+        assert_eq!(s.demand_at(SimTime::from_secs(10)), bw(9.0));
+        assert_eq!(s.peak(), bw(9.0));
+    }
+
+    #[test]
+    fn sinusoid_oscillates_and_clamps() {
+        let t = Trace::Sinusoid {
+            mean: bw(100.0),
+            amplitude: bw(150.0),
+            period: SimDuration::from_secs(100),
+            phase: SimDuration::ZERO,
+        };
+        // At t=25s (quarter period) we are at mean+amplitude.
+        assert!((t.demand_at(SimTime::from_secs(25)).as_mbps() - 250.0).abs() < 1e-6);
+        // At t=75s we'd be at -50; clamped to zero.
+        assert_eq!(t.demand_at(SimTime::from_secs(75)), bw(0.0));
+        assert_eq!(t.peak(), bw(250.0));
+    }
+
+    #[test]
+    fn noise_holds_within_intervals_and_jumps_between() {
+        let t = Trace::Noise {
+            min: bw(10.0),
+            max: bw(110.0),
+            interval: SimDuration::from_secs(60),
+            seed: 7,
+        };
+        // Constant within an interval, bounded, deterministic.
+        let a = t.demand_at(SimTime::from_secs(5));
+        let b = t.demand_at(SimTime::from_secs(59));
+        assert_eq!(a, b);
+        assert!(a.as_mbps() >= 10.0 && a.as_mbps() <= 110.0);
+        assert_eq!(a, t.demand_at(SimTime::from_secs(5)));
+        // Different intervals (almost surely) differ; different seeds too.
+        let later = t.demand_at(SimTime::from_secs(61));
+        assert_ne!(a, later);
+        let other = Trace::Noise {
+            min: bw(10.0),
+            max: bw(110.0),
+            interval: SimDuration::from_secs(60),
+            seed: 8,
+        };
+        assert_ne!(a, other.demand_at(SimTime::from_secs(5)));
+        assert_eq!(t.peak(), bw(110.0));
+    }
+
+    #[test]
+    fn pulse_duty_cycle() {
+        let t = Trace::Pulse {
+            base: bw(10.0),
+            peak: bw(200.0),
+            period: SimDuration::from_secs(100),
+            duty: 0.25,
+            phase: SimDuration::ZERO,
+        };
+        assert_eq!(t.demand_at(SimTime::from_secs(10)), bw(200.0));
+        assert_eq!(t.demand_at(SimTime::from_secs(30)), bw(10.0));
+        assert_eq!(t.demand_at(SimTime::from_secs(110)), bw(200.0));
+        assert_eq!(t.peak(), bw(200.0));
+    }
+}

@@ -1,0 +1,94 @@
+//! **vbundle** — facade crate for the v-Bundle reproduction.
+//!
+//! Re-exports the workspace crates under one roof:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`sim`] | `vbundle-sim` | deterministic discrete-event engine |
+//! | [`dcn`] | `vbundle-dcn` | datacenter topology + bisection accounting |
+//! | [`pastry`] | `vbundle-pastry` | Pastry DHT overlay |
+//! | [`scribe`] | `vbundle-scribe` | Scribe multicast/anycast trees |
+//! | [`aggregation`] | `vbundle-aggregation` | cross-hypervisor aggregation |
+//! | [`core`] | `vbundle-core` | placement, shaping, resource shuffling |
+//! | [`workloads`] | `vbundle-workloads` | traces, SIPp/Iperf models, CDFs |
+//!
+//! See `examples/quickstart.rs` for a guided tour and `DESIGN.md` for the
+//! paper-to-module map.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use vbundle_aggregation as aggregation;
+pub use vbundle_core as core;
+pub use vbundle_dcn as dcn;
+pub use vbundle_pastry as pastry;
+pub use vbundle_scribe as scribe;
+pub use vbundle_sim as sim;
+pub use vbundle_workloads as workloads;
+
+pub mod harness {
+    //! Glue between [`workloads`] traces and a running [`core`] cluster:
+    //! drives time-varying per-VM demands through the simulation, the way
+    //! the paper's experiments play out demand peaks and lulls.
+
+    use vbundle_core::{Cluster, ResourceVector, VmId};
+    use vbundle_sim::{SimDuration, SimTime};
+    use vbundle_workloads::Trace;
+
+    /// Replays per-VM demand traces against a cluster in fixed steps.
+    ///
+    /// Each step the driver refreshes every assigned VM's bandwidth demand
+    /// from its trace (VMs follow their traces across migrations), runs
+    /// the simulation, and invokes the observer.
+    #[derive(Debug, Default)]
+    pub struct TraceDriver {
+        assignments: Vec<(VmId, Trace)>,
+    }
+
+    impl TraceDriver {
+        /// Creates an empty driver.
+        pub fn new() -> Self {
+            TraceDriver::default()
+        }
+
+        /// Assigns `trace` to `vm`.
+        pub fn assign(&mut self, vm: VmId, trace: Trace) -> &mut Self {
+            self.assignments.push((vm, trace));
+            self
+        }
+
+        /// Number of assigned traces.
+        pub fn len(&self) -> usize {
+            self.assignments.len()
+        }
+
+        /// True if no traces are assigned.
+        pub fn is_empty(&self) -> bool {
+            self.assignments.is_empty()
+        }
+
+        /// Advances the cluster to `until` in steps of `step`, refreshing
+        /// demands from the traces before each step and calling
+        /// `observe(&cluster)` after it.
+        pub fn run(
+            &self,
+            cluster: &mut Cluster,
+            until: SimTime,
+            step: SimDuration,
+            mut observe: impl FnMut(&Cluster),
+        ) {
+            assert!(!step.is_zero(), "step must be positive");
+            while cluster.now() < until {
+                cluster.reindex();
+                let now = cluster.now();
+                for (vm, trace) in &self.assignments {
+                    let demand = trace.demand_at(now);
+                    cluster.set_vm_demand(*vm, ResourceVector::bandwidth_only(demand));
+                }
+                let next = (now + step).min(until);
+                cluster.run_until(next);
+                observe(cluster);
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Tests of the facade-level trace driver.
+
+use std::sync::Arc;
+
+use vbundle::core::{Cluster, CustomerId, ResourceSpec, VmRecord};
+use vbundle::dcn::{Bandwidth, Topology};
+use vbundle::harness::TraceDriver;
+use vbundle::sim::{SimDuration, SimTime};
+use vbundle::workloads::Trace;
+
+fn small_cluster() -> (Cluster, Vec<vbundle::core::VmId>) {
+    let topo = Arc::new(
+        Topology::builder()
+            .pods(1)
+            .racks_per_pod(2)
+            .servers_per_rack(2)
+            .build(),
+    );
+    let mut cluster = Cluster::builder(topo).seed(3).build();
+    let mut vms = Vec::new();
+    for server in 0..4usize {
+        let id = cluster.alloc_vm_id();
+        let vm = VmRecord::new(
+            id,
+            CustomerId(0),
+            ResourceSpec::bandwidth(Bandwidth::ZERO, Bandwidth::from_gbps(1.0)),
+        );
+        let sid = cluster.topo.server(server);
+        cluster.install_vm(sid, vm);
+        vms.push(id);
+    }
+    cluster.reindex();
+    (cluster, vms)
+}
+
+#[test]
+fn trace_driver_applies_demands_each_step() {
+    let (mut cluster, vms) = small_cluster();
+    let mut driver = TraceDriver::new();
+    driver.assign(
+        vms[0],
+        Trace::step(
+            Bandwidth::from_mbps(100.0),
+            Bandwidth::from_mbps(700.0),
+            SimTime::from_secs(30),
+        ),
+    );
+    driver.assign(vms[1], Trace::constant(Bandwidth::from_mbps(50.0)));
+    assert_eq!(driver.len(), 2);
+    assert!(!driver.is_empty());
+
+    let mut observations = Vec::new();
+    driver.run(
+        &mut cluster,
+        SimTime::from_secs(60),
+        SimDuration::from_secs(10),
+        |c| observations.push((c.now().as_micros(), c.utilizations()[0])),
+    );
+    assert_eq!(observations.len(), 6, "one observation per step");
+    // Before the step: 100 Mbps on a 1 Gbps NIC.
+    assert!((observations[1].1 - 0.1).abs() < 1e-9);
+    // After the step at t=30s the next refresh applies 700 Mbps.
+    assert!((observations.last().unwrap().1 - 0.7).abs() < 1e-9);
+    assert_eq!(cluster.now(), SimTime::from_secs(60));
+}
+
+#[test]
+fn trace_driver_follows_migrating_vms() {
+    // Demands keep applying by VM id even as reindex() moves hosts; here
+    // we move the VM by shutdown+reinstall to simulate a migration.
+    let (mut cluster, vms) = small_cluster();
+    let mut driver = TraceDriver::new();
+    driver.assign(vms[0], Trace::constant(Bandwidth::from_mbps(400.0)));
+    driver.run(
+        &mut cluster,
+        SimTime::from_secs(10),
+        SimDuration::from_secs(5),
+        |_| {},
+    );
+    assert!((cluster.utilizations()[0] - 0.4).abs() < 1e-9);
+    let record = cluster.shutdown_vm(vms[0]).expect("present");
+    let target = cluster.topo.server(3);
+    cluster.install_vm(target, record);
+    cluster.reindex();
+    driver.run(
+        &mut cluster,
+        SimTime::from_secs(20),
+        SimDuration::from_secs(5),
+        |_| {},
+    );
+    assert!((cluster.utilizations()[3] - 0.4 - 0.0).abs() < 1e-6 || cluster.utilizations()[3] >= 0.4);
+    assert_eq!(cluster.utilizations()[0], 0.0);
+}
+
+#[test]
+#[should_panic(expected = "positive")]
+fn zero_step_rejected() {
+    let (mut cluster, _) = small_cluster();
+    TraceDriver::new().run(
+        &mut cluster,
+        SimTime::from_secs(1),
+        SimDuration::ZERO,
+        |_| {},
+    );
+}
