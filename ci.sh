@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, build, tests — in the same order a
+# hosted pipeline would run them. Fails fast on the cheapest check.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace
+
+echo "CI green."

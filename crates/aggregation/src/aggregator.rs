@@ -6,7 +6,7 @@
 //! information bases* and pushes the subtree summary to its parent; the
 //! root publishes the global aggregate back down the tree (§III.D).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vbundle_pastry::NodeHandle;
 use vbundle_scribe::{GroupId, ScribeCtx};
@@ -61,12 +61,13 @@ impl<M: Message + Clone + From<AggMsg>> AggCarrier for M {}
 struct TopicState {
     local: AggValue,
     /// Child id → last reported subtree summary (the information base).
-    info_base: HashMap<u128, AggValue>,
+    info_base: BTreeMap<u128, AggValue>,
     /// Last summary pushed to the parent (suppresses no-op pushes in
     /// immediate mode).
     last_pushed: Option<AggValue>,
-    /// Latest global aggregate received (version, value).
-    global: Option<(u64, AggValue)>,
+    /// Latest global aggregate received (publishing root, version, value).
+    /// Versions are only comparable within one root's publication stream.
+    global: Option<(u128, u64, AggValue)>,
     /// Root-only publish counter.
     version: u64,
     /// Last global value this node published as root.
@@ -84,7 +85,7 @@ struct TopicState {
 /// - route child-removal events to [`Aggregator::on_child_removed`].
 #[derive(Debug)]
 pub struct Aggregator {
-    topics: HashMap<u128, TopicState>,
+    topics: BTreeMap<u128, TopicState>,
     config: AggregationConfig,
 }
 
@@ -92,7 +93,7 @@ impl Aggregator {
     /// Creates an aggregator with the given configuration.
     pub fn new(config: AggregationConfig) -> Self {
         Aggregator {
-            topics: HashMap::new(),
+            topics: BTreeMap::new(),
             config,
         }
     }
@@ -104,7 +105,11 @@ impl Aggregator {
 
     /// Subscribes this node to `topic`: joins the Scribe tree and starts
     /// the tick timer (first caller only).
-    pub fn subscribe<M: AggCarrier>(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, M>, topic: GroupId) {
+    pub fn subscribe<M: AggCarrier>(
+        &mut self,
+        ctx: &mut ScribeCtx<'_, '_, '_, '_, M>,
+        topic: GroupId,
+    ) {
         let first_topic = self.topics.is_empty();
         self.topics.entry(topic.as_u128()).or_default();
         ctx.join(topic);
@@ -152,10 +157,7 @@ impl Aggregator {
     /// The subtree summary this node would currently report.
     pub fn subtree(&self, topic: GroupId) -> AggValue {
         match self.topics.get(&topic.as_u128()) {
-            Some(st) => st
-                .info_base
-                .values()
-                .fold(st.local, |acc, v| acc.merge(v)),
+            Some(st) => st.info_base.values().fold(st.local, |acc, v| acc.merge(v)),
             None => AggValue::EMPTY,
         }
     }
@@ -164,7 +166,7 @@ impl Aggregator {
     pub fn global(&self, topic: GroupId) -> Option<AggValue> {
         self.topics
             .get(&topic.as_u128())
-            .and_then(|t| t.global.map(|(_, v)| v))
+            .and_then(|t| t.global.map(|(_, _, v)| v))
     }
 
     /// Periodic tick: push every topic's subtree summary to the parent
@@ -176,6 +178,17 @@ impl Aggregator {
         }
         if let UpdateMode::Periodic(interval) = self.config.mode {
             ctx.schedule(interval, AGG_TICK_TAG);
+        }
+    }
+
+    /// Re-arms the periodic tick after a node restart: the crash purged
+    /// every pending timer, including the one [`Aggregator::subscribe`]
+    /// armed. Call from the embedding client's `on_restart` hook.
+    pub fn on_restart<M: AggCarrier>(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, M>) {
+        if !self.topics.is_empty() {
+            if let UpdateMode::Periodic(interval) = self.config.mode {
+                ctx.schedule(interval, AGG_TICK_TAG);
+            }
         }
     }
 
@@ -197,13 +210,19 @@ impl Aggregator {
     }
 
     /// The root published a new global aggregate.
-    pub fn on_result(&mut self, topic: GroupId, version: u64, value: AggValue) {
+    ///
+    /// `root` scopes `version`: results from a root we have not heard
+    /// before (a failover successor, or the old root returning) are always
+    /// accepted — their version counter is unrelated to the previous
+    /// root's, so comparing across roots would wedge the topic on whichever
+    /// root happened to have published more rounds.
+    pub fn on_result(&mut self, topic: GroupId, root: u128, version: u64, value: AggValue) {
         let Some(st) = self.topics.get_mut(&topic.as_u128()) else {
             return;
         };
         match st.global {
-            Some((v, _)) if v >= version => {}
-            _ => st.global = Some((version, value)),
+            Some((r, v, _)) if r == root && v >= version => {}
+            _ => st.global = Some((root, version, value)),
         }
     }
 
@@ -228,10 +247,7 @@ impl Aggregator {
         };
         st.info_base
             .retain(|id, _| children.iter().any(|c| c.id.as_u128() == *id));
-        let subtree = st
-            .info_base
-            .values()
-            .fold(st.local, |acc, v| acc.merge(v));
+        let subtree = st.info_base.values().fold(st.local, |acc, v| acc.merge(v));
         if ctx.is_root(topic) {
             // The root's subtree is the global value: publish down. In
             // periodic mode the root re-publishes every round even when
@@ -247,9 +263,10 @@ impl Aggregator {
             }
             st.version += 1;
             st.last_published = Some(subtree);
-            st.global = Some((st.version, subtree));
+            st.global = Some((me.id.as_u128(), st.version, subtree));
             let msg = AggMsg::Result {
                 topic,
+                root: me.id.as_u128(),
                 version: st.version,
                 value: subtree,
             };

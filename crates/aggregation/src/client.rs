@@ -35,12 +35,17 @@ impl ScribeClient for AggClient {
     ) {
         if let AggMsg::Result {
             topic,
+            root,
             version,
             value,
         } = msg
         {
-            self.agg.on_result(topic, version, value);
+            self.agg.on_result(topic, root, version, value);
         }
+    }
+
+    fn on_restart(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, AggMsg>) {
+        self.agg.on_restart(ctx);
     }
 
     fn on_direct(

@@ -21,7 +21,13 @@ pub enum AggMsg {
     Result {
         /// The topic.
         topic: GroupId,
-        /// Root-assigned publication number; stale results are ignored.
+        /// Id of the root that published this result. Versions are scoped
+        /// to the publishing root: after a root failover the new root
+        /// starts its own version sequence, and receivers must not compare
+        /// it against the old root's.
+        root: u128,
+        /// Root-assigned publication number; stale results from the *same*
+        /// root are ignored.
         version: u64,
         /// The global aggregate.
         value: AggValue,
@@ -33,7 +39,8 @@ impl Message for AggMsg {
         match self {
             // topic + (sum, count, min, max)
             AggMsg::Update { .. } => 16 + 32,
-            AggMsg::Result { .. } => 16 + 8 + 32,
+            // topic + root + version + (sum, count, min, max)
+            AggMsg::Result { .. } => 16 + 16 + 8 + 32,
         }
     }
 
@@ -56,10 +63,11 @@ mod tests {
         assert_eq!(u.wire_size(), 48);
         let r = AggMsg::Result {
             topic: Id::from_u128(1),
+            root: 9,
             version: 2,
             value: AggValue::of(3.0),
         };
-        assert_eq!(r.wire_size(), 56);
+        assert_eq!(r.wire_size(), 72);
         assert_eq!(u.category(), MsgCategory::Payload);
     }
 }

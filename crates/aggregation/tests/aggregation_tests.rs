@@ -4,9 +4,7 @@
 use std::sync::Arc;
 
 use proptest::prelude::*;
-use vbundle_aggregation::{
-    AggClient, AggMsg, AggregationConfig, Aggregator, UpdateMode,
-};
+use vbundle_aggregation::{AggClient, AggMsg, AggregationConfig, Aggregator, UpdateMode};
 use vbundle_dcn::Topology;
 use vbundle_pastry::{overlay, IdAssignment, NodeHandle, PastryConfig, PastryMsg, PastryNode};
 use vbundle_scribe::{group_id, GroupId, Scribe, ScribeConfig, ScribeMsg};
@@ -23,7 +21,7 @@ fn launch(
 ) -> (Net, Vec<NodeHandle>, Arc<Topology>) {
     let racks = servers.div_ceil(4) as u32;
     let mut sizes = vec![4u32; racks as usize];
-    if servers % 4 != 0 {
+    if !servers.is_multiple_of(4) {
         *sizes.last_mut().unwrap() = (servers % 4) as u32;
     }
     let topo = Arc::new(Topology::builder().rack_sizes(&sizes).build());
@@ -75,12 +73,7 @@ fn global_at(net: &Net, h: NodeHandle, t: GroupId) -> Option<vbundle_aggregation
 #[test]
 fn periodic_mode_converges_within_height_times_interval() {
     let interval = SimDuration::from_secs(30);
-    let (mut net, handles, _) = launch(
-        20,
-        UpdateMode::Periodic(interval),
-        1,
-        None,
-    );
+    let (mut net, handles, _) = launch(20, UpdateMode::Periodic(interval), 1, None);
     let t = group_id("BW_Demand");
     subscribe_all(&mut net, &handles, t);
     net.run_until(SimTime::from_secs(2));
@@ -162,12 +155,7 @@ fn node_failure_drops_contribution_after_repair() {
     // the root can keep publishing.
     let victim = handles
         .iter()
-        .position(|h| {
-            net.actor(h.actor)
-                .app()
-                .group(t)
-                .is_some_and(|st| !st.root)
-        })
+        .position(|h| net.actor(h.actor).app().group(t).is_some_and(|st| !st.root))
         .expect("non-root exists");
     net.fail(handles[victim].actor);
     net.run_until(SimTime::from_secs(300));
@@ -200,12 +188,7 @@ fn subtree_reflects_info_base() {
         .iter()
         .position(|h| net.actor(h.actor).app().group(t).is_some_and(|s| s.root))
         .expect("root exists");
-    let subtree = net
-        .actor(handles[root].actor)
-        .app()
-        .client()
-        .agg
-        .subtree(t);
+    let subtree = net.actor(handles[root].actor).app().client().agg.subtree(t);
     assert_eq!(subtree.sum, (0..8).map(|v| v as f64).sum::<f64>());
     assert_eq!(subtree.count, 8);
 }
@@ -215,7 +198,13 @@ fn unsubscribed_topics_report_nothing() {
     let (net, handles, _) = launch(4, UpdateMode::Immediate, 13, None);
     let t = group_id("never-subscribed");
     assert!(global_at(&net, handles[0], t).is_none());
-    assert!(net.actor(handles[0].actor).app().client().agg.local(t).is_none());
+    assert!(net
+        .actor(handles[0].actor)
+        .app()
+        .client()
+        .agg
+        .local(t)
+        .is_none());
     assert!(net
         .actor(handles[0].actor)
         .app()
@@ -318,8 +307,8 @@ fn processing_delay_slows_convergence() {
     };
     let fast = run(0);
     let slow = run(20_000); // 20 ms per hop of processing
-    // At least one upward hop pays the full delay (a flat tree pays it
-    // exactly once, so compare with a small epsilon).
+                            // At least one upward hop pays the full delay (a flat tree pays it
+                            // exactly once, so compare with a small epsilon).
     assert!(
         slow >= fast + 19.9,
         "processing delay not observable: {fast} ms vs {slow} ms"

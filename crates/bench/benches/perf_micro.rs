@@ -9,7 +9,9 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use vbundle_core::{shaper, ClusterModel, CustomerId, PlacementPolicy, ResourceSpec, ResourceVector, VmId, VmRecord};
+use vbundle_core::{
+    shaper, ClusterModel, CustomerId, PlacementPolicy, ResourceSpec, ResourceVector, VmId, VmRecord,
+};
 use vbundle_dcn::{Bandwidth, Topology};
 use vbundle_pastry::{overlay, Id, PastryConfig};
 
@@ -47,15 +49,13 @@ fn bench_placement(c: &mut Criterion) {
         group.bench_function(format!("{policy:?}"), |b| {
             b.iter(|| {
                 let ids = overlay::topology_aware_ids(&topo);
-                let mut model =
-                    ClusterModel::new(Arc::clone(&topo), ids, topo.capacity().into());
+                let mut model = ClusterModel::new(Arc::clone(&topo), ids, topo.capacity().into());
                 let mut rng = StdRng::seed_from_u64(1);
                 let spec = ResourceSpec::bandwidth(
                     Bandwidth::from_mbps(100.0),
                     Bandwidth::from_mbps(200.0),
                 );
-                let keys: Vec<Id> =
-                    (0..5).map(|i| Id::from_name(&format!("c{i}"))).collect();
+                let keys: Vec<Id> = (0..5).map(|i| Id::from_name(&format!("c{i}"))).collect();
                 for i in 0..5000u64 {
                     let vm = VmRecord::new(VmId(i), CustomerId((i % 5) as u32), spec);
                     model

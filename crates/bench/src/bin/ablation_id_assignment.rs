@@ -10,7 +10,9 @@
 use std::sync::Arc;
 
 use rand::SeedableRng;
-use vbundle_core::{metrics, ClusterModel, Customer, PlacementPolicy, ResourceSpec, VmId, VmRecord};
+use vbundle_core::{
+    metrics, ClusterModel, Customer, PlacementPolicy, ResourceSpec, VmId, VmRecord,
+};
 use vbundle_dcn::{Bandwidth, Topology};
 use vbundle_pastry::overlay;
 
@@ -42,8 +44,8 @@ fn run(label: &str, ids: Vec<vbundle_pastry::NodeId>, topo: &Arc<Topology>) {
         .map(|l| l.same_rack_pair_fraction)
         .sum::<f64>()
         / locality.len() as f64;
-    let dist: f64 = locality.iter().map(|l| l.mean_pair_distance).sum::<f64>()
-        / locality.len() as f64;
+    let dist: f64 =
+        locality.iter().map(|l| l.mean_pair_distance).sum::<f64>() / locality.len() as f64;
     let tm = metrics::chatting_traffic(topo, &placements, Bandwidth::from_mbps(50.0));
     println!(
         "{:<18} {:>12.1} {:>16.1}% {:>14.3} {:>16.1}%",
@@ -62,11 +64,7 @@ fn main() {
         "{:<18} {:>12} {:>17} {:>14} {:>17}",
         "id policy", "racks/cust", "same_rack_pairs", "pair_dist", "bisection_share"
     );
-    run(
-        "topology-aware",
-        overlay::topology_aware_ids(&topo),
-        &topo,
-    );
+    run("topology-aware", overlay::topology_aware_ids(&topo), &topo);
     run("random", overlay::random_ids(topo.num_servers(), 99), &topo);
     println!("\nwith random ids the walk still clusters around the key's root server,");
     println!("but numeric adjacency no longer implies rack adjacency, so the spill-");

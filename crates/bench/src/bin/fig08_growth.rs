@@ -47,7 +47,10 @@ fn report(
     }
     let tm = metrics::chatting_traffic(topo, &placements, Bandwidth::from_mbps(50.0));
     let bisection = tm.bisection_report(topo).bisection_fraction();
-    println!("bisection fraction of chatting traffic: {:.2}%", bisection * 100.0);
+    println!(
+        "bisection fraction of chatting traffic: {:.2}%",
+        bisection * 100.0
+    );
     (
         mean_same_rack / locality.len() as f64,
         mean_dist / locality.len() as f64,
@@ -56,13 +59,8 @@ fn report(
 
 fn run_policy(policy: PlacementPolicy, map_name: &str) -> ((f64, f64), (f64, f64)) {
     let topo = Arc::new(Topology::simulation_3000());
-    let (mut model, customers) = five_customer_placement(
-        &topo,
-        policy,
-        1000,
-        Bandwidth::from_mbps(100.0),
-        7,
-    );
+    let (mut model, customers) =
+        five_customer_placement(&topo, policy, 1000, Bandwidth::from_mbps(100.0), 7);
     let wave1 = report(&topo, &model, &customers, &format!("{policy:?}, wave 1"));
     // Second wave of 5000 for the same customers.
     place_wave(

@@ -40,10 +40,7 @@ fn main() {
 
         println!("\n## threshold = {threshold}");
         println!("mean utilization line: {:.4}", mean);
-        println!(
-            "{:<24} {:>10} {:>10}",
-            "metric", "before", "after"
-        );
+        println!("{:<24} {:>10} {:>10}", "metric", "before", "after");
         for line in [0.9, 0.8, 0.7] {
             println!(
                 "servers over {:>3.0}% {:>8} {:>10} {:>10}",
@@ -67,7 +64,9 @@ fn main() {
         );
         println!(
             "{:<24} {:>10} {:>10}",
-            "migrations", "-", cluster.total_migrations()
+            "migrations",
+            "-",
+            cluster.total_migrations()
         );
         if before_utils.is_empty() {
             before_utils = before;

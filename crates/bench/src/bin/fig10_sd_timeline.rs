@@ -79,6 +79,9 @@ fn main() {
 
     let drop_small = small.first().unwrap().1 - small.last().unwrap().1;
     let drop_large = large.first().unwrap().1 - large.last().unwrap().1;
-    println!("\nSD drop: 30 servers {:.4}, 3000 servers {:.4}", drop_small, drop_large);
+    println!(
+        "\nSD drop: 30 servers {:.4}, 3000 servers {:.4}",
+        drop_small, drop_large
+    );
     println!("(both sizes converge within the same two rebalancing rounds)");
 }

@@ -64,12 +64,7 @@ fn measure(servers: usize, seed: u64) -> (f64, usize) {
     }
     let root = handles
         .iter()
-        .position(|h| {
-            net.actor(h.actor)
-                .app()
-                .group(t)
-                .is_some_and(|st| st.root)
-        })
+        .position(|h| net.actor(h.actor).app().group(t).is_some_and(|st| st.root))
         .expect("root exists");
     let mut latency_ms = f64::NAN;
     for _ in 0..400_000 {

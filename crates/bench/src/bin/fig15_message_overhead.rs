@@ -6,11 +6,16 @@
 //! and v-Bundle traffic, and grows logarithmically with the host count.
 //!
 //! Run: `cargo run --release -p vbundle-bench --bin fig15_message_overhead`
+//!
+//! Pass `--fault-rate=<p>` (e.g. `--fault-rate=0.05`) to additionally
+//! measure the same round with every link dropping messages at rate `p`,
+//! quantifying how much repair traffic faults add to the steady state.
 
 use std::sync::Arc;
 
 use vbundle_bench::scenarios::skewed_cluster;
 use vbundle_bench::write_csv;
+use vbundle_chaos::{ChaosInjector, LinkFault, Scope, SharedNet};
 use vbundle_core::VBundleConfig;
 use vbundle_dcn::Topology;
 use vbundle_sim::SimDuration;
@@ -20,9 +25,10 @@ struct Overhead {
     msgs: Cdf,
     kb: Cdf,
     maintenance_share: f64,
+    dropped: u64,
 }
 
-fn run(servers: usize) -> Overhead {
+fn run(servers: usize, fault_rate: f64) -> Overhead {
     let racks = servers.div_ceil(16) as u32;
     let topo = Arc::new(
         Topology::builder()
@@ -37,7 +43,7 @@ fn run(servers: usize) -> Overhead {
         .with_update_interval(round)
         .with_rebalance_interval(SimDuration::from_mins(25));
     let (mut cluster, _) = skewed_cluster(
-        topo,
+        topo.clone(),
         config,
         &SkewedLoad {
             seed: 15,
@@ -46,12 +52,24 @@ fn run(servers: usize) -> Overhead {
         10,
         15,
     );
+    if fault_rate > 0.0 {
+        let net = SharedNet::new(15);
+        net.with(|st| {
+            st.degradations
+                .push((Scope::All, Scope::All, LinkFault::loss(fault_rate)));
+        });
+        cluster
+            .engine
+            .set_injector(Box::new(ChaosInjector::new(topo, net)));
+    }
     // Warm up two rounds so trees and status are established, then
     // measure exactly one round.
     cluster.run_for(round);
     cluster.run_for(round);
     cluster.engine.counters_mut().snapshot_and_reset();
+    let dropped_before = cluster.engine.fault_stats().dropped;
     cluster.run_for(round);
+    let dropped = cluster.engine.fault_stats().dropped - dropped_before;
     let snap = cluster.engine.counters_mut().snapshot_and_reset();
     let n = cluster.num_servers();
     let msgs: Vec<f64> = snap[..n].iter().map(|c| c.total_msgs() as f64).collect();
@@ -65,35 +83,67 @@ fn run(servers: usize) -> Overhead {
         msgs: Cdf::from_samples(msgs),
         kb: Cdf::from_samples(kb),
         maintenance_share: maintenance as f64 / total.max(1) as f64,
+        dropped,
     }
 }
 
+fn print_overhead(o: &Overhead) {
+    println!(
+        "messages/round: p50 {:.0}, p90 {:.0}, max {:.0}",
+        o.msgs.quantile(0.5),
+        o.msgs.quantile(0.9),
+        o.msgs.max().unwrap_or(0.0)
+    );
+    println!(
+        "KB/round:       p50 {:.1}, p90 {:.1}, max {:.1}",
+        o.kb.quantile(0.5),
+        o.kb.quantile(0.9),
+        o.kb.max().unwrap_or(0.0)
+    );
+    println!(
+        "maintenance share of messages: {:.1}%",
+        o.maintenance_share * 100.0
+    );
+}
+
 fn main() {
+    let fault_rate = std::env::args()
+        .find_map(|a| a.strip_prefix("--fault-rate=").map(str::to_owned))
+        .map(|v| v.parse::<f64>().expect("--fault-rate expects a float"))
+        .unwrap_or(0.0);
+    assert!(
+        (0.0..1.0).contains(&fault_rate),
+        "--fault-rate must be in [0, 1)"
+    );
     println!("# Figure 15: per-host message overhead per round (5-minute rounds)");
     let sizes = [512usize, 1024];
-    let results: Vec<Overhead> = sizes.iter().map(|&n| run(n)).collect();
+    let results: Vec<Overhead> = sizes.iter().map(|&n| run(n, 0.0)).collect();
 
     for (n, o) in sizes.iter().zip(&results) {
         println!("\n## {n} servers");
-        println!(
-            "messages/round: p50 {:.0}, p90 {:.0}, max {:.0}",
-            o.msgs.quantile(0.5),
-            o.msgs.quantile(0.9),
-            o.msgs.max().unwrap_or(0.0)
-        );
-        println!(
-            "KB/round:       p50 {:.1}, p90 {:.1}, max {:.1}",
-            o.kb.quantile(0.5),
-            o.kb.quantile(0.9),
-            o.kb.max().unwrap_or(0.0)
-        );
-        println!(
-            "maintenance share of messages: {:.1}%",
-            o.maintenance_share * 100.0
-        );
+        print_overhead(o);
     }
 
-    println!("\n{:>10} {:>14} {:>14}", "msgs/round", "CDF (512)", "CDF (1024)");
+    if fault_rate > 0.0 {
+        // Same measurement with lossy links: the delta is the repair
+        // traffic (heartbeat timeouts, re-joins, probe churn) the faults
+        // induce on top of the steady state.
+        for (&n, fault_free) in sizes.iter().zip(&results) {
+            let o = run(n, fault_rate);
+            println!("\n## {n} servers, drop rate {fault_rate}");
+            print_overhead(&o);
+            println!("messages dropped in measured round: {}", o.dropped);
+            println!(
+                "p90 overhead vs fault-free: {:+.1}%",
+                (o.msgs.quantile(0.9) / fault_free.msgs.quantile(0.9).max(1.0) - 1.0) * 100.0
+            );
+        }
+    }
+
+    println!(
+        "\n{:>10} {:>14} {:>14}",
+        "msgs/round", "CDF (512)", "CDF (1024)"
+    );
     let max_msgs = results
         .iter()
         .filter_map(|o| o.msgs.max())

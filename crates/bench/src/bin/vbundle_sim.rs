@@ -56,8 +56,9 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--servers" => args.servers = take("--servers")?.parse().map_err(|e| format!("{e}"))?,
             "--vms-per-server" => {
-                args.vms_per_server =
-                    take("--vms-per-server")?.parse().map_err(|e| format!("{e}"))?
+                args.vms_per_server = take("--vms-per-server")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
             }
             "--threshold" => {
                 args.threshold = take("--threshold")?.parse().map_err(|e| format!("{e}"))?
@@ -66,8 +67,9 @@ fn parse_args() -> Result<Args, String> {
                 args.update_secs = take("--update-secs")?.parse().map_err(|e| format!("{e}"))?
             }
             "--rebalance-secs" => {
-                args.rebalance_secs =
-                    take("--rebalance-secs")?.parse().map_err(|e| format!("{e}"))?
+                args.rebalance_secs = take("--rebalance-secs")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
             }
             "--minutes" => args.minutes = take("--minutes")?.parse().map_err(|e| format!("{e}"))?,
             "--mean" => args.mean = take("--mean")?.parse().map_err(|e| format!("{e}"))?,
@@ -112,7 +114,12 @@ fn main() {
         .with_rebalance_interval(SimDuration::from_secs(args.rebalance_secs))
         .with_multi_metric(args.multi_metric);
     println!("# vbundle_sim: {args:?}");
-    println!("topology: {} servers / {} racks / {} pods", topo.num_servers(), topo.num_racks(), topo.num_pods());
+    println!(
+        "topology: {} servers / {} racks / {} pods",
+        topo.num_servers(),
+        topo.num_racks(),
+        topo.num_pods()
+    );
 
     let load = SkewedLoad {
         target_mean: Some(args.mean),
@@ -126,7 +133,11 @@ fn main() {
         args.vms_per_server,
         args.seed,
     );
-    println!("seeded {} VMs, initial mean utilization {:.4}", cluster.num_vms(), metrics::mean(&before));
+    println!(
+        "seeded {} VMs, initial mean utilization {:.4}",
+        cluster.num_vms(),
+        metrics::mean(&before)
+    );
 
     cluster.run_until(SimTime::from_mins(args.minutes));
     let after = cluster.utilizations();
@@ -161,5 +172,8 @@ fn main() {
         totals.shortfall().as_mbps() / totals.demand.as_mbps().max(1.0) * 100.0
     );
     println!();
-    println!("{}", vbundle_core::ClusterReport::capture(&cluster).render());
+    println!(
+        "{}",
+        vbundle_core::ClusterReport::capture(&cluster).render()
+    );
 }

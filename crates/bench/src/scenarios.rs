@@ -7,8 +7,8 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vbundle_core::{
-    Cluster, ClusterModel, Customer, CustomerId, PlacementPolicy, ResourceSpec,
-    ResourceVector, VBundleConfig, VmId, VmRecord,
+    Cluster, ClusterModel, Customer, CustomerId, PlacementPolicy, ResourceSpec, ResourceVector,
+    VBundleConfig, VmId, VmRecord,
 };
 use vbundle_dcn::{Bandwidth, ServerId, Topology};
 use vbundle_pastry::overlay;
@@ -30,7 +30,15 @@ pub fn five_customer_placement(
     let capacity: ResourceVector = topo.capacity().into();
     let mut model = ClusterModel::new(Arc::clone(topo), ids, capacity);
     let customers = Customer::paper_five();
-    place_wave(&mut model, policy, &customers, 0, per_customer, reservation, seed);
+    place_wave(
+        &mut model,
+        policy,
+        &customers,
+        0,
+        per_customer,
+        reservation,
+        seed,
+    );
     (model, customers)
 }
 

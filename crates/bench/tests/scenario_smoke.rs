@@ -4,9 +4,7 @@
 
 use std::sync::Arc;
 
-use vbundle_bench::scenarios::{
-    five_customer_placement, place_wave, skewed_cluster, SippTestbed,
-};
+use vbundle_bench::scenarios::{five_customer_placement, place_wave, skewed_cluster, SippTestbed};
 use vbundle_core::{metrics, PlacementPolicy, VBundleConfig};
 use vbundle_dcn::{Bandwidth, Topology};
 use vbundle_sim::{SimDuration, SimTime};
@@ -53,22 +51,25 @@ fn fig8_scenario_growth_keeps_locality_ordering() {
     let topo = small_topo();
     let mut results = Vec::new();
     for policy in [PlacementPolicy::VBundle, PlacementPolicy::Greedy] {
-        let (mut model, customers) = five_customer_placement(
-            &topo,
+        let (mut model, customers) =
+            five_customer_placement(&topo, policy, 8, Bandwidth::from_mbps(100.0), 7);
+        place_wave(
+            &mut model,
             policy,
+            &customers,
+            1000,
             8,
             Bandwidth::from_mbps(100.0),
-            7,
+            8,
         );
-        place_wave(&mut model, policy, &customers, 1000, 8, Bandwidth::from_mbps(100.0), 8);
         let placements: Vec<_> = model
             .placements()
             .iter()
             .map(|(vm, s)| (vm.customer, *s))
             .collect();
         let locality = metrics::customer_locality(&topo, &placements);
-        let mean_dist = locality.iter().map(|l| l.mean_pair_distance).sum::<f64>()
-            / locality.len() as f64;
+        let mean_dist =
+            locality.iter().map(|l| l.mean_pair_distance).sum::<f64>() / locality.len() as f64;
         results.push(mean_dist);
     }
     assert!(
@@ -86,8 +87,7 @@ fn fig9_scenario_relieves_overload() {
         .with_threshold(0.15)
         .with_update_interval(SimDuration::from_secs(20))
         .with_rebalance_interval(SimDuration::from_secs(60));
-    let (mut cluster, before) =
-        skewed_cluster(topo, config, &SkewedLoad::default(), 10, 9);
+    let (mut cluster, before) = skewed_cluster(topo, config, &SkewedLoad::default(), 10, 9);
     assert!((metrics::mean(&before) - 0.6226).abs() < 1e-9);
     cluster.run_until(SimTime::from_mins(15));
     let after = cluster.utilizations();
@@ -132,13 +132,8 @@ fn fig12_scenario_recovers_sipp() {
 fn skewed_cluster_is_deterministic() {
     let build = || {
         let topo = small_topo();
-        let (cluster, utils) = skewed_cluster(
-            topo,
-            VBundleConfig::default(),
-            &SkewedLoad::default(),
-            5,
-            3,
-        );
+        let (cluster, utils) =
+            skewed_cluster(topo, VBundleConfig::default(), &SkewedLoad::default(), 5, 3);
         (cluster.num_vms(), utils)
     };
     assert_eq!(build(), build());

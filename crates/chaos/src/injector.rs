@@ -1,0 +1,184 @@
+//! The network-fault injector that the sim engine consults on every send.
+//!
+//! [`ChaosInjector`] owns a seeded RNG and reads the *current* partition
+//! and degradation rules out of a [`SharedNet`] — shared with the
+//! [`ChaosDriver`](crate::ChaosDriver), which mutates the rules as plan
+//! events fire. The simulation is single-threaded, so an `Rc<RefCell<…>>`
+//! is enough.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vbundle_dcn::Topology;
+use vbundle_sim::{ActorId, FaultAction, FaultInjector, SimTime};
+
+use crate::plan::{LinkFault, Scope};
+
+/// The mutable network-fault state: which cuts and degradations are live.
+#[derive(Debug)]
+pub struct NetState {
+    /// Active partitions; traffic crossing any pair (either direction) is
+    /// dropped.
+    pub partitions: Vec<(Scope, Scope)>,
+    /// Active degradations, directional `(from, to, fault)`. Every
+    /// matching rule gets a chance to fault a message, in insert order.
+    pub degradations: Vec<(Scope, Scope, LinkFault)>,
+    rng: StdRng,
+}
+
+/// Shared handle onto [`NetState`] — cloned between the driver (writer)
+/// and the injector (reader).
+#[derive(Debug, Clone)]
+pub struct SharedNet(Rc<RefCell<NetState>>);
+
+impl SharedNet {
+    /// Fresh state with no active faults and a seeded fault RNG.
+    pub fn new(seed: u64) -> SharedNet {
+        SharedNet(Rc::new(RefCell::new(NetState {
+            partitions: Vec::new(),
+            degradations: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        })))
+    }
+
+    /// Runs `f` with mutable access to the state.
+    pub fn with<T>(&self, f: impl FnOnce(&mut NetState) -> T) -> T {
+        f(&mut self.0.borrow_mut())
+    }
+}
+
+/// A [`FaultInjector`] that applies the active partitions and degradations
+/// to every message the engine is about to enqueue.
+#[derive(Debug)]
+pub struct ChaosInjector {
+    topo: Arc<Topology>,
+    net: SharedNet,
+}
+
+impl ChaosInjector {
+    /// Builds an injector over the shared network state.
+    pub fn new(topo: Arc<Topology>, net: SharedNet) -> ChaosInjector {
+        ChaosInjector { topo, net }
+    }
+}
+
+impl FaultInjector for ChaosInjector {
+    fn on_send(&mut self, _now: SimTime, from: ActorId, to: ActorId) -> FaultAction {
+        let topo = &self.topo;
+        self.net.with(|st| {
+            // Messages a host sends to itself never leave the NIC.
+            if from == to {
+                return FaultAction::Deliver;
+            }
+            // A message crosses the cut (a, b) only if its endpoints sit on
+            // *different* sides. Scopes may overlap — `(Rack(0), All)` is
+            // the idiom for "rack 0 vs the rest" — so traffic staying
+            // within one side (both endpoints in `a`) must survive.
+            let crosses = |a: &Scope, b: &Scope| {
+                (a.contains(topo, from) && b.contains(topo, to) && !a.contains(topo, to))
+                    || (b.contains(topo, from) && a.contains(topo, to) && !a.contains(topo, from))
+            };
+            if st.partitions.iter().any(|(a, b)| crosses(a, b)) {
+                return FaultAction::Drop;
+            }
+            // Destructure to let the rule iteration and the RNG borrow
+            // disjoint fields.
+            let NetState {
+                degradations, rng, ..
+            } = st;
+            for (src, dst, fault) in degradations.iter() {
+                if !(src.contains(topo, from) && dst.contains(topo, to)) {
+                    continue;
+                }
+                if fault.drop > 0.0 && rng.gen_bool(fault.drop) {
+                    return FaultAction::Drop;
+                }
+                if fault.duplicate > 0.0 && rng.gen_bool(fault.duplicate) {
+                    return FaultAction::Duplicate(fault.duplicate_gap);
+                }
+                if fault.delay > 0.0 && rng.gen_bool(fault.delay) {
+                    return FaultAction::Delay(fault.delay_by);
+                }
+            }
+            FaultAction::Deliver
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbundle_sim::SimDuration;
+
+    fn testbed() -> Arc<Topology> {
+        Arc::new(Topology::paper_testbed())
+    }
+
+    #[test]
+    fn partition_drops_cross_traffic_only() {
+        let topo = testbed();
+        let net = SharedNet::new(1);
+        let rack0 = topo.rack_of(topo.server(0)).index();
+        // Find a server outside rack 0.
+        let other = (0..topo.num_servers())
+            .find(|&i| topo.rack_of(topo.server(i)).index() != rack0)
+            .expect("testbed has more than one rack");
+        net.with(|st| st.partitions.push((Scope::Rack(rack0), Scope::All)));
+        let mut inj = ChaosInjector::new(topo.clone(), net.clone());
+        let now = SimTime::ZERO;
+        let inside = ActorId::new(0);
+        let outside = ActorId::new(other as u32);
+        assert_eq!(inj.on_send(now, inside, outside), FaultAction::Drop);
+        assert_eq!(inj.on_send(now, outside, inside), FaultAction::Drop);
+        // Traffic staying on one side of the cut survives: self-sends,
+        // intra-rack pairs, and pairs entirely outside the rack.
+        assert_eq!(inj.on_send(now, inside, inside), FaultAction::Deliver);
+        if let Some(peer) = (0..topo.num_servers())
+            .find(|&i| i != 0 && topo.rack_of(topo.server(i)).index() == rack0)
+        {
+            let peer = ActorId::new(peer as u32);
+            assert_eq!(inj.on_send(now, inside, peer), FaultAction::Deliver);
+        }
+        net.with(|st| st.partitions.clear());
+        assert_eq!(inj.on_send(now, inside, outside), FaultAction::Deliver);
+    }
+
+    #[test]
+    fn degradation_draws_are_probabilistic_and_deterministic() {
+        let topo = testbed();
+        let run = |seed| {
+            let net = SharedNet::new(seed);
+            net.with(|st| {
+                st.degradations
+                    .push((Scope::All, Scope::All, LinkFault::loss(0.5)))
+            });
+            let mut inj = ChaosInjector::new(topo.clone(), net);
+            (0..200)
+                .map(|_| inj.on_send(SimTime::ZERO, ActorId::new(0), ActorId::new(1)))
+                .collect::<Vec<_>>()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed must replay identically");
+        let drops = a.iter().filter(|&&x| x == FaultAction::Drop).count();
+        assert!((50..150).contains(&drops), "drops={drops}");
+    }
+
+    #[test]
+    fn slow_link_delays_every_message() {
+        let topo = testbed();
+        let net = SharedNet::new(3);
+        let extra = SimDuration::from_millis(4);
+        net.with(|st| {
+            st.degradations
+                .push((Scope::All, Scope::All, LinkFault::slow(extra)))
+        });
+        let mut inj = ChaosInjector::new(topo, net);
+        assert_eq!(
+            inj.on_send(SimTime::ZERO, ActorId::new(0), ActorId::new(1)),
+            FaultAction::Delay(extra)
+        );
+    }
+}

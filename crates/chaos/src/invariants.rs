@@ -1,0 +1,279 @@
+//! Invariant checkers: snapshot the overlay mid-run and report what is
+//! broken *right now*.
+//!
+//! Each checker returns a list of human-readable [`Violation`]s (empty =
+//! healthy). They are meant to be called repeatedly while faults play out:
+//! violations immediately after a crash are expected — the interesting
+//! questions, answered by [`run_scenario`](crate::run_scenario), are
+//! whether they *clear* once the repair protocols run, and how long and
+//! how many messages that takes.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use vbundle_aggregation::{AggClient, Aggregator};
+use vbundle_core::{Controller, VbEngine, VmId};
+use vbundle_pastry::{NodeId, PastryApp, PastryMsg, PastryNode};
+use vbundle_scribe::{GroupId, Scribe, ScribeClient, ScribeMsg};
+use vbundle_sim::{ActorId, Engine};
+
+/// A broken invariant, described for a human.
+pub type Violation = String;
+
+/// Ring / leaf-set consistency across all live, joined nodes:
+///
+/// - every live node's ring successor and predecessor (computed from the
+///   global set of live ids) appear in its leaf set;
+/// - no leaf set still lists a dead node.
+pub fn check_leaf_sets<A: PastryApp>(
+    engine: &Engine<PastryMsg<A::Msg>, PastryNode<A>>,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut ring: Vec<(NodeId, ActorId)> = Vec::new();
+    for (id, node) in engine.actors() {
+        if engine.is_alive(id) && node.is_joined() {
+            ring.push((node.state().id(), id));
+        }
+    }
+    ring.sort();
+    if ring.len() < 2 {
+        return out;
+    }
+    for (i, &(node_id, actor)) in ring.iter().enumerate() {
+        let leaf = engine.actor(actor).state().leaf_set();
+        let succ = ring[(i + 1) % ring.len()].0;
+        let pred = ring[(i + ring.len() - 1) % ring.len()].0;
+        for (role, neighbor) in [("successor", succ), ("predecessor", pred)] {
+            if !leaf.contains(neighbor) {
+                out.push(format!(
+                    "leaf-set: node {node_id:?} (actor {}) is missing its ring {role} {neighbor:?}",
+                    actor.index()
+                ));
+            }
+        }
+        for member in leaf.members() {
+            if !engine.is_alive(member.actor) {
+                out.push(format!(
+                    "leaf-set: node {node_id:?} (actor {}) still lists dead node {:?} (actor {})",
+                    actor.index(),
+                    member.id,
+                    member.actor.index()
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Scribe trees remain spanning trees of the live members: for every group
+/// known to any live node, there is exactly one live root, the tree
+/// reached from it by child links is acyclic and free of dead links, and
+/// every live member is inside it.
+pub fn check_scribe_trees<C: ScribeClient>(
+    engine: &Engine<PastryMsg<ScribeMsg<C::Msg>>, PastryNode<Scribe<C>>>,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut groups: BTreeSet<u128> = BTreeSet::new();
+    for (id, node) in engine.actors() {
+        if engine.is_alive(id) {
+            groups.extend(node.app().group_ids().into_iter().map(|g| g.as_u128()));
+        }
+    }
+    for g in groups {
+        let group = GroupId::from_u128(g);
+        // Live nodes participating in this group's tree.
+        let mut states: BTreeMap<u32, &vbundle_scribe::GroupState> = BTreeMap::new();
+        for (id, node) in engine.actors() {
+            if !engine.is_alive(id) {
+                continue;
+            }
+            if let Some(st) = node.app().group(group) {
+                if st.in_tree() {
+                    states.insert(id.index() as u32, st);
+                }
+            }
+        }
+        if states.is_empty() {
+            continue;
+        }
+        let roots: Vec<u32> = states
+            .iter()
+            .filter(|(_, st)| st.root)
+            .map(|(&a, _)| a)
+            .collect();
+        match roots.len() {
+            1 => {}
+            0 => {
+                out.push(format!("scribe: group {group:?} has no live root"));
+                continue;
+            }
+            _ => {
+                out.push(format!(
+                    "scribe: group {group:?} has {} live roots (actors {roots:?})",
+                    roots.len()
+                ));
+                continue;
+            }
+        }
+        // BFS over child links from the root.
+        let mut reached: BTreeSet<u32> = BTreeSet::new();
+        let mut queue: VecDeque<u32> = VecDeque::from([roots[0]]);
+        reached.insert(roots[0]);
+        while let Some(actor) = queue.pop_front() {
+            let st = states[&actor];
+            for child in &st.children {
+                let c = child.actor.index() as u32;
+                if !engine.is_alive(child.actor) {
+                    out.push(format!(
+                        "scribe: group {group:?}: actor {actor} has dead child {c}"
+                    ));
+                    continue;
+                }
+                if !reached.insert(c) {
+                    out.push(format!(
+                        "scribe: group {group:?}: actor {c} reached twice (cycle or double graft)"
+                    ));
+                    continue;
+                }
+                if states.contains_key(&c) {
+                    queue.push_back(c);
+                } else {
+                    out.push(format!(
+                        "scribe: group {group:?}: actor {actor} links child {c} which is not in the tree"
+                    ));
+                }
+            }
+        }
+        for (&actor, st) in &states {
+            if st.member && !reached.contains(&actor) {
+                out.push(format!(
+                    "scribe: group {group:?}: live member {actor} unreachable from the root"
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Access to the aggregation component embedded in a Scribe client, so the
+/// aggregation checker can work for both the standalone [`AggClient`] and
+/// the full v-Bundle [`Controller`].
+pub trait HasAggregator {
+    /// The embedded aggregator.
+    fn aggregator(&self) -> &Aggregator;
+}
+
+impl HasAggregator for AggClient {
+    fn aggregator(&self) -> &Aggregator {
+        &self.agg
+    }
+}
+
+impl HasAggregator for Controller {
+    fn aggregator(&self) -> &Aggregator {
+        self.aggregator()
+    }
+}
+
+/// Aggregation convergence: every live subscriber's view of the global
+/// `Sum` for `topic` matches the ground truth (the sum of live
+/// subscribers' local values) within `tolerance`, relative to the truth's
+/// magnitude.
+pub fn check_aggregation<C>(
+    engine: &Engine<PastryMsg<ScribeMsg<C::Msg>>, PastryNode<Scribe<C>>>,
+    topic: GroupId,
+    tolerance: f64,
+) -> Vec<Violation>
+where
+    C: ScribeClient + HasAggregator,
+{
+    let mut out = Vec::new();
+    let mut truth = 0.0;
+    let mut subscribers = Vec::new();
+    for (id, node) in engine.actors() {
+        if !engine.is_alive(id) {
+            continue;
+        }
+        let agg = node.app().client().aggregator();
+        if let Some(local) = agg.local(topic) {
+            truth += local.sum;
+            subscribers.push((id, agg));
+        }
+    }
+    let bound = tolerance * truth.abs().max(1.0);
+    for (id, agg) in subscribers {
+        match agg.global(topic) {
+            None => out.push(format!(
+                "aggregation: actor {} has no global value for topic {topic:?}",
+                id.index()
+            )),
+            Some(global) => {
+                if (global.sum - truth).abs() > bound {
+                    out.push(format!(
+                        "aggregation: actor {} sees sum {:.3} for topic {topic:?}, truth is {truth:.3}",
+                        id.index(),
+                        global.sum
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// VM conservation across migrations: no VM is installed on two servers at
+/// once, and every VM in `expected` is accounted for — hosted somewhere
+/// (server state survives a warm restart) or sitting in a shedder's
+/// in-flight ledger, from which it is either delivered or rolled back.
+pub fn check_vm_conservation(engine: &VbEngine, expected: &[VmId]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut hosted: BTreeMap<VmId, Vec<usize>> = BTreeMap::new();
+    let mut in_flight: BTreeSet<VmId> = BTreeSet::new();
+    for (id, node) in engine.actors() {
+        let ctrl = node.app().client();
+        for vm in ctrl.vms() {
+            hosted.entry(vm.id).or_default().push(id.index());
+        }
+        for vm in ctrl.in_flight_vms() {
+            in_flight.insert(vm.id);
+        }
+    }
+    for (vm, hosts) in &hosted {
+        if hosts.len() > 1 {
+            out.push(format!(
+                "conservation: VM {} is installed on {} servers ({hosts:?})",
+                vm.0,
+                hosts.len()
+            ));
+        }
+    }
+    for vm in expected {
+        if !hosted.contains_key(vm) && !in_flight.contains(vm) {
+            out.push(format!(
+                "conservation: VM {} is lost (neither hosted nor in flight)",
+                vm.0
+            ));
+        }
+    }
+    out
+}
+
+/// Capacity safety: no live server's installed reservations exceed its
+/// capacity (in particular its NIC bandwidth).
+pub fn check_capacity(engine: &VbEngine) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (id, node) in engine.actors() {
+        if !engine.is_alive(id) {
+            continue;
+        }
+        let ctrl = node.app().client();
+        let reserved = ctrl.reserved();
+        if !reserved.fits_within(ctrl.capacity()) {
+            out.push(format!(
+                "capacity: server {} reserves {reserved:?} beyond its capacity {:?}",
+                id.index(),
+                ctrl.capacity()
+            ));
+        }
+    }
+    out
+}

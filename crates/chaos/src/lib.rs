@@ -1,0 +1,72 @@
+//! # vbundle-chaos — deterministic fault injection for the v-Bundle stack
+//!
+//! The paper's protocols (Pastry routing, Scribe trees, tree-based
+//! aggregation, load shuffling with live migration) all claim to tolerate
+//! churn; this crate is the harness that makes those claims testable. It
+//! has three parts:
+//!
+//! 1. **Fault plans** ([`FaultPlan`]) — timestamped schedules of node
+//!    crashes/restarts, rack- or pod-level partitions and probabilistic
+//!    link degradations (drop / delay / duplicate). Every random draw
+//!    comes from the plan's own seeded RNG, so a scenario replays
+//!    byte-identically.
+//! 2. **Invariant checkers** ([`invariants`]) — snapshots of the overlay
+//!    mid-run: ring/leaf-set consistency, Scribe trees spanning the live
+//!    members, aggregation agreeing with ground truth, no VM lost or
+//!    duplicated across migrations, no server over capacity.
+//! 3. **Recovery metrics** ([`run_scenario`] → [`RecoveryReport`]) — how
+//!    long and how many messages the overlay needed to repair after the
+//!    last fault, how stale aggregates were, and how many migrations were
+//!    abandoned.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use vbundle_chaos::{run_scenario, FaultPlan, ScenarioSpec};
+//! use vbundle_dcn::Topology;
+//! use vbundle_pastry::{overlay, IdAssignment, PastryConfig};
+//! use vbundle_sim::{SimDuration, SimTime};
+//!
+//! let topo = Arc::new(Topology::paper_testbed());
+//! let config = PastryConfig {
+//!     heartbeat: Some(SimDuration::from_secs(1)),
+//!     ..PastryConfig::default()
+//! };
+//! let (mut engine, handles) =
+//!     overlay::launch_null(&topo, IdAssignment::Random { seed: 7 }, config, 7);
+//! engine.run_until(SimTime::from_secs(30));
+//!
+//! let plan = FaultPlan::new(7)
+//!     .crash(SimTime::from_secs(60), handles[3].actor)
+//!     .restart(SimTime::from_secs(90), handles[3].actor);
+//! let spec = ScenarioSpec {
+//!     name: "crash-restart".into(),
+//!     check_interval: SimDuration::from_secs(1),
+//!     deadline: SimDuration::from_secs(60),
+//! };
+//! let report = run_scenario(
+//!     &mut engine,
+//!     topo,
+//!     plan,
+//!     &spec,
+//!     vbundle_chaos::check_leaf_sets,
+//!     |_| true,
+//!     |_| 0,
+//! );
+//! assert!(report.time_to_repair().is_some(), "{report}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod injector;
+pub mod invariants;
+mod plan;
+mod runner;
+
+pub use injector::{ChaosInjector, NetState, SharedNet};
+pub use invariants::{
+    check_aggregation, check_capacity, check_leaf_sets, check_scribe_trees, check_vm_conservation,
+    HasAggregator, Violation,
+};
+pub use plan::{FaultEvent, FaultKind, FaultPlan, LinkFault, Scope};
+pub use runner::{run_scenario, ChaosDriver, RecoveryReport, ScenarioSpec};

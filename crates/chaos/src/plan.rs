@@ -1,0 +1,246 @@
+//! Fault plans: timestamped, reproducible fault schedules.
+//!
+//! A [`FaultPlan`] is an ordered list of [`FaultEvent`]s plus the seed for
+//! the link-fault RNG. Two runs of the same plan against the same workload
+//! and engine seed produce byte-identical behavior — the whole point of
+//! the chaos layer is that a failing scenario can be replayed exactly.
+
+use vbundle_dcn::Topology;
+use vbundle_sim::{ActorId, SimDuration, SimTime};
+
+/// A set of servers, at the granularities the datacenter fabric fails at:
+/// one host, one rack (top-of-rack switch), one pod (aggregation switch),
+/// or everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// A single server (actor ids double as server indexes).
+    Actor(ActorId),
+    /// Every server under one top-of-rack switch.
+    Rack(usize),
+    /// Every server under one pod's aggregation switches.
+    Pod(usize),
+    /// Every server.
+    All,
+}
+
+impl Scope {
+    /// Whether `actor` falls inside this scope under `topo`. Actors beyond
+    /// the topology's servers (harness-only actors) match only [`Scope::All`].
+    pub fn contains(&self, topo: &Topology, actor: ActorId) -> bool {
+        match *self {
+            Scope::All => true,
+            Scope::Actor(a) => a == actor,
+            Scope::Rack(r) => {
+                actor.index() < topo.num_servers()
+                    && topo.rack_of(topo.server(actor.index())).index() == r
+            }
+            Scope::Pod(p) => {
+                actor.index() < topo.num_servers()
+                    && topo.pod_of(topo.server(actor.index())).index() == p
+            }
+        }
+    }
+}
+
+/// Per-message fault probabilities applied to a matching link while a
+/// degradation is active. Probabilities are evaluated independently in the
+/// order drop → duplicate → delay, with the first hit winning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// Probability a message is silently discarded.
+    pub drop: f64,
+    /// Probability a message is delivered twice.
+    pub duplicate: f64,
+    /// Extra arrival gap of the duplicate copy.
+    pub duplicate_gap: SimDuration,
+    /// Probability a message is delayed.
+    pub delay: f64,
+    /// Extra latency added to delayed messages.
+    pub delay_by: SimDuration,
+}
+
+impl LinkFault {
+    /// A pure packet-loss fault.
+    pub fn loss(drop: f64) -> LinkFault {
+        LinkFault {
+            drop,
+            duplicate: 0.0,
+            duplicate_gap: SimDuration::ZERO,
+            delay: 0.0,
+            delay_by: SimDuration::ZERO,
+        }
+    }
+
+    /// A degraded (slow) link: every message is delayed by `extra`.
+    pub fn slow(extra: SimDuration) -> LinkFault {
+        LinkFault {
+            drop: 0.0,
+            duplicate: 0.0,
+            duplicate_gap: SimDuration::ZERO,
+            delay: 1.0,
+            delay_by: extra,
+        }
+    }
+
+    /// Adds a duplication probability.
+    pub fn with_duplicate(mut self, p: f64, gap: SimDuration) -> LinkFault {
+        self.duplicate = p;
+        self.duplicate_gap = gap;
+        self
+    }
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Fail a server ([`Engine::fail`](vbundle_sim::Engine::fail)).
+    Crash(ActorId),
+    /// Revive a failed server
+    /// ([`Engine::restart`](vbundle_sim::Engine::restart)).
+    Restart(ActorId),
+    /// Start dropping all traffic between the two scopes, both directions
+    /// (a switch failure); traffic within each side is unaffected.
+    Partition {
+        /// One side of the cut.
+        a: Scope,
+        /// The other side.
+        b: Scope,
+    },
+    /// Remove every active partition.
+    HealPartitions,
+    /// Start applying per-message fault probabilities to traffic from
+    /// `from` to `to` (one direction; add the mirrored event for both).
+    Degrade {
+        /// Sending side.
+        from: Scope,
+        /// Receiving side.
+        to: Scope,
+        /// The probabilities to apply.
+        fault: LinkFault,
+    },
+    /// Remove every active degradation.
+    ClearDegradations,
+}
+
+/// A fault at a point in simulated time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault takes effect.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A reproducible fault schedule.
+///
+/// ```
+/// use vbundle_chaos::FaultPlan;
+/// use vbundle_sim::{ActorId, SimTime};
+///
+/// let plan = FaultPlan::new(7)
+///     .crash(SimTime::from_secs(60), ActorId::new(3))
+///     .restart(SimTime::from_secs(120), ActorId::new(3));
+/// assert_eq!(plan.events().len(), 2);
+/// assert_eq!(plan.last_fault_at(), Some(SimTime::from_secs(120)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the link-fault RNG (independent of the engine's seed, so a
+    /// plan can be replayed against different workloads).
+    pub seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given link-fault RNG seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Appends an arbitrary event.
+    pub fn event(mut self, at: SimTime, kind: FaultKind) -> FaultPlan {
+        self.events.push(FaultEvent { at, kind });
+        self.events.sort_by_key(|e| e.at); // stable: ties keep insert order
+        self
+    }
+
+    /// Schedules a server crash.
+    pub fn crash(self, at: SimTime, actor: ActorId) -> FaultPlan {
+        self.event(at, FaultKind::Crash(actor))
+    }
+
+    /// Schedules a server restart.
+    pub fn restart(self, at: SimTime, actor: ActorId) -> FaultPlan {
+        self.event(at, FaultKind::Restart(actor))
+    }
+
+    /// Schedules a network partition between two scopes.
+    pub fn partition(self, at: SimTime, a: Scope, b: Scope) -> FaultPlan {
+        self.event(at, FaultKind::Partition { a, b })
+    }
+
+    /// Schedules the healing of all partitions.
+    pub fn heal(self, at: SimTime) -> FaultPlan {
+        self.event(at, FaultKind::HealPartitions)
+    }
+
+    /// Schedules a one-directional link degradation.
+    pub fn degrade(self, at: SimTime, from: Scope, to: Scope, fault: LinkFault) -> FaultPlan {
+        self.event(at, FaultKind::Degrade { from, to, fault })
+    }
+
+    /// Schedules a symmetric link degradation (both directions).
+    pub fn degrade_both(self, at: SimTime, a: Scope, b: Scope, fault: LinkFault) -> FaultPlan {
+        self.degrade(at, a, b, fault).degrade(at, b, a, fault)
+    }
+
+    /// Schedules the removal of all degradations.
+    pub fn clear_degradations(self, at: SimTime) -> FaultPlan {
+        self.event(at, FaultKind::ClearDegradations)
+    }
+
+    /// The events, ordered by time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// When the last scheduled fault fires.
+    pub fn last_fault_at(&self) -> Option<SimTime> {
+        self.events.last().map(|e| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn events_sort_by_time() {
+        let plan = FaultPlan::new(1)
+            .restart(SimTime::from_secs(9), ActorId::new(0))
+            .crash(SimTime::from_secs(3), ActorId::new(0));
+        assert!(matches!(plan.events()[0].kind, FaultKind::Crash(_)));
+        assert_eq!(plan.last_fault_at(), Some(SimTime::from_secs(9)));
+    }
+
+    #[test]
+    fn scope_matches_topology_levels() {
+        let topo = Arc::new(Topology::paper_testbed());
+        let first = ActorId::new(0);
+        let rack = topo.rack_of(topo.server(0)).index();
+        let pod = topo.pod_of(topo.server(0)).index();
+        assert!(Scope::All.contains(&topo, first));
+        assert!(Scope::Actor(first).contains(&topo, first));
+        assert!(!Scope::Actor(first).contains(&topo, ActorId::new(1)));
+        assert!(Scope::Rack(rack).contains(&topo, first));
+        assert!(Scope::Pod(pod).contains(&topo, first));
+        // A harness actor beyond the servers matches only All.
+        let outside = ActorId::new(topo.num_servers() as u32 + 5);
+        assert!(Scope::All.contains(&topo, outside));
+        assert!(!Scope::Rack(rack).contains(&topo, outside));
+    }
+}

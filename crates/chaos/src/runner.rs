@@ -1,0 +1,238 @@
+//! The scenario driver: plays a [`FaultPlan`] against a running engine and
+//! measures how the overlay recovers.
+
+use std::fmt;
+use std::sync::Arc;
+
+use vbundle_dcn::Topology;
+use vbundle_sim::{Actor, Engine, FaultStats, Message, SimDuration, SimTime};
+
+use crate::injector::{ChaosInjector, SharedNet};
+use crate::invariants::Violation;
+use crate::plan::{FaultKind, FaultPlan};
+
+/// Plays a [`FaultPlan`]'s events at their scheduled times while the
+/// engine runs.
+///
+/// Node faults (crash / restart) go straight to the engine; network faults
+/// mutate the [`SharedNet`] state that the installed [`ChaosInjector`]
+/// reads on every send.
+pub struct ChaosDriver {
+    plan: FaultPlan,
+    net: SharedNet,
+    next_event: usize,
+}
+
+impl ChaosDriver {
+    /// Installs a [`ChaosInjector`] for `plan` into the engine and returns
+    /// the driver that will play the plan's events.
+    pub fn install<W: Message, A: Actor<W>>(
+        engine: &mut Engine<W, A>,
+        topo: Arc<Topology>,
+        plan: FaultPlan,
+    ) -> ChaosDriver {
+        let net = SharedNet::new(plan.seed);
+        engine.set_injector(Box::new(ChaosInjector::new(topo, net.clone())));
+        ChaosDriver {
+            plan,
+            net,
+            next_event: 0,
+        }
+    }
+
+    /// The shared network-fault state (for tests that want to inspect it).
+    pub fn net(&self) -> &SharedNet {
+        &self.net
+    }
+
+    /// True once every plan event has fired.
+    pub fn done(&self) -> bool {
+        self.next_event >= self.plan.events().len()
+    }
+
+    /// Applies one fault to the engine / network state.
+    fn apply<W: Message, A: Actor<W>>(&self, engine: &mut Engine<W, A>, kind: &FaultKind) {
+        match *kind {
+            FaultKind::Crash(actor) => engine.fail(actor),
+            FaultKind::Restart(actor) => engine.restart(actor),
+            FaultKind::Partition { a, b } => self.net.with(|st| st.partitions.push((a, b))),
+            FaultKind::HealPartitions => self.net.with(|st| st.partitions.clear()),
+            FaultKind::Degrade { from, to, fault } => {
+                self.net.with(|st| st.degradations.push((from, to, fault)))
+            }
+            FaultKind::ClearDegradations => self.net.with(|st| st.degradations.clear()),
+        }
+    }
+
+    /// Runs the engine up to `deadline`, firing every plan event whose
+    /// time falls in the interval just before advancing past it.
+    pub fn run_until<W: Message, A: Actor<W>>(
+        &mut self,
+        engine: &mut Engine<W, A>,
+        deadline: SimTime,
+    ) {
+        while self.next_event < self.plan.events().len() {
+            let at = self.plan.events()[self.next_event].at;
+            if at > deadline {
+                break;
+            }
+            engine.run_until(at);
+            // Fire every event scheduled for this instant.
+            while self.next_event < self.plan.events().len()
+                && self.plan.events()[self.next_event].at == at
+            {
+                let kind = self.plan.events()[self.next_event].kind.clone();
+                self.apply(engine, &kind);
+                self.next_event += 1;
+            }
+        }
+        engine.run_until(deadline);
+    }
+}
+
+/// How [`run_scenario`] watches a run.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Name stamped into the report.
+    pub name: String,
+    /// How often the invariants are re-checked after the last fault.
+    pub check_interval: SimDuration,
+    /// How long after the last fault the scenario keeps watching before
+    /// giving up and reporting the still-open violations.
+    pub deadline: SimDuration,
+}
+
+/// What a scenario run measured. [`Display`](fmt::Display) renders it from
+/// simulated time and counters only, so two runs of the same seeded
+/// scenario produce byte-identical reports.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// The scenario's name.
+    pub scenario: String,
+    /// Message-level faults the injector actually applied.
+    pub faults: FaultStats,
+    /// When the last plan event fired (recovery is measured from here).
+    pub last_fault_at: SimTime,
+    /// When all structural invariants first held again (`None` = never
+    /// within the deadline).
+    pub repaired_at: Option<SimTime>,
+    /// Messages the cluster sent between the last fault and repair.
+    pub messages_to_repair: Option<u64>,
+    /// When the aggregation layer first agreed with ground truth again.
+    pub agg_converged_at: Option<SimTime>,
+    /// Migrations abandoned (VM rolled back to the shedder) over the whole
+    /// run.
+    pub failed_migrations: u64,
+    /// Invariant violations still open when the deadline hit.
+    pub violations_at_deadline: Vec<Violation>,
+}
+
+impl RecoveryReport {
+    /// Time from the last fault until all invariants held.
+    pub fn time_to_repair(&self) -> Option<SimDuration> {
+        self.repaired_at.map(|t| t - self.last_fault_at)
+    }
+
+    /// Time from the last fault until aggregation agreed with ground truth.
+    pub fn aggregate_staleness(&self) -> Option<SimDuration> {
+        self.agg_converged_at.map(|t| t - self.last_fault_at)
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "scenario: {}", self.scenario)?;
+        writeln!(
+            f,
+            "  injected: {} dropped, {} delayed, {} duplicated",
+            self.faults.dropped, self.faults.delayed, self.faults.duplicated
+        )?;
+        writeln!(f, "  last fault at: {}", self.last_fault_at)?;
+        match self.time_to_repair() {
+            Some(d) => writeln!(f, "  time to repair: {d}")?,
+            None => writeln!(f, "  time to repair: DID NOT REPAIR")?,
+        }
+        match self.messages_to_repair {
+            Some(n) => writeln!(f, "  messages to repair: {n}")?,
+            None => writeln!(f, "  messages to repair: n/a")?,
+        }
+        match self.aggregate_staleness() {
+            Some(d) => writeln!(f, "  aggregate staleness: {d}")?,
+            None => writeln!(f, "  aggregate staleness: DID NOT CONVERGE")?,
+        }
+        writeln!(f, "  failed migrations: {}", self.failed_migrations)?;
+        if self.violations_at_deadline.is_empty() {
+            write!(f, "  open violations: none")?;
+        } else {
+            write!(
+                f,
+                "  open violations: {}",
+                self.violations_at_deadline.len()
+            )?;
+            for v in &self.violations_at_deadline {
+                write!(f, "\n    - {v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Plays `plan` against `engine`, then repeatedly checks the caller's
+/// invariants until they hold (and aggregation matches ground truth) or
+/// the deadline expires, and reports the recovery metrics.
+///
+/// The closures keep this generic over the stack under test:
+/// `invariants` returns the open structural violations, `agg_ok` says
+/// whether the aggregation layer currently agrees with ground truth, and
+/// `failed_migrations` reads the cluster-wide abandoned-migration count
+/// (return 0 for stacks without migration).
+pub fn run_scenario<W: Message, A: Actor<W>>(
+    engine: &mut Engine<W, A>,
+    topo: Arc<Topology>,
+    plan: FaultPlan,
+    spec: &ScenarioSpec,
+    mut invariants: impl FnMut(&Engine<W, A>) -> Vec<Violation>,
+    mut agg_ok: impl FnMut(&Engine<W, A>) -> bool,
+    mut failed_migrations: impl FnMut(&Engine<W, A>) -> u64,
+) -> RecoveryReport {
+    let last_fault_at = plan.last_fault_at().unwrap_or(engine.now());
+    let mut driver = ChaosDriver::install(engine, topo, plan);
+    driver.run_until(engine, last_fault_at);
+
+    let base_msgs = engine.counters().aggregate().total_msgs();
+    let deadline = last_fault_at + spec.deadline;
+    let mut repaired_at = None;
+    let mut messages_to_repair = None;
+    let mut agg_converged_at = None;
+    let mut open = invariants(engine);
+
+    loop {
+        if repaired_at.is_none() && open.is_empty() {
+            repaired_at = Some(engine.now());
+            messages_to_repair = Some(engine.counters().aggregate().total_msgs() - base_msgs);
+        }
+        if agg_converged_at.is_none() && agg_ok(engine) {
+            agg_converged_at = Some(engine.now());
+        }
+        if (repaired_at.is_some() && agg_converged_at.is_some()) || engine.now() >= deadline {
+            break;
+        }
+        let next = (engine.now() + spec.check_interval).min(deadline);
+        driver.run_until(engine, next);
+        open = invariants(engine);
+    }
+
+    let failed = failed_migrations(engine);
+    let faults = engine.fault_stats();
+    engine.take_injector();
+    RecoveryReport {
+        scenario: spec.name.clone(),
+        faults,
+        last_fault_at,
+        repaired_at,
+        messages_to_repair,
+        agg_converged_at,
+        failed_migrations: failed,
+        violations_at_deadline: open,
+    }
+}

@@ -1,0 +1,100 @@
+//! Property: for *any* fault plan of fewer-than-quorum crashes, once the
+//! network quiesces the overlay has repaired itself — every Scribe tree
+//! spans exactly the live members and the aggregated bandwidth demand
+//! equals the ground-truth sum over the survivors.
+
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use vbundle_chaos::{
+    check_aggregation, check_leaf_sets, check_scribe_trees, ChaosDriver, FaultPlan,
+};
+use vbundle_core::{
+    bw_demand_topic, Cluster, CustomerId, ResourceSpec, ResourceVector, VBundleConfig, VmRecord,
+};
+use vbundle_dcn::{Bandwidth, Topology};
+use vbundle_pastry::PastryConfig;
+use vbundle_scribe::ScribeConfig;
+use vbundle_sim::{ActorId, SimDuration, SimTime};
+
+/// Paper testbed (15 servers) with fast protocol timers so detection,
+/// tree repair and aggregation all play out within a short settle window.
+fn build_cluster(seed: u64) -> Cluster {
+    let topo = Arc::new(Topology::paper_testbed());
+    let pastry = PastryConfig {
+        heartbeat: Some(SimDuration::from_secs(1)),
+        maintenance: Some(SimDuration::from_secs(10)),
+        ..PastryConfig::default()
+    };
+    let mut cluster = Cluster::builder(topo)
+        .pastry(pastry)
+        .scribe(ScribeConfig::default().with_probe_interval(SimDuration::from_secs(3)))
+        .vbundle(
+            VBundleConfig::default()
+                .with_update_interval(SimDuration::from_secs(5))
+                .with_rebalance_interval(SimDuration::from_secs(1000)),
+        )
+        .seed(seed)
+        .build();
+    let demand = Bandwidth::from_mbps(80.0);
+    for server in 0..cluster.num_servers() {
+        let id = cluster.alloc_vm_id();
+        let mut vm = VmRecord::new(
+            id,
+            CustomerId(server as u32 % 3),
+            ResourceSpec::fixed(ResourceVector::bandwidth_only(demand)),
+        );
+        vm.demand = ResourceVector::bandwidth_only(demand);
+        cluster.install_vm(cluster.topo.server(server), vm);
+    }
+    cluster.run_until(SimTime::from_secs(60));
+    cluster
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn sub_quorum_crashes_always_converge(
+        picks in vec(0usize..15, 1..=4),
+        seed in 1u64..500,
+    ) {
+        let mut crashes: Vec<usize> = picks;
+        crashes.sort_unstable();
+        crashes.dedup();
+        prop_assume!(crashes.len() < 15 / 2); // fewer than a quorum
+
+        let mut cluster = build_cluster(seed);
+        // Stagger the crashes over a few seconds: correlated and
+        // independent failures are both instances of this plan shape.
+        let mut plan = FaultPlan::new(seed);
+        for (i, &server) in crashes.iter().enumerate() {
+            let at = SimTime::from_secs(70 + (i as u64 * 7) % 20);
+            plan = plan.crash(at, ActorId::new(server as u32));
+        }
+
+        let topo = cluster.topo.clone();
+        let mut driver = ChaosDriver::install(&mut cluster.engine, topo, plan);
+
+        // Play all faults, then give the repair protocols a settle
+        // window, checking every 5 simulated seconds.
+        let deadline = SimTime::from_secs(240);
+        let mut t = SimTime::from_secs(100);
+        let mut open = Vec::new();
+        while t <= deadline {
+            driver.run_until(&mut cluster.engine, t);
+            open = check_leaf_sets(&cluster.engine);
+            open.extend(check_scribe_trees(&cluster.engine));
+            open.extend(check_aggregation(&cluster.engine, bw_demand_topic(), 1e-6));
+            if open.is_empty() {
+                break;
+            }
+            t += SimDuration::from_secs(5);
+        }
+        prop_assert!(
+            open.is_empty(),
+            "overlay did not converge after crashing {crashes:?} (seed {seed}): {open:#?}"
+        );
+    }
+}

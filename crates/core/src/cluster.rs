@@ -15,9 +15,7 @@ use vbundle_sim::{ActorId, Engine, LatencyModel, SimDuration, SimTime};
 
 use crate::message::CtrlMsg;
 use crate::metrics::SatisfactionTotals;
-use crate::{
-    Controller, Customer, ResourceSpec, ResourceVector, VBundleConfig, VmId, VmRecord,
-};
+use crate::{Controller, Customer, ResourceSpec, ResourceVector, VBundleConfig, VmId, VmRecord};
 
 /// The fully composed engine type of a v-Bundle cluster.
 pub type VbEngine = Engine<PastryMsg<ScribeMsg<CtrlMsg>>, PastryNode<Scribe<Controller>>>;

@@ -12,7 +12,7 @@
 //!   anycast load-balance queries into the *Less-Loaded* tree; accepting
 //!   receivers hold bandwidth until the VM migrates over.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use vbundle_aggregation::{AggMsg, AggregationConfig, Aggregator, AGG_TICK_TAG};
 use vbundle_dcn::Bandwidth;
@@ -27,6 +27,12 @@ use crate::{shaper, ResourceVector, VBundleConfig, VmId, VmRecord};
 pub const UPDATE_TAG: u64 = 0x101;
 /// Client timer tag for the rebalancing tick.
 pub const REBALANCE_TAG: u64 = 0x102;
+/// Timer-tag space for per-migration ack timeouts (`base | query id`);
+/// sits below the Scribe-reserved space, above the small client tags.
+pub const MIGRATE_RETRY_TAG_BASE: u64 = 1 << 61;
+/// Resend attempts before a migration is declared failed and the VM is
+/// reinstalled on the shedder.
+const MAX_MIGRATION_RETRIES: u32 = 2;
 
 /// The aggregation topic carrying every server's NIC capacity.
 pub fn bw_capacity_topic() -> GroupId {
@@ -84,6 +90,16 @@ struct Hold {
     expires: SimTime,
 }
 
+/// A VM sent to a receiver but not yet acknowledged. The shedder keeps the
+/// record so the transfer can be retried (lossy network) or rolled back
+/// (receiver never answers) — a migration must never lose the VM.
+#[derive(Debug, Clone)]
+struct InFlight {
+    vm: VmRecord,
+    receiver: NodeHandle,
+    attempts: u32,
+}
+
 /// Observable counters of one controller, used by the figure harnesses.
 #[derive(Debug, Clone, Default)]
 pub struct ControllerStats {
@@ -106,6 +122,9 @@ pub struct ControllerStats {
     pub anycast_failures: u64,
     /// Migrations skipped by the cost-benefit gate.
     pub migrations_gated: u64,
+    /// Migrations whose receiver never acknowledged the transfer; the VM
+    /// was reinstalled on this server.
+    pub migrations_failed: u64,
 }
 
 /// The v-Bundle controller running on one server.
@@ -120,6 +139,8 @@ pub struct Controller {
     holds: Vec<Hold>,
     /// Outstanding load-balance queries: query id → VM planned to move.
     pending_sheds: HashMap<u64, VmId>,
+    /// Migrations sent but not yet acknowledged: query id → transfer.
+    in_flight: BTreeMap<u64, InFlight>,
     /// VMs whose last query found no receiver, with retry-after times:
     /// the next rounds try *other* (smaller) VMs instead of livelocking on
     /// the largest one.
@@ -145,6 +166,7 @@ impl Controller {
             in_less_loaded: false,
             holds: Vec::new(),
             pending_sheds: HashMap::new(),
+            in_flight: BTreeMap::new(),
             shed_cooldown: HashMap::new(),
             next_query: 0,
             stats: ControllerStats::default(),
@@ -159,6 +181,16 @@ impl Controller {
     /// The VMs currently hosted.
     pub fn vms(&self) -> &[VmRecord] {
         &self.vms
+    }
+
+    /// VMs this server has sent to a receiver that have not been
+    /// acknowledged yet. Until the ack (or the rollback after exhausted
+    /// retries), the shedder still owns these records — cluster-wide VM
+    /// accounting must count them exactly once, here.
+    pub fn in_flight_vms(&self) -> Vec<VmRecord> {
+        let mut v: Vec<VmRecord> = self.in_flight.values().map(|e| e.vm).collect();
+        v.sort_by_key(|vm| vm.id);
+        v
     }
 
     /// The current self-identified role.
@@ -178,10 +210,7 @@ impl Controller {
 
     /// Bandwidth currently held for accepted-but-not-yet-arrived VMs.
     pub fn bw_held(&self) -> Bandwidth {
-        self.holds
-            .iter()
-            .map(|h| h.vm.effective_bw_demand())
-            .sum()
+        self.holds.iter().map(|h| h.vm.effective_bw_demand()).sum()
     }
 
     /// Bandwidth utilization: demand over NIC capacity (may exceed 1).
@@ -600,6 +629,25 @@ impl Controller {
         let vm = self.vms.remove(pos);
         self.stats.migrations_out += 1;
         self.stats.migration_times.push(ctx.now());
+        self.in_flight.insert(
+            query,
+            InFlight {
+                vm,
+                receiver,
+                attempts: 0,
+            },
+        );
+        self.send_migrate(ctx, query, vm, receiver);
+    }
+
+    /// Sends (or resends) an in-flight VM and arms its ack timeout.
+    fn send_migrate(
+        &mut self,
+        ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>,
+        query: u64,
+        vm: VmRecord,
+        receiver: NodeHandle,
+    ) {
         let me = ctx.self_handle();
         ctx.send_client_after(
             receiver,
@@ -610,6 +658,41 @@ impl Controller {
             },
             self.config.migration_delay,
         );
+        debug_assert!(query < MIGRATE_RETRY_TAG_BASE);
+        ctx.schedule(self.migrate_ack_timeout(), MIGRATE_RETRY_TAG_BASE | query);
+    }
+
+    /// How long to wait for a [`CtrlMsg::MigrateAck`] before resending:
+    /// the transfer itself plus generous slack for the ack's round trip,
+    /// kept well inside the receiver's hold window so retries still land
+    /// on reserved bandwidth.
+    fn migrate_ack_timeout(&self) -> SimDuration {
+        self.config.migration_delay * 2 + self.config.hold_timeout / 8
+    }
+
+    /// The ack timeout for `query` fired. Resend, or — once out of
+    /// retries — declare the migration failed and take the VM back.
+    fn migrate_retry_tick(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>, query: u64) {
+        let Some(entry) = self.in_flight.get_mut(&query) else {
+            return; // acked (or rolled back) in the meantime
+        };
+        if entry.attempts >= MAX_MIGRATION_RETRIES {
+            let entry = self.in_flight.remove(&query).expect("just seen");
+            self.stats.migrations_failed += 1;
+            self.reinstall_failed_migration(entry.vm);
+            return;
+        }
+        entry.attempts += 1;
+        let (vm, receiver) = (entry.vm, entry.receiver);
+        self.send_migrate(ctx, query, vm, receiver);
+    }
+
+    /// Brings a VM home after its transfer could not be completed.
+    fn reinstall_failed_migration(&mut self, vm: VmRecord) {
+        if !self.vms.iter().any(|v| v.id == vm.id) {
+            self.vms.push(vm);
+            self.stats.migrations_out = self.stats.migrations_out.saturating_sub(1);
+        }
     }
 
     /// The predictive cost-benefit module (§VII future work): compares the
@@ -620,18 +703,29 @@ impl Controller {
             .bw_demand()
             .saturating_sub(self.capacity.bandwidth)
             .min(vm.effective_bw_demand());
-        let benefit_mbit =
-            deficit.as_mbps() * self.config.rebalance_interval.as_secs_f64();
+        let benefit_mbit = deficit.as_mbps() * self.config.rebalance_interval.as_secs_f64();
         // Live migration transfers roughly the VM's memory footprint.
         let mem_mb = vm.spec.limit.memory_mb.max(vm.demand.memory_mb);
         let cost_mbit = mem_mb * 8.0;
         benefit_mbit > cost_mbit
     }
 
-    fn handle_migrate_arrival(&mut self, query: u64, vm: VmRecord) {
+    fn handle_migrate_arrival(
+        &mut self,
+        ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>,
+        query: u64,
+        vm: VmRecord,
+        from: NodeHandle,
+    ) {
         self.holds.retain(|h| h.query != query);
-        self.vms.push(vm);
-        self.stats.migrations_in += 1;
+        // Retries and duplicated packets can deliver the same transfer
+        // more than once; install the VM exactly once but always re-ack —
+        // the earlier ack may have been the casualty.
+        if !self.vms.iter().any(|v| v.id == vm.id) {
+            self.vms.push(vm);
+            self.stats.migrations_in += 1;
+        }
+        ctx.send_client(from, CtrlMsg::MigrateAck { query });
     }
 }
 
@@ -652,11 +746,31 @@ impl ScribeClient for Controller {
         ctx.schedule(self.config.rebalance_interval + jitter, REBALANCE_TAG);
     }
 
+    fn on_restart(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>) {
+        // The crash purged every timer this controller had armed; re-arm
+        // the periodic ticks (same stagger logic as on_start) and the ack
+        // timeout of every migration that was still in flight, so each of
+        // those transfers is eventually acked, retried or rolled back.
+        use rand::Rng;
+        self.agg.on_restart(ctx);
+        let jitter_cap = (self.config.update_interval.as_micros() / 10).max(1);
+        let jitter = SimDuration::from_micros(ctx.rng().gen_range(0..jitter_cap));
+        ctx.schedule(self.config.update_interval + jitter, UPDATE_TAG);
+        ctx.schedule(self.config.rebalance_interval + jitter, REBALANCE_TAG);
+        let timeout = self.migrate_ack_timeout();
+        for &query in self.in_flight.keys() {
+            ctx.schedule(timeout, MIGRATE_RETRY_TAG_BASE | query);
+        }
+    }
+
     fn on_timer(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>, tag: u64) {
         match tag {
             AGG_TICK_TAG => self.agg.on_tick(ctx),
             UPDATE_TAG => self.update_tick(ctx),
             REBALANCE_TAG => self.rebalance_tick(ctx),
+            t if t >= MIGRATE_RETRY_TAG_BASE => {
+                self.migrate_retry_tick(ctx, t & !MIGRATE_RETRY_TAG_BASE)
+            }
             _ => {}
         }
     }
@@ -669,11 +783,12 @@ impl ScribeClient for Controller {
     ) {
         if let CtrlMsg::Agg(AggMsg::Result {
             topic,
+            root,
             version,
             value,
         }) = msg
         {
-            self.agg.on_result(topic, version, value);
+            self.agg.on_result(topic, root, version, value);
         }
     }
 
@@ -697,7 +812,12 @@ impl ScribeClient for Controller {
                 vm,
                 receiver,
             } => self.handle_accept(ctx, query, vm, receiver),
-            CtrlMsg::Migrate { query, vm, .. } => self.handle_migrate_arrival(query, vm),
+            CtrlMsg::Migrate { query, vm, from } => {
+                self.handle_migrate_arrival(ctx, query, vm, from)
+            }
+            CtrlMsg::MigrateAck { query } => {
+                self.in_flight.remove(&query);
+            }
             CtrlMsg::Load(_) => {} // load queries only arrive via anycast
         }
     }
@@ -762,10 +882,8 @@ impl ScribeClient for Controller {
             self.pending_sheds.remove(&q.query);
             // No receiver could take this VM right now: back off on it so
             // the next rounds offer other (smaller) VMs instead.
-            self.shed_cooldown.insert(
-                q.vm.id,
-                _ctx.now() + self.config.rebalance_interval * 2,
-            );
+            self.shed_cooldown
+                .insert(q.vm.id, _ctx.now() + self.config.rebalance_interval * 2);
         }
     }
 
@@ -785,10 +903,12 @@ impl ScribeClient for Controller {
         msg: CtrlMsg,
     ) {
         match msg {
-            // The receiver died mid-migration: the VM comes back home.
-            CtrlMsg::Migrate { vm, .. } => {
-                self.vms.push(vm);
-                self.stats.migrations_out = self.stats.migrations_out.saturating_sub(1);
+            // The receiver died mid-migration: the VM comes back home
+            // right away (no point retrying into a dead host).
+            CtrlMsg::Migrate { query, vm, .. } => {
+                self.in_flight.remove(&query);
+                self.reinstall_failed_migration(vm);
+                self.stats.migrations_failed += 1;
             }
             // A boot hop died: continue the walk without it.
             CtrlMsg::Boot(mut q) => {
@@ -866,7 +986,7 @@ mod tests {
     fn receiver_check_enforces_oscillation_guard() {
         let mut c = controller(0.1);
         c.install_vm(vm(1, 0.0, 1000.0, 500.0)); // util 0.5
-        // mean 0.5 + θ 0.1 = 0.6: a 200 Mbps demand would hit 0.7.
+                                                 // mean 0.5 + θ 0.1 = 0.6: a 200 Mbps demand would hit 0.7.
         assert!(!c.receiver_check(&vm(2, 0.0, 1000.0, 200.0), 0.5));
         // 50 Mbps stays at 0.55 ≤ 0.6.
         assert!(c.receiver_check(&vm(3, 0.0, 1000.0, 50.0), 0.5));
@@ -937,6 +1057,9 @@ mod tests {
             }
             assert_ne!(capacity_topic(kinds[i]), demand_topic(kinds[i]));
         }
-        assert_eq!(capacity_topic(crate::ResourceKind::Bandwidth), bw_capacity_topic());
+        assert_eq!(
+            capacity_topic(crate::ResourceKind::Bandwidth),
+            bw_capacity_topic()
+        );
     }
 }

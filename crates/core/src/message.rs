@@ -67,7 +67,8 @@ pub enum CtrlMsg {
         receiver: NodeHandle,
     },
     /// The migrating VM itself (its arrival completes the migration; the
-    /// send delay models the live-migration duration).
+    /// send delay models the live-migration duration). Resent until acked:
+    /// under a lossy network a dropped VM transfer must not lose the VM.
     Migrate {
         /// Echo of the originating query id (releases the hold).
         query: u64,
@@ -75,6 +76,13 @@ pub enum CtrlMsg {
         vm: VmRecord,
         /// The shedding server it left.
         from: NodeHandle,
+    },
+    /// The receiver's confirmation that a [`CtrlMsg::Migrate`] arrived and
+    /// the VM is installed. Receivers re-ack duplicate transfers, so the
+    /// shedder can retry until it hears this.
+    MigrateAck {
+        /// Echo of the originating query id.
+        query: u64,
     },
 }
 
@@ -85,13 +93,12 @@ impl Message for CtrlMsg {
     fn wire_size(&self) -> usize {
         match self {
             CtrlMsg::Agg(m) => m.wire_size(),
-            CtrlMsg::Boot(q) => {
-                8 + VM_BYTES + HANDLE_BYTES * 2 + 4 * q.visited.len() + 8
-            }
+            CtrlMsg::Boot(q) => 8 + VM_BYTES + HANDLE_BYTES * 2 + 4 * q.visited.len() + 8,
             CtrlMsg::BootResult { .. } => 8 + 8 + HANDLE_BYTES,
             CtrlMsg::Load(_) => 8 + VM_BYTES + HANDLE_BYTES,
             CtrlMsg::LoadAccept { .. } => 8 + 8 + HANDLE_BYTES,
             CtrlMsg::Migrate { .. } => 8 + VM_BYTES + HANDLE_BYTES,
+            CtrlMsg::MigrateAck { .. } => 8,
         }
     }
 

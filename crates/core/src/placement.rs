@@ -138,8 +138,7 @@ impl ClusterModel {
                     ids[s].ring_distance(root_id),
                 )
             });
-            self.walks
-                .insert(key.as_u128(), Walk { order, cursor: 0 });
+            self.walks.insert(key.as_u128(), Walk { order, cursor: 0 });
         }
         // Borrow dance: clone the order handle out of the map.
         let walk = self.walks.get(&key.as_u128()).expect("just inserted");

@@ -97,7 +97,14 @@ impl ClusterReport {
         let peak = hist.iter().copied().max().unwrap_or(1).max(1);
         for (i, &n) in hist.iter().enumerate() {
             let bar = "#".repeat((n * 40).div_ceil(peak).min(40));
-            let _ = writeln!(out, "  {:>3}%-{:<4} {:>6} {}", i * 10, format!("{}%", (i + 1) * 10), n, bar);
+            let _ = writeln!(
+                out,
+                "  {:>3}%-{:<4} {:>6} {}",
+                i * 10,
+                format!("{}%", (i + 1) * 10),
+                n,
+                bar
+            );
         }
         let (s, r, n) = self.status_counts;
         let _ = writeln!(out, "status: {s} shedders / {r} receivers / {n} neutral");
@@ -140,9 +147,8 @@ mod tests {
                 CustomerId(server as u32 % 2),
                 ResourceSpec::bandwidth(Bandwidth::ZERO, Bandwidth::from_gbps(1.0)),
             );
-            vm.demand = ResourceVector::bandwidth_only(Bandwidth::from_mbps(
-                250.0 * (server + 1) as f64,
-            ));
+            vm.demand =
+                ResourceVector::bandwidth_only(Bandwidth::from_mbps(250.0 * (server + 1) as f64));
             let sid = cluster.topo.server(server);
             cluster.install_vm(sid, vm);
         }

@@ -110,10 +110,8 @@ mod tests {
 
     #[test]
     fn effective_demand_clamps_to_limit() {
-        let spec = ResourceSpec::bandwidth(
-            Bandwidth::from_mbps(100.0),
-            Bandwidth::from_mbps(200.0),
-        );
+        let spec =
+            ResourceSpec::bandwidth(Bandwidth::from_mbps(100.0), Bandwidth::from_mbps(200.0));
         let mut vm = VmRecord::new(VmId(1), CustomerId(0), spec);
         vm.demand = ResourceVector::bandwidth_only(Bandwidth::from_mbps(500.0));
         assert_eq!(vm.effective_bw_demand(), Bandwidth::from_mbps(200.0));

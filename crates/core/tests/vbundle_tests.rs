@@ -28,7 +28,11 @@ fn bw(mbps: f64) -> Bandwidth {
 fn seed_imbalance(cluster: &mut Cluster, hot: usize, hot_demand: f64, cold_demand: f64) {
     let n = cluster.num_servers();
     for server in 0..n {
-        let target = if server < hot { hot_demand } else { cold_demand };
+        let target = if server < hot {
+            hot_demand
+        } else {
+            cold_demand
+        };
         let mut remaining = target;
         while remaining > 1e-9 {
             let chunk = remaining.min(100.0);
@@ -101,7 +105,13 @@ fn boot_rejected_when_cluster_full() {
     for i in 0..8 {
         assert!(
             cluster
-                .boot_and_run(0, &c, spec, ResourceVector::ZERO, SimDuration::from_secs(60))
+                .boot_and_run(
+                    0,
+                    &c,
+                    spec,
+                    ResourceVector::ZERO,
+                    SimDuration::from_secs(60)
+                )
                 .is_some(),
             "VM {i} should fit"
         );
@@ -226,11 +236,10 @@ fn receivers_never_pushed_over_threshold() {
     let mean = metrics::mean(&utils);
     // The acceptance double-check (§III.C step 3) keeps every receiver at
     // or below mean + threshold (small epsilon for demand quantization).
-    for i in 6..cluster.num_servers() {
+    for (i, &util) in utils.iter().enumerate().skip(6) {
         assert!(
-            utils[i] <= mean + threshold + 0.101,
-            "receiver {i} overshot: {} (mean {mean})",
-            utils[i]
+            util <= mean + threshold + 0.101,
+            "receiver {i} overshot: {util} (mean {mean})"
         );
     }
 }
@@ -376,11 +385,7 @@ fn multi_metric_sheds_on_memory_pressure() {
                 .build(),
         );
         let mut cluster = Cluster::builder(topo)
-            .vbundle(
-                fast_config()
-                    .with_threshold(0.15)
-                    .with_multi_metric(multi),
-            )
+            .vbundle(fast_config().with_threshold(0.15).with_multi_metric(multi))
             .seed(31)
             .build();
         // Every server has the same light bandwidth demand, but the first
@@ -484,7 +489,13 @@ fn shutdown_releases_reservations() {
     }
     // A fifth VM cannot fit...
     assert!(cluster
-        .boot_and_run(0, &c, spec, ResourceVector::ZERO, SimDuration::from_secs(30))
+        .boot_and_run(
+            0,
+            &c,
+            spec,
+            ResourceVector::ZERO,
+            SimDuration::from_secs(30)
+        )
         .is_none());
     // ...until one shuts down.
     cluster.reindex();

@@ -110,7 +110,10 @@ impl Topology {
     /// assert_eq!(t.num_racks(), 8);
     /// ```
     pub fn fat_tree(k: u32) -> Topology {
-        assert!(k >= 2 && k % 2 == 0, "fat-tree arity must be even and ≥ 2");
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat-tree arity must be even and ≥ 2"
+        );
         Topology::builder()
             .pods(k)
             .racks_per_pod(k / 2)

@@ -262,7 +262,7 @@ mod tests {
 
     #[test]
     fn formatting() {
-        let id = Id::from_u128(0xdeadbeef_0000_0000_0000_0000_0000_0000);
+        let id = Id::from_u128(0xdead_beef_0000_0000_0000_0000_0000_0000);
         assert_eq!(format!("{id}"), "deadbeef");
         assert!(format!("{id:?}").starts_with("Id(deadbeef"));
     }

@@ -2,9 +2,7 @@
 
 use std::collections::HashMap;
 
-use vbundle_sim::{
-    Actor, ActorId, Context as SimContext, Message, SimDuration, SimTime,
-};
+use vbundle_sim::{Actor, ActorId, Context as SimContext, Message, SimDuration, SimTime};
 
 use crate::message::{PastryMsg, RouteEnvelope};
 use crate::state::{PastryState, RouteDecision};
@@ -16,6 +14,12 @@ pub const PASTRY_TAG_BASE: u64 = 1 << 63;
 
 const HEARTBEAT_TAG: u64 = PASTRY_TAG_BASE;
 const MAINTENANCE_TAG: u64 = PASTRY_TAG_BASE + 1;
+
+/// Maintenance rounds a forgotten node stays on the resurrection-probe
+/// list (see [`PastryNode`]'s `departed` field).
+const RESURRECTION_PROBES: u32 = 12;
+/// Upper bound on remembered departed nodes (oldest evicted first).
+const GRAVEYARD_CAP: usize = 32;
 
 /// An application layered over a Pastry node (for v-Bundle: Scribe).
 ///
@@ -35,6 +39,15 @@ pub trait PastryApp: Sized {
     /// state are born joined and never receive this.)
     fn on_joined(&mut self, ctx: &mut AppCtx<'_, '_, Self::Msg>) {
         let _ = ctx;
+    }
+
+    /// The hosting node was revived after a crash
+    /// ([`Engine::restart`](vbundle_sim::Engine::restart)). State survived
+    /// but all pending timers were purged; implementations should re-arm
+    /// periodic timers and repair any protocol state that peers may have
+    /// evolved past during the outage. Defaults to [`PastryApp::on_start`].
+    fn on_restart(&mut self, ctx: &mut AppCtx<'_, '_, Self::Msg>) {
+        self.on_start(ctx);
     }
 
     /// A routed message reached the node responsible for `key`.
@@ -78,7 +91,12 @@ pub trait PastryApp: Sized {
 
     /// A direct application message could not be delivered because the
     /// target actor failed.
-    fn on_send_failure(&mut self, ctx: &mut AppCtx<'_, '_, Self::Msg>, to: ActorId, msg: Self::Msg) {
+    fn on_send_failure(
+        &mut self,
+        ctx: &mut AppCtx<'_, '_, Self::Msg>,
+        to: ActorId,
+        msg: Self::Msg,
+    ) {
         let _ = (ctx, to, msg);
     }
 }
@@ -168,6 +186,11 @@ pub struct PastryNode<A: PastryApp> {
     joined: bool,
     bootstrap: Option<ActorId>,
     last_ack: HashMap<u128, SimTime>,
+    /// Recently-forgotten nodes with a countdown of resurrection probes
+    /// left. A node declared dead because a partition swallowed its traffic
+    /// is still running; maintenance rounds keep sending it leaf-set
+    /// requests for a while so the rings re-merge once the network heals.
+    departed: Vec<(NodeHandle, u32)>,
 }
 
 impl<A: PastryApp> PastryNode<A> {
@@ -182,6 +205,7 @@ impl<A: PastryApp> PastryNode<A> {
             joined: true,
             bootstrap: None,
             last_ack: HashMap::new(),
+            departed: Vec::new(),
         }
     }
 
@@ -195,6 +219,7 @@ impl<A: PastryApp> PastryNode<A> {
             joined: false,
             bootstrap: Some(bootstrap),
             last_ack: HashMap::new(),
+            departed: Vec::new(),
         }
     }
 
@@ -250,7 +275,7 @@ impl<A: PastryApp> PastryNode<A> {
         mut env: RouteEnvelope<A::Msg>,
     ) {
         env.hops += 1;
-        self.state.learn(env.origin);
+        self.learn_firsthand(env.origin);
         let decision = if env.hops > self.config.max_hops {
             RouteDecision::DeliverHere
         } else {
@@ -262,7 +287,8 @@ impl<A: PastryApp> PastryNode<A> {
                     sim: ctx,
                     state: &self.state,
                 };
-                self.app.deliver(&mut app_ctx, env.key, env.payload, env.origin);
+                self.app
+                    .deliver(&mut app_ctx, env.key, env.payload, env.origin);
             }
             RouteDecision::Forward(next) => {
                 let mut app_ctx = AppCtx {
@@ -313,7 +339,7 @@ impl<A: PastryApp> PastryNode<A> {
                 is_destination,
             },
         );
-        self.state.learn(newcomer);
+        self.learn_firsthand(newcomer);
         if let RouteDecision::Forward(next) = decision {
             if next.id != newcomer.id {
                 ctx.send(
@@ -343,11 +369,38 @@ impl<A: PastryApp> PastryNode<A> {
         self.app.on_joined(&mut app_ctx);
     }
 
+    /// Learns `h` from a message `h` itself authored — firsthand proof of
+    /// life, which also clears any tombstone so a resurrected or healed
+    /// node is trusted again.
+    fn learn_firsthand(&mut self, h: NodeHandle) {
+        self.departed.retain(|(d, _)| d.id != h.id);
+        self.state.learn(h);
+    }
+
+    /// Learns `h` from another node's contact list. Secondhand mentions of
+    /// a node we recently declared dead are ignored: peers with stale
+    /// state would otherwise gossip the corpse back into our leaf set
+    /// faster than heartbeats can evict it.
+    fn learn_gossip(&mut self, h: NodeHandle) {
+        if self.departed.iter().any(|(d, _)| d.id == h.id) {
+            return;
+        }
+        self.state.learn(h);
+    }
+
     fn fail_node(&mut self, ctx: &mut SimContext<'_, PastryMsg<A::Msg>>, failed: NodeHandle) {
         if !self.state.forget(failed.id) {
             return;
         }
         self.last_ack.remove(&failed.id.as_u128());
+        // Remember the departed for a while: if it was only unreachable (a
+        // partition, not a crash), resurrection probes from the maintenance
+        // loop will re-merge the rings once the network heals.
+        self.departed.retain(|(h, _)| h.id != failed.id);
+        self.departed.push((failed, RESURRECTION_PROBES));
+        if self.departed.len() > GRAVEYARD_CAP {
+            self.departed.remove(0);
+        }
         // Leaf-set repair: pull the leaf sets of the surviving extremes.
         let me = self.state.handle();
         for extreme in [
@@ -381,6 +434,19 @@ impl<A: PastryApp> PastryNode<A> {
             let me = self.state.handle();
             ctx.send(peer.actor, PastryMsg::RowRequest { from: me, row });
         }
+        // Resurrection probes: leaf-set requests to recently-departed
+        // nodes. A healed partition answers (re-merging the two rings); a
+        // truly dead node bounces harmlessly. Each entry gets a finite
+        // probe budget so the graveyard drains.
+        let me = self.state.handle();
+        let mut departed = std::mem::take(&mut self.departed);
+        departed.retain(|(h, _)| !known.iter().any(|k| k.id == h.id));
+        for (h, left) in &mut departed {
+            ctx.send(h.actor, PastryMsg::LeafSetRequest(me));
+            *left -= 1;
+        }
+        departed.retain(|&(_, left)| left > 0);
+        self.departed = departed;
         ctx.schedule(interval, MAINTENANCE_TAG);
     }
 
@@ -431,6 +497,40 @@ impl<A: PastryApp> Actor<PastryMsg<A::Msg>> for PastryNode<A> {
         self.app.on_start(&mut app_ctx);
     }
 
+    fn on_restart(&mut self, ctx: &mut SimContext<'_, PastryMsg<A::Msg>>) {
+        // The crash purged our timers; re-arm both protocol loops.
+        if let Some(interval) = self.config.heartbeat {
+            ctx.schedule(interval, HEARTBEAT_TAG);
+        }
+        if let Some(interval) = self.config.maintenance {
+            ctx.schedule(interval, MAINTENANCE_TAG);
+        }
+        // Acks recorded before the outage would read as ancient on the next
+        // heartbeat round and trigger false failure verdicts; start fresh.
+        self.last_ack.clear();
+        // Peers that declared us dead evicted us from their state; announce
+        // ourselves so they re-learn us, and pull fresh leaf sets from the
+        // extremes to pick up any membership change we slept through.
+        let me = self.state.handle();
+        for peer in self.state.known_nodes() {
+            ctx.send(peer.actor, PastryMsg::Announce(me));
+        }
+        for extreme in [
+            self.state.leaf_set().cw_extreme(),
+            self.state.leaf_set().ccw_extreme(),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            ctx.send(extreme.actor, PastryMsg::LeafSetRequest(me));
+        }
+        let mut app_ctx = AppCtx {
+            sim: ctx,
+            state: &self.state,
+        };
+        self.app.on_restart(&mut app_ctx);
+    }
+
     fn on_message(
         &mut self,
         ctx: &mut SimContext<'_, PastryMsg<A::Msg>>,
@@ -440,7 +540,7 @@ impl<A: PastryApp> Actor<PastryMsg<A::Msg>> for PastryNode<A> {
         match msg {
             PastryMsg::Route(env) => self.handle_route(ctx, env),
             PastryMsg::Direct { from, msg } => {
-                self.state.learn(from);
+                self.learn_firsthand(from);
                 let mut app_ctx = AppCtx {
                     sim: ctx,
                     state: &self.state,
@@ -453,34 +553,35 @@ impl<A: PastryApp> Actor<PastryMsg<A::Msg>> for PastryNode<A> {
                 contacts,
                 is_destination,
             } => {
-                self.state.learn(from);
+                self.learn_firsthand(from);
                 for c in contacts {
-                    self.state.learn(c);
+                    self.learn_gossip(c);
                 }
                 if is_destination {
                     self.complete_join(ctx);
                 }
             }
             PastryMsg::Announce(h) => {
-                self.state.learn(h);
+                self.learn_firsthand(h);
             }
             PastryMsg::Heartbeat(h) => {
-                self.state.learn(h);
+                self.learn_firsthand(h);
                 let me = self.state.handle();
                 ctx.send(h.actor, PastryMsg::HeartbeatAck(me));
             }
             PastryMsg::HeartbeatAck(h) => {
+                self.departed.retain(|(d, _)| d.id != h.id);
                 self.last_ack.insert(h.id.as_u128(), ctx.now());
             }
             PastryMsg::LeafSetRequest(h) => {
-                self.state.learn(h);
+                self.learn_firsthand(h);
                 let mut reply = self.state.leaf_set().members();
                 reply.push(self.state.handle());
                 ctx.send(h.actor, PastryMsg::LeafSetReply(reply));
             }
             PastryMsg::LeafSetReply(contacts) => {
                 for c in contacts {
-                    self.state.learn(c);
+                    self.learn_gossip(c);
                 }
             }
             PastryMsg::Depart(h) => {
@@ -488,14 +589,14 @@ impl<A: PastryApp> Actor<PastryMsg<A::Msg>> for PastryNode<A> {
                 self.fail_node(ctx, h);
             }
             PastryMsg::RowRequest { from, row } => {
-                self.state.learn(from);
+                self.learn_firsthand(from);
                 let mut reply = self.state.routing_table().row(row as usize);
                 reply.push(self.state.handle());
                 ctx.send(from.actor, PastryMsg::RowReply(reply));
             }
             PastryMsg::RowReply(contacts) => {
                 for c in contacts {
-                    self.state.learn(c);
+                    self.learn_gossip(c);
                 }
             }
         }

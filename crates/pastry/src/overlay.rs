@@ -151,6 +151,13 @@ pub fn build_states(
         .collect()
 }
 
+/// A started overlay: the engine plus the node handles (indexed by
+/// server), as returned by [`launch`] and [`launch_null`].
+pub type LaunchedOverlay<A> = (
+    Engine<PastryMsg<<A as PastryApp>::Msg>, PastryNode<A>>,
+    Vec<NodeHandle>,
+);
+
 /// Builds a complete overlay: pre-built states, one [`PastryNode`] per
 /// server, engine started. Returns the engine and the node handles (indexed
 /// by server).
@@ -163,7 +170,7 @@ pub fn launch<A: PastryApp>(
     seed: u64,
     latency: Box<dyn LatencyModel>,
     mut app_factory: impl FnMut(usize, NodeHandle) -> A,
-) -> (Engine<PastryMsg<A::Msg>, PastryNode<A>>, Vec<NodeHandle>) {
+) -> LaunchedOverlay<A> {
     let ids = assign_ids(topo, policy);
     let handles = handles_for(&ids);
     let states = build_states(topo, &handles, &config);
@@ -211,10 +218,7 @@ pub fn launch_null(
     policy: IdAssignment,
     config: PastryConfig,
     seed: u64,
-) -> (
-    Engine<PastryMsg<Probe>, PastryNode<NullApp>>,
-    Vec<NodeHandle>,
-) {
+) -> LaunchedOverlay<NullApp> {
     launch(
         topo,
         policy,

@@ -52,13 +52,23 @@ impl LeafSet {
         }
         let mut changed = false;
         let cw_key = self.self_id.cw_distance(h.id);
-        changed |= Self::insert_side(&mut self.cw, h, cw_key, self.half, |s, x| {
-            s.cw_distance(x)
-        }, self.self_id);
+        changed |= Self::insert_side(
+            &mut self.cw,
+            h,
+            cw_key,
+            self.half,
+            |s, x| s.cw_distance(x),
+            self.self_id,
+        );
         let ccw_key = h.id.cw_distance(self.self_id);
-        changed |= Self::insert_side(&mut self.ccw, h, ccw_key, self.half, |s, x| {
-            x.cw_distance(s)
-        }, self.self_id);
+        changed |= Self::insert_side(
+            &mut self.ccw,
+            h,
+            ccw_key,
+            self.half,
+            |s, x| x.cw_distance(s),
+            self.self_id,
+        );
         changed
     }
 
@@ -292,9 +302,7 @@ impl NeighborSet {
         let sort_key = (proximity, self.self_id.ring_distance(h.id));
         let pos = self
             .items
-            .binary_search_by(|(p, e)| {
-                (*p, self.self_id.ring_distance(e.id)).cmp(&sort_key)
-            })
+            .binary_search_by(|(p, e)| (*p, self.self_id.ring_distance(e.id)).cmp(&sort_key))
             .unwrap_or_else(|p| p);
         if pos >= self.capacity {
             return false;
@@ -534,8 +542,8 @@ mod tests {
             ls.insert(h(u128::MAX - 2, 1)); // 8 counter-clockwise of 5
             ls.insert(h(2, 2)); // 3 counter-clockwise
             ls.insert(h(10, 3)); // 5 clockwise
-            // The wrap-around id at distance 8 loses the single ccw slot to
-            // the id at distance 3; the cw slot goes to the nearest cw id.
+                                 // The wrap-around id at distance 8 loses the single ccw slot to
+                                 // the id at distance 3; the cw slot goes to the nearest cw id.
             assert_eq!(ls.ccw_extreme().unwrap().id, Id::from_u128(2));
             assert_eq!(ls.cw_extreme().unwrap().id, Id::from_u128(10));
         }
@@ -568,8 +576,14 @@ mod tests {
             let mut ls = LeafSet::new(self_h.id, 2);
             ls.insert(h(120, 1));
             ls.insert(h(80, 2));
-            assert_eq!(ls.closest(Id::from_u128(118), self_h).id, Id::from_u128(120));
-            assert_eq!(ls.closest(Id::from_u128(101), self_h).id, Id::from_u128(100));
+            assert_eq!(
+                ls.closest(Id::from_u128(118), self_h).id,
+                Id::from_u128(120)
+            );
+            assert_eq!(
+                ls.closest(Id::from_u128(101), self_h).id,
+                Id::from_u128(100)
+            );
             assert_eq!(ls.closest(Id::from_u128(82), self_h).id, Id::from_u128(80));
         }
 
@@ -676,7 +690,11 @@ mod tests {
     mod decisions {
         use super::*;
 
-        fn state_with(topology: Arc<Topology>, self_v: u128, others: &[(u128, u32)]) -> PastryState {
+        fn state_with(
+            topology: Arc<Topology>,
+            self_v: u128,
+            others: &[(u128, u32)],
+        ) -> PastryState {
             let mut st = PastryState::new(h(self_v, 0), topology, 2, 4);
             for &(v, a) in others {
                 st.learn(h(v, a));
@@ -697,14 +715,20 @@ mod tests {
         #[test]
         fn delivers_own_key() {
             let st = state_with(topo4(), 100, &[(200, 1)]);
-            assert_eq!(st.route_decision(Id::from_u128(100)), RouteDecision::DeliverHere);
+            assert_eq!(
+                st.route_decision(Id::from_u128(100)),
+                RouteDecision::DeliverHere
+            );
         }
 
         #[test]
         fn leaf_set_rule_delivers_or_forwards() {
             let st = state_with(topo4(), 100, &[(140, 1), (60, 2)]);
             // Leaf set not full -> covers everything; closest wins.
-            assert_eq!(st.route_decision(Id::from_u128(110)), RouteDecision::DeliverHere);
+            assert_eq!(
+                st.route_decision(Id::from_u128(110)),
+                RouteDecision::DeliverHere
+            );
             match st.route_decision(Id::from_u128(135)) {
                 RouteDecision::Forward(n) => assert_eq!(n.id, Id::from_u128(140)),
                 other => panic!("expected forward, got {other:?}"),

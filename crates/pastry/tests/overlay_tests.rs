@@ -5,9 +5,7 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 use vbundle_dcn::Topology;
-use vbundle_pastry::overlay::{
-    self, launch_null, IdAssignment, NullApp, Probe,
-};
+use vbundle_pastry::overlay::{self, launch_null, IdAssignment, NullApp, Probe};
 use vbundle_pastry::{Id, PastryConfig, PastryMsg, PastryNode, RouteDecision};
 use vbundle_sim::{ActorId, ConstantLatency, Engine, SimDuration, SimTime};
 
@@ -34,7 +32,10 @@ fn global_closest(ids: &[Id], key: Id) -> Id {
 
 #[test]
 fn routes_deliver_at_numerically_closest_node() {
-    for policy in [IdAssignment::TopologyAware, IdAssignment::Random { seed: 7 }] {
+    for policy in [
+        IdAssignment::TopologyAware,
+        IdAssignment::Random { seed: 7 },
+    ] {
         let topo = topo(32);
         let (mut engine, handles) = launch_null(&topo, policy, PastryConfig::default(), 1);
         let ids: Vec<Id> = handles.iter().map(|h| h.id).collect();
@@ -71,8 +72,12 @@ fn hop_count_is_logarithmic() {
     // hop should stay well under 8 overlay hops. We measure via simulated
     // time: constant 100 µs per hop, injected at t=0.
     let topo = topo(64);
-    let (mut engine, handles) =
-        launch_null(&topo, IdAssignment::Random { seed: 3 }, PastryConfig::default(), 1);
+    let (mut engine, handles) = launch_null(
+        &topo,
+        IdAssignment::Random { seed: 3 },
+        PastryConfig::default(),
+        1,
+    );
     let key = Id::from_name("hop-count-probe");
     engine.call(handles[0].actor, |node, ctx| {
         node.app_call(ctx, |_, app| app.route(key, Probe(0)));
@@ -92,12 +97,14 @@ fn join_protocol_integrates_newcomer() {
     // Build the overlay from the first 16 nodes; node 16 joins by protocol.
     let existing = &handles[..16];
     let states = overlay::build_states(&topo, existing, &config);
-    let mut engine: Engine<PastryMsg<Probe>, PastryNode<NullApp>> = Engine::new(
-        Box::new(ConstantLatency(SimDuration::from_micros(100))),
-        5,
-    );
+    let mut engine: Engine<PastryMsg<Probe>, PastryNode<NullApp>> =
+        Engine::new(Box::new(ConstantLatency(SimDuration::from_micros(100))), 5);
     for st in states {
-        engine.add_actor(PastryNode::with_state(st, NullApp::default(), config.clone()));
+        engine.add_actor(PastryNode::with_state(
+            st,
+            NullApp::default(),
+            config.clone(),
+        ));
     }
     let newcomer = handles[16];
     let newcomer_state = vbundle_pastry::PastryState::new(
@@ -126,14 +133,21 @@ fn join_protocol_integrates_newcomer() {
         node.app_call(ctx, |_, app| app.route(newcomer.id, Probe(99)));
     });
     engine.run_to_quiescence();
-    assert_eq!(engine.actor(newcomer.actor).app().delivered, vec![newcomer.id]);
+    assert_eq!(
+        engine.actor(newcomer.actor).app().delivered,
+        vec![newcomer.id]
+    );
 }
 
 #[test]
 fn bounced_sends_evict_dead_node_and_reroute() {
     let topo = topo(16);
-    let (mut engine, handles) =
-        launch_null(&topo, IdAssignment::Random { seed: 21 }, PastryConfig::default(), 1);
+    let (mut engine, handles) = launch_null(
+        &topo,
+        IdAssignment::Random { seed: 21 },
+        PastryConfig::default(),
+        1,
+    );
     let ids: Vec<Id> = handles.iter().map(|h| h.id).collect();
 
     // Kill the node that owns this key, then route to it.
@@ -142,11 +156,7 @@ fn bounced_sends_evict_dead_node_and_reroute() {
     let owner_pos = ids.iter().position(|&i| i == owner).unwrap();
     engine.fail(handles[owner_pos].actor);
 
-    let survivors: Vec<Id> = ids
-        .iter()
-        .copied()
-        .filter(|&i| i != owner)
-        .collect();
+    let survivors: Vec<Id> = ids.iter().copied().filter(|&i| i != owner).collect();
     let backup = global_closest(&survivors, key);
     let backup_pos = ids.iter().position(|&i| i == backup).unwrap();
 
@@ -280,8 +290,12 @@ proptest! {
 #[test]
 fn graceful_departure_evicts_immediately() {
     let topo = topo(16);
-    let (mut engine, handles) =
-        launch_null(&topo, IdAssignment::Random { seed: 31 }, PastryConfig::default(), 1);
+    let (mut engine, handles) = launch_null(
+        &topo,
+        IdAssignment::Random { seed: 31 },
+        PastryConfig::default(),
+        1,
+    );
     let ids: Vec<Id> = handles.iter().map(|h| h.id).collect();
     let leaver = handles[5];
 
@@ -323,10 +337,8 @@ fn maintenance_repopulates_routing_tables() {
     let config = PastryConfig::default().with_maintenance(SimDuration::from_secs(10));
     let ids = overlay::random_ids(32, 77);
     let handles = overlay::handles_for(&ids);
-    let mut engine: Engine<PastryMsg<Probe>, PastryNode<NullApp>> = Engine::new(
-        Box::new(ConstantLatency(SimDuration::from_millis(1))),
-        9,
-    );
+    let mut engine: Engine<PastryMsg<Probe>, PastryNode<NullApp>> =
+        Engine::new(Box::new(ConstantLatency(SimDuration::from_millis(1))), 9);
     // Build states by learning only ring neighbors (no global knowledge).
     let mut by_id = handles.clone();
     by_id.sort_by_key(|h| h.id);
@@ -342,7 +354,11 @@ fn maintenance_repopulates_routing_tables() {
             st.learn(by_id[(pos + step) % 32]);
             st.learn(by_id[(pos + 32 - step) % 32]);
         }
-        engine.add_actor(PastryNode::with_state(st, NullApp::default(), config.clone()));
+        engine.add_actor(PastryNode::with_state(
+            st,
+            NullApp::default(),
+            config.clone(),
+        ));
     }
     engine.start();
     let table_sizes = |e: &Engine<PastryMsg<Probe>, PastryNode<NullApp>>| -> usize {
@@ -378,18 +394,19 @@ fn maintenance_repopulates_routing_tables() {
 #[test]
 fn overlay_survives_interleaved_churn() {
     let topo = topo(24);
-    let config = PastryConfig::default()
-        .with_heartbeat(SimDuration::from_secs(15));
+    let config = PastryConfig::default().with_heartbeat(SimDuration::from_secs(15));
     let ids = overlay::random_ids(24, 51);
     let handles = overlay::handles_for(&ids);
-    let mut engine: Engine<PastryMsg<Probe>, PastryNode<NullApp>> = Engine::new(
-        Box::new(ConstantLatency(SimDuration::from_millis(2))),
-        3,
-    );
+    let mut engine: Engine<PastryMsg<Probe>, PastryNode<NullApp>> =
+        Engine::new(Box::new(ConstantLatency(SimDuration::from_millis(2))), 3);
     // Seed overlay: first 8 nodes prebuilt.
     let states = overlay::build_states(&topo, &handles[..8], &config);
     for st in states {
-        engine.add_actor(PastryNode::with_state(st, NullApp::default(), config.clone()));
+        engine.add_actor(PastryNode::with_state(
+            st,
+            NullApp::default(),
+            config.clone(),
+        ));
     }
     engine.start();
     engine.run_until(SimTime::from_secs(5));
@@ -406,9 +423,7 @@ fn overlay_survives_interleaved_churn() {
                 config.leaf_half,
                 config.neighbor_capacity,
             );
-            let bootstrap = (0..idx)
-                .find(|i| !dead.contains(i))
-                .expect("someone alive");
+            let bootstrap = (0..idx).find(|i| !dead.contains(i)).expect("someone alive");
             let id = engine.add_actor(PastryNode::joining(
                 st,
                 ActorId::new(bootstrap as u32),
@@ -431,7 +446,10 @@ fn overlay_survives_interleaved_churn() {
     // closest *live* node.
     let live: Vec<usize> = (0..24).filter(|i| !dead.contains(i)).collect();
     for &i in &live[8..] {
-        assert!(engine.actor(ActorId::new(i as u32)).is_joined(), "node {i} not joined");
+        assert!(
+            engine.actor(ActorId::new(i as u32)).is_joined(),
+            "node {i} not joined"
+        );
     }
     let live_ids: Vec<Id> = live.iter().map(|&i| ids[i]).collect();
     for k in 0..20u64 {

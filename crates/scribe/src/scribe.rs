@@ -9,9 +9,9 @@
 //! topologically close children — the property v-Bundle's Less-Loaded tree
 //! relies on to find *nearby* load receivers (§III.C).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-use vbundle_pastry::{AppCtx, Key, NodeHandle, PastryApp};
+use vbundle_pastry::{AppCtx, Key, NodeHandle, PastryApp, RouteDecision};
 use vbundle_sim::{ActorId, Message, SimDuration, SimTime};
 
 use crate::message::{AnycastEnvelope, ScribeMsg};
@@ -65,6 +65,13 @@ pub trait ScribeClient: Sized {
     /// The node started.
     fn on_start(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, Self::Msg>) {
         let _ = ctx;
+    }
+
+    /// The hosting node was revived after a crash. Client state survived
+    /// but all pending timers were purged; re-arm periodic timers here.
+    /// Defaults to [`ScribeClient::on_start`].
+    fn on_restart(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, Self::Msg>) {
+        self.on_start(ctx);
     }
 
     /// A multicast published to a group this node subscribes to arrived.
@@ -179,7 +186,7 @@ enum Command<M> {
 /// after the upcall returns; reads reflect the state at upcall time.
 pub struct ScribeCtx<'a, 'b, 'c, 'd, M: Message + Clone> {
     pastry: &'a mut AppCtx<'b, 'c, ScribeMsg<M>>,
-    groups: &'a HashMap<u128, GroupState>,
+    groups: &'a BTreeMap<u128, GroupState>,
     commands: &'d mut Vec<Command<M>>,
 }
 
@@ -264,9 +271,7 @@ impl<'a, 'b, 'c, 'd, M: Message + Clone> ScribeCtx<'a, 'b, 'c, 'd, M> {
 
     /// Whether the local node subscribed to `group`.
     pub fn is_member(&self, group: GroupId) -> bool {
-        self.groups
-            .get(&group.as_u128())
-            .is_some_and(|g| g.member)
+        self.groups.get(&group.as_u128()).is_some_and(|g| g.member)
     }
 
     /// Whether the local node is `group`'s rendezvous root.
@@ -297,7 +302,12 @@ impl<'a, 'b, 'c, 'd, M: Message + Clone> ScribeCtx<'a, 'b, 'c, 'd, M> {
 
 /// The Scribe layer hosting a client of type `C`.
 pub struct Scribe<C: ScribeClient> {
-    groups: HashMap<u128, GroupState>,
+    groups: BTreeMap<u128, GroupState>,
+    /// When each `(group, child id)` link last proved itself alive (a Join,
+    /// re-Join or ParentProbe from the child). Links silent for three probe
+    /// rounds are dropped, so a child that re-parented elsewhere (or died
+    /// without a Leave) cannot stay grafted under a stale parent.
+    child_heard: BTreeMap<(u128, u128), SimTime>,
     client: C,
     config: ScribeConfig,
 }
@@ -311,7 +321,8 @@ impl<C: ScribeClient> Scribe<C> {
     /// Creates a Scribe layer with explicit tunables.
     pub fn with_config(client: C, config: ScribeConfig) -> Self {
         Scribe {
-            groups: HashMap::new(),
+            groups: BTreeMap::new(),
+            child_heard: BTreeMap::new(),
             client,
             config,
         }
@@ -335,11 +346,7 @@ impl<C: ScribeClient> Scribe<C> {
 
     /// Ids of all groups this node holds state for.
     pub fn group_ids(&self) -> Vec<GroupId> {
-        let mut ids: Vec<GroupId> = self
-            .groups
-            .keys()
-            .map(|&k| GroupId::from_u128(k))
-            .collect();
+        let mut ids: Vec<GroupId> = self.groups.keys().map(|&k| GroupId::from_u128(k)).collect();
         ids.sort();
         ids
     }
@@ -397,7 +404,13 @@ impl<C: ScribeClient> Scribe<C> {
         if st.root || st.parent.is_some() || !st.children.is_empty() {
             return; // already grafted as root or forwarder
         }
-        pastry.route(g, ScribeMsg::Join { group: g, child: me });
+        pastry.route(
+            g,
+            ScribeMsg::Join {
+                group: g,
+                child: me,
+            },
+        );
     }
 
     fn apply_leave(&mut self, pastry: &mut AppCtx<'_, '_, ScribeMsg<C::Msg>>, g: GroupId) {
@@ -423,8 +436,15 @@ impl<C: ScribeClient> Scribe<C> {
         }
         let parent = st.parent;
         self.groups.remove(&g.as_u128());
+        self.child_heard.retain(|&(gk, _), _| gk != g.as_u128());
         if let Some(p) = parent {
-            pastry.send_direct(p, ScribeMsg::Leave { group: g, child: me });
+            pastry.send_direct(
+                p,
+                ScribeMsg::Leave {
+                    group: g,
+                    child: me,
+                },
+            );
         }
     }
 
@@ -435,9 +455,54 @@ impl<C: ScribeClient> Scribe<C> {
         msg: C::Msg,
     ) {
         if self.groups.get(&g.as_u128()).is_some_and(|st| st.root) {
-            self.disseminate_as_root(pastry, g, msg);
+            // A node that became root while the true root was down is
+            // superseded once the true root returns: routing then points
+            // away from us. Demote instead of publishing a second stream
+            // of sequence numbers under our own name.
+            if self.is_stale_root(pastry, g) {
+                self.demote_stale_root(pastry, g);
+            } else {
+                self.disseminate_as_root(pastry, g, msg);
+                return;
+            }
+        }
+        pastry.route(
+            g,
+            ScribeMsg::Publish {
+                group: g,
+                payload: msg,
+            },
+        );
+    }
+
+    /// Whether this node holds root state for `g` although routing now
+    /// resolves the group id to a different node.
+    fn is_stale_root(&self, pastry: &AppCtx<'_, '_, ScribeMsg<C::Msg>>, g: GroupId) -> bool {
+        self.groups.get(&g.as_u128()).is_some_and(|st| st.root)
+            && matches!(pastry.state().route_decision(g), RouteDecision::Forward(_))
+    }
+
+    /// Steps down as root: re-enter the tree as an ordinary node (keeping
+    /// any children, so the whole subtree reconnects through us) or prune
+    /// if nothing keeps us in the group.
+    fn demote_stale_root(&mut self, pastry: &mut AppCtx<'_, '_, ScribeMsg<C::Msg>>, g: GroupId) {
+        let me = pastry.self_handle();
+        let mut rejoin = false;
+        if let Some(st) = self.groups.get_mut(&g.as_u128()) {
+            st.root = false;
+            st.parent = None;
+            rejoin = st.member || !st.children.is_empty();
+        }
+        if rejoin {
+            pastry.route(
+                g,
+                ScribeMsg::Join {
+                    group: g,
+                    child: me,
+                },
+            );
         } else {
-            pastry.route(g, ScribeMsg::Publish { group: g, payload: msg });
+            self.prune(pastry, g);
         }
     }
 
@@ -560,8 +625,7 @@ impl<C: ScribeClient> Scribe<C> {
             }
         };
         let already_visited = env.visited.contains(&me.actor);
-        let self_eligible =
-            st.member && !env.offered.contains(&me.actor) && me.id != env.origin.id;
+        let self_eligible = st.member && !env.offered.contains(&me.actor) && me.id != env.origin.id;
         #[derive(Clone, Copy)]
         enum Candidate {
             Local,
@@ -669,12 +733,19 @@ impl<C: ScribeClient> Scribe<C> {
                 }
             }
             for d in removed_children {
+                self.child_heard.remove(&(key, d.id.as_u128()));
                 self.with_client(pastry, |c, ctx| c.on_child_removed(ctx, g, d));
             }
             if lost_parent {
                 let st = self.groups.get(&key).expect("group present");
                 if st.member || !st.children.is_empty() {
-                    pastry.route(g, ScribeMsg::Join { group: g, child: me });
+                    pastry.route(
+                        g,
+                        ScribeMsg::Join {
+                            group: g,
+                            child: me,
+                        },
+                    );
                 } else {
                     self.prune(pastry, g);
                 }
@@ -700,9 +771,78 @@ impl<C: ScribeClient> PastryApp for Scribe<C> {
         for (&key, st) in &self.groups {
             if st.member && st.parent.is_none() && !st.root {
                 let g = GroupId::from_u128(key);
-                ctx.route(g, ScribeMsg::Join { group: g, child: me });
+                ctx.route(
+                    g,
+                    ScribeMsg::Join {
+                        group: g,
+                        child: me,
+                    },
+                );
             }
         }
+    }
+
+    fn on_restart(&mut self, ctx: &mut AppCtx<'_, '_, Self::Msg>) {
+        if let Some(interval) = self.config.probe_interval {
+            ctx.schedule(interval, PROBE_TAG);
+        }
+        // While we were down our parents pruned us and our children
+        // re-parented elsewhere; both ends of every remembered tree link
+        // are untrustworthy. Drop all children (live ones re-graft through
+        // their own probes or re-joins), forget the parent, and re-join
+        // every group we subscribe to; forwarder-only state is surrendered
+        // with a Leave. Root state is kept: if another node took over as
+        // root in the meantime, the stale-root check demotes whichever of
+        // the two routing no longer favors.
+        let me = ctx.self_handle();
+        let mut dropped = Vec::new();
+        let mut rejoins = Vec::new();
+        let mut leaves = Vec::new();
+        let mut gone = Vec::new();
+        for (&key, st) in &mut self.groups {
+            let g = GroupId::from_u128(key);
+            for child in std::mem::take(&mut st.children) {
+                dropped.push((g, child));
+            }
+            let parent = st.parent.take();
+            if st.root {
+                continue;
+            }
+            if st.member {
+                rejoins.push(g);
+            } else {
+                if let Some(p) = parent {
+                    leaves.push((p, g));
+                }
+                gone.push(key);
+            }
+        }
+        for key in gone {
+            self.groups.remove(&key);
+        }
+        self.child_heard.clear();
+        for (g, child) in dropped {
+            self.with_client(ctx, |c, sctx| c.on_child_removed(sctx, g, child));
+        }
+        for (p, g) in leaves {
+            ctx.send_direct(
+                p,
+                ScribeMsg::Leave {
+                    group: g,
+                    child: me,
+                },
+            );
+        }
+        for g in rejoins {
+            ctx.route(
+                g,
+                ScribeMsg::Join {
+                    group: g,
+                    child: me,
+                },
+            );
+        }
+        self.with_client(ctx, |c, sctx| c.on_restart(sctx));
     }
 
     fn deliver(
@@ -717,11 +857,17 @@ impl<C: ScribeClient> PastryApp for Scribe<C> {
                 debug_assert_eq!(key, group);
                 // We are (numerically closest to) the rendezvous point.
                 let me = ctx.self_handle();
+                let now = ctx.now();
                 let st = self.groups.entry(group.as_u128()).or_default();
                 st.root = true;
                 st.parent = None;
-                if child.id != me.id && st.add_child(child) {
-                    self.with_client(ctx, |c, sctx| c.on_child_added(sctx, group, child));
+                if child.id != me.id {
+                    let added = st.add_child(child);
+                    self.child_heard
+                        .insert((group.as_u128(), child.id.as_u128()), now);
+                    if added {
+                        self.with_client(ctx, |c, sctx| c.on_child_added(sctx, group, child));
+                    }
                 }
             }
             ScribeMsg::Publish { group, payload } => {
@@ -732,10 +878,7 @@ impl<C: ScribeClient> PastryApp for Scribe<C> {
                 self.with_client(ctx, |c, sctx| c.deliver_routed(sctx, key, m, origin));
             }
             // Direct-only variants should never arrive through routing.
-            other => debug_assert!(
-                false,
-                "unexpected routed Scribe message: {other:?}"
-            ),
+            other => debug_assert!(false, "unexpected routed Scribe message: {other:?}"),
         }
     }
 
@@ -755,10 +898,14 @@ impl<C: ScribeClient> PastryApp for Scribe<C> {
                     st.parent = Some(next);
                     return Some(ScribeMsg::Join { group, child });
                 }
+                let now = ctx.now();
                 let st = self.groups.entry(group.as_u128()).or_default();
                 if st.in_tree() {
                     // Already grafted: adopt the child and stop the join.
-                    if st.add_child(child) {
+                    let added = st.add_child(child);
+                    self.child_heard
+                        .insert((group.as_u128(), child.id.as_u128()), now);
+                    if added {
                         self.with_client(ctx, |c, sctx| c.on_child_added(sctx, group, child));
                     }
                     None
@@ -767,6 +914,8 @@ impl<C: ScribeClient> PastryApp for Scribe<C> {
                     // toward the root under our own name.
                     st.parent = Some(next);
                     st.add_child(child);
+                    self.child_heard
+                        .insert((group.as_u128(), child.id.as_u128()), now);
                     self.with_client(ctx, |c, sctx| c.on_child_added(sctx, group, child));
                     Some(ScribeMsg::Join { group, child: me })
                 }
@@ -788,18 +937,15 @@ impl<C: ScribeClient> PastryApp for Scribe<C> {
         }
     }
 
-    fn on_direct(
-        &mut self,
-        ctx: &mut AppCtx<'_, '_, Self::Msg>,
-        from: NodeHandle,
-        msg: Self::Msg,
-    ) {
+    fn on_direct(&mut self, ctx: &mut AppCtx<'_, '_, Self::Msg>, from: NodeHandle, msg: Self::Msg) {
         match msg {
             ScribeMsg::Leave { group, child } => {
                 let Some(st) = self.groups.get_mut(&group.as_u128()) else {
                     return;
                 };
                 if st.remove_child(child.id) {
+                    self.child_heard
+                        .remove(&(group.as_u128(), child.id.as_u128()));
                     self.with_client(ctx, |c, sctx| c.on_child_removed(sctx, group, child));
                     self.prune(ctx, group);
                 }
@@ -819,17 +965,24 @@ impl<C: ScribeClient> PastryApp for Scribe<C> {
                 self.with_client(ctx, |c, sctx| c.on_direct(sctx, from, m));
             }
             ScribeMsg::ParentProbe { group, child } => {
-                match self.groups.get_mut(&group.as_u128()) {
-                    Some(st) if st.in_tree() => {
-                        // Refresh the child link (it may have been dropped
-                        // by an over-eager repair).
-                        if st.add_child(child) {
-                            self.with_client(ctx, |c, sctx| {
-                                c.on_child_added(sctx, group, child)
-                            });
-                        }
+                let in_tree = matches!(self.groups.get(&group.as_u128()), Some(st) if st.in_tree());
+                if in_tree {
+                    // Refresh the child link (it may have been dropped by
+                    // an over-eager repair) and the liveness stamp that
+                    // guards parent-side expiry.
+                    let now = ctx.now();
+                    let added = self
+                        .groups
+                        .get_mut(&group.as_u128())
+                        .expect("group present")
+                        .add_child(child);
+                    self.child_heard
+                        .insert((group.as_u128(), child.id.as_u128()), now);
+                    if added {
+                        self.with_client(ctx, |c, sctx| c.on_child_added(sctx, group, child));
                     }
-                    _ => ctx.send_direct(child, ScribeMsg::ProbeNack { group }),
+                } else {
+                    ctx.send_direct(child, ScribeMsg::ProbeNack { group });
                 }
             }
             ScribeMsg::ProbeNack { group } => {
@@ -867,6 +1020,48 @@ impl<C: ScribeClient> PastryApp for Scribe<C> {
                         },
                     );
                 }
+            }
+            // Parent-side expiry: a child that re-parented elsewhere (or
+            // died without a Leave) stops probing us; after three silent
+            // rounds drop the link so no node stays grafted under two
+            // parents.
+            if let Some(interval) = self.config.probe_interval {
+                let now = ctx.now();
+                let expiry = interval * 3;
+                let mut expired: Vec<(GroupId, NodeHandle)> = Vec::new();
+                let groups = &self.groups;
+                let child_heard = &mut self.child_heard;
+                for (&key, st) in groups {
+                    for &child in &st.children {
+                        let heard = child_heard.entry((key, child.id.as_u128())).or_insert(now);
+                        if now.saturating_since(*heard) > expiry {
+                            expired.push((GroupId::from_u128(key), child));
+                        }
+                    }
+                }
+                for (g, child) in expired {
+                    let removed = self
+                        .groups
+                        .get_mut(&g.as_u128())
+                        .is_some_and(|st| st.remove_child(child.id));
+                    if removed {
+                        self.child_heard.remove(&(g.as_u128(), child.id.as_u128()));
+                        self.with_client(ctx, |c, sctx| c.on_child_removed(sctx, g, child));
+                        self.prune(ctx, g);
+                    }
+                }
+            }
+            // A root superseded while it was down may never multicast again
+            // on its own; the probe round also retires stale roots so their
+            // orphaned subtrees reconnect to the live tree.
+            let stale: Vec<GroupId> = self
+                .groups
+                .keys()
+                .map(|&k| GroupId::from_u128(k))
+                .filter(|&g| self.is_stale_root(ctx, g))
+                .collect();
+            for g in stale {
+                self.demote_stale_root(ctx, g);
             }
             if let Some(interval) = self.config.probe_interval {
                 ctx.schedule(interval, PROBE_TAG);

@@ -16,7 +16,7 @@ type Net = Engine<PastryMsg<ScribeMsg<TestPayload>>, Node>;
 fn topo(servers: usize) -> Arc<Topology> {
     let racks = servers.div_ceil(4) as u32;
     let mut sizes = vec![4u32; racks as usize];
-    if servers % 4 != 0 {
+    if !servers.is_multiple_of(4) {
         *sizes.last_mut().unwrap() = (servers % 4) as u32;
     }
     Arc::new(Topology::builder().rack_sizes(&sizes).build())
@@ -212,9 +212,7 @@ fn anycast_prefers_nearby_members() {
     for origin in 0..handles.len() {
         net.call(handles[origin].actor, |node, ctx| {
             node.app_call(ctx, |scribe, actx| {
-                scribe.client_call(actx, |_, sctx| {
-                    sctx.anycast(g, TestPayload(origin as u64))
-                });
+                scribe.client_call(actx, |_, sctx| sctx.anycast(g, TestPayload(origin as u64)));
             });
         });
         net.run_to_quiescence();
@@ -399,9 +397,7 @@ fn concurrent_groups_do_not_interfere() {
     for (gi, &g) in groups.iter().enumerate() {
         net.call(handles[0].actor, |node, ctx| {
             node.app_call(ctx, |scribe, actx| {
-                scribe.client_call(actx, |_, sctx| {
-                    sctx.multicast(g, TestPayload(gi as u64))
-                });
+                scribe.client_call(actx, |_, sctx| sctx.multicast(g, TestPayload(gi as u64)));
             });
         });
     }
@@ -530,7 +526,7 @@ fn rapid_membership_churn_settles_exactly() {
     let g = group_id("churny");
     // Deterministic churn schedule: node i toggles membership
     // (3 + i % 4) times, 100 ms apart, interleaved across nodes.
-    let mut member = vec![false; 20];
+    let mut member = [false; 20];
     for round in 0..6usize {
         for (i, h) in handles.iter().enumerate() {
             if round < 3 + i % 4 {
@@ -607,11 +603,7 @@ fn multicasts_arrive_in_order_exactly_once() {
             .iter()
             .map(|(_, p)| p.0)
             .collect();
-        assert_eq!(
-            seen,
-            (0..10).collect::<Vec<u64>>(),
-            "node {i} saw {seen:?}"
-        );
+        assert_eq!(seen, (0..10).collect::<Vec<u64>>(), "node {i} saw {seen:?}");
     }
 }
 

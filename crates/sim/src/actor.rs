@@ -54,7 +54,10 @@ pub enum MsgCategory {
 /// The [`wire_size`](Message::wire_size) estimate feeds the per-round
 /// KB/host measurement of Figure 15; the default of 64 bytes approximates a
 /// small control message and should be overridden for anything larger.
-pub trait Message: std::fmt::Debug {
+///
+/// Messages are `Clone` so the fault-injection layer can duplicate them in
+/// flight, as a retransmitting transport under packet loss would.
+pub trait Message: std::fmt::Debug + Clone {
     /// Estimated size of the message on the wire, in bytes.
     fn wire_size(&self) -> usize {
         64
@@ -76,6 +79,14 @@ pub trait Actor<W: Message> {
     /// Invoked once when [`Engine::start`](crate::Engine::start) runs.
     fn on_start(&mut self, ctx: &mut Context<'_, W>) {
         let _ = ctx;
+    }
+
+    /// Invoked when [`Engine::restart`](crate::Engine::restart) revives
+    /// this actor after a crash. The actor keeps its pre-crash state (a
+    /// warm restart); implementations should re-arm periodic timers and
+    /// re-announce themselves to peers. Defaults to [`Actor::on_start`].
+    fn on_restart(&mut self, ctx: &mut Context<'_, W>) {
+        self.on_start(ctx);
     }
 
     /// A message from `from` has arrived.
@@ -102,15 +113,8 @@ pub trait Actor<W: Message> {
 /// after the callback returns.
 #[derive(Debug)]
 pub(crate) enum Effect<W> {
-    Send {
-        to: ActorId,
-        at: SimTime,
-        msg: W,
-    },
-    Timer {
-        at: SimTime,
-        tag: u64,
-    },
+    Send { to: ActorId, at: SimTime, msg: W },
+    Timer { at: SimTime, tag: u64 },
 }
 
 /// Capabilities available to an actor while it handles an event.
@@ -186,7 +190,7 @@ mod tests {
         assert_eq!(format!("{id}"), "actor#42");
     }
 
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Tiny;
     impl Message for Tiny {}
 

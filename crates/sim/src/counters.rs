@@ -70,10 +70,7 @@ impl CounterSet {
 
     /// Counters for a single actor (zeros if it never sent anything).
     pub fn actor(&self, id: ActorId) -> ActorCounters {
-        self.per_actor
-            .get(id.index())
-            .copied()
-            .unwrap_or_default()
+        self.per_actor.get(id.index()).copied().unwrap_or_default()
     }
 
     /// Counters for every actor, indexed by [`ActorId::index`].
@@ -108,7 +105,7 @@ impl CounterSet {
 mod tests {
     use super::*;
 
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Sized(usize, MsgCategory);
     impl Message for Sized {
         fn wire_size(&self) -> usize {

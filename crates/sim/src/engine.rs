@@ -8,16 +8,25 @@ use rand::SeedableRng;
 
 use crate::actor::{Actor, ActorId, Context, Effect, Message};
 use crate::counters::CounterSet;
+use crate::fault::{FaultAction, FaultInjector, FaultStats};
 use crate::latency::{ConstantLatency, LatencyModel};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{summarize, TraceBuffer, TraceKind, TraceRecord};
 
 #[derive(Debug)]
 enum EventKind<W> {
-    Message { from: ActorId, msg: W },
-    Timer { tag: u64 },
+    Message {
+        from: ActorId,
+        msg: W,
+    },
+    Timer {
+        tag: u64,
+    },
     /// Undeliverable message returned to its sender.
-    Bounce { target: ActorId, msg: W },
+    Bounce {
+        target: ActorId,
+        msg: W,
+    },
 }
 
 #[derive(Debug)]
@@ -64,6 +73,8 @@ pub struct Engine<W: Message, A: Actor<W>> {
     counters: CounterSet,
     events_processed: u64,
     trace: Option<TraceBuffer>,
+    injector: Option<Box<dyn FaultInjector>>,
+    fault_stats: FaultStats,
 }
 
 impl<W: Message, A: Actor<W>> Engine<W, A> {
@@ -80,6 +91,8 @@ impl<W: Message, A: Actor<W>> Engine<W, A> {
             counters: CounterSet::new(),
             events_processed: 0,
             trace: None,
+            injector: None,
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -172,9 +185,53 @@ impl<W: Message, A: Actor<W>> Engine<W, A> {
         self.alive[id.index()] = false;
     }
 
+    /// Revives a failed actor in place (a *warm* restart: its state
+    /// survives, as a process restart on the same host would find its
+    /// durable state). Invokes [`Actor::on_restart`] so the actor can
+    /// re-arm timers and re-announce itself; no-op when already alive.
+    ///
+    /// Timers the actor had armed before crashing are purged — the process
+    /// that scheduled them is gone — so `on_restart` can re-arm periodic
+    /// timers unconditionally without double-firing. Network messages still
+    /// queued for a later time are delivered normally — they model packets
+    /// that were in flight across the outage — and events that were popped
+    /// while the actor was down are gone for good.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by [`Engine::add_actor`].
+    pub fn restart(&mut self, id: ActorId) {
+        if self.alive[id.index()] {
+            return;
+        }
+        let events = std::mem::take(&mut self.queue).into_vec();
+        self.queue = events
+            .into_iter()
+            .filter(|ev| !(ev.to == id && matches!(ev.kind, EventKind::Timer { .. })))
+            .collect();
+        self.alive[id.index()] = true;
+        self.with_ctx(id, |actor, ctx| actor.on_restart(ctx));
+    }
+
     /// Whether the actor is still alive.
     pub fn is_alive(&self, id: ActorId) -> bool {
         self.alive.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Installs a fault injector consulted on every subsequent send.
+    /// Replaces any previous injector.
+    pub fn set_injector(&mut self, injector: Box<dyn FaultInjector>) {
+        self.injector = Some(injector);
+    }
+
+    /// Removes the fault injector, returning it for inspection.
+    pub fn take_injector(&mut self) -> Option<Box<dyn FaultInjector>> {
+        self.injector.take()
+    }
+
+    /// Tally of faults applied so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
     }
 
     /// Invokes `on_start` on every actor, in id order. Call once after all
@@ -205,13 +262,7 @@ impl<W: Message, A: Actor<W>> Engine<W, A> {
     pub fn post(&mut self, to: ActorId, from: ActorId, msg: W, delay: SimDuration) {
         let at = self.now + delay + self.latency.latency(from, to);
         self.counters.record_send(from, &msg);
-        let seq = self.next_seq();
-        self.push(QueuedEvent {
-            at,
-            seq,
-            to,
-            kind: EventKind::Message { from, msg },
-        });
+        self.enqueue_send(from, to, at, msg);
     }
 
     /// Synchronously runs `f` against actor `id` with a full [`Context`],
@@ -256,9 +307,10 @@ impl<W: Message, A: Actor<W>> Engine<W, A> {
             let (kind, summary) = match &ev.kind {
                 EventKind::Message { msg, .. } => (TraceKind::Message, summarize(msg)),
                 EventKind::Timer { tag } => (TraceKind::Timer, format!("tag={tag:#x}")),
-                EventKind::Bounce { target, msg } => {
-                    (TraceKind::Bounce, format!("to {target}: {}", summarize(msg)))
-                }
+                EventKind::Bounce { target, msg } => (
+                    TraceKind::Bounce,
+                    format!("to {target}: {}", summarize(msg)),
+                ),
             };
             trace.push(TraceRecord {
                 at: self.now,
@@ -314,15 +366,57 @@ impl<W: Message, A: Actor<W>> Engine<W, A> {
         s
     }
 
+    /// Enqueues one send, applying the installed fault injector's verdict.
+    fn enqueue_send(&mut self, from: ActorId, to: ActorId, at: SimTime, msg: W) {
+        let action = match self.injector.as_mut() {
+            Some(injector) => injector.on_send(self.now, from, to),
+            None => FaultAction::Deliver,
+        };
+        match action {
+            FaultAction::Deliver => {}
+            FaultAction::Drop => {
+                self.fault_stats.dropped += 1;
+                return;
+            }
+            FaultAction::Delay(extra) => {
+                self.fault_stats.delayed += 1;
+                let seq = self.next_seq();
+                self.push(QueuedEvent {
+                    at: at + extra,
+                    seq,
+                    to,
+                    kind: EventKind::Message { from, msg },
+                });
+                return;
+            }
+            FaultAction::Duplicate(gap) => {
+                self.fault_stats.duplicated += 1;
+                let seq = self.next_seq();
+                self.push(QueuedEvent {
+                    at: at + gap,
+                    seq,
+                    to,
+                    kind: EventKind::Message {
+                        from,
+                        msg: msg.clone(),
+                    },
+                });
+            }
+        }
+        let seq = self.next_seq();
+        self.push(QueuedEvent {
+            at,
+            seq,
+            to,
+            kind: EventKind::Message { from, msg },
+        });
+    }
+
     fn push(&mut self, ev: QueuedEvent<W>) {
         self.queue.push(ev);
     }
 
-    fn with_ctx<R>(
-        &mut self,
-        id: ActorId,
-        f: impl FnOnce(&mut A, &mut Context<'_, W>) -> R,
-    ) -> R {
+    fn with_ctx<R>(&mut self, id: ActorId, f: impl FnOnce(&mut A, &mut Context<'_, W>) -> R) -> R {
         let mut ctx = Context {
             now: self.now,
             self_id: id,
@@ -335,20 +429,17 @@ impl<W: Message, A: Actor<W>> Engine<W, A> {
         let out = f(actor, &mut ctx);
         let effects = ctx.effects;
         for effect in effects {
-            let seq = self.next_seq();
             match effect {
-                Effect::Send { to, at, msg } => self.push(QueuedEvent {
-                    at,
-                    seq,
-                    to,
-                    kind: EventKind::Message { from: id, msg },
-                }),
-                Effect::Timer { at, tag } => self.push(QueuedEvent {
-                    at,
-                    seq,
-                    to: id,
-                    kind: EventKind::Timer { tag },
-                }),
+                Effect::Send { to, at, msg } => self.enqueue_send(id, to, at, msg),
+                Effect::Timer { at, tag } => {
+                    let seq = self.next_seq();
+                    self.push(QueuedEvent {
+                        at,
+                        seq,
+                        to: id,
+                        kind: EventKind::Timer { tag },
+                    });
+                }
             }
         }
         out
@@ -404,8 +495,14 @@ mod tests {
             let _ = ctx;
         }
 
-        fn on_delivery_failure(&mut self, ctx: &mut Context<'_, TestMsg>, to: ActorId, _msg: TestMsg) {
-            self.bounces.push((ctx.now().as_micros(), to.index() as u32));
+        fn on_delivery_failure(
+            &mut self,
+            ctx: &mut Context<'_, TestMsg>,
+            to: ActorId,
+            _msg: TestMsg,
+        ) {
+            self.bounces
+                .push((ctx.now().as_micros(), to.index() as u32));
         }
     }
 
@@ -542,6 +639,122 @@ mod tests {
         assert!(trace
             .records()
             .any(|r| matches!(r.kind, crate::TraceKind::Bounce)));
+    }
+
+    #[test]
+    fn restart_revives_actor_and_reruns_start() {
+        let (mut e, a, b) = two_actor_engine(1);
+        e.fail(b);
+        e.post(b, a, TestMsg::Ping(0), SimDuration::ZERO);
+        e.run_to_quiescence();
+        assert!(e.actor(b).pings.is_empty());
+        e.restart(b);
+        assert!(e.is_alive(b));
+        // on_restart defaults to on_start: the 5ms timer was re-armed.
+        e.run_for(SimDuration::from_millis(6));
+        assert_eq!(e.actor(b).timers, vec![99]);
+        // And deliveries work again.
+        e.post(b, a, TestMsg::Ping(0), SimDuration::ZERO);
+        e.run_to_quiescence();
+        assert_eq!(e.actor(b).pings.len(), 1);
+    }
+
+    #[test]
+    fn restart_purges_stale_timers() {
+        // A timer armed before the crash must not fire alongside the one
+        // re-armed by on_restart — the crashed process lost its timers.
+        let (mut e, _a, b) = two_actor_engine(1);
+        e.start(); // arms the 5ms timer on both actors
+        e.fail(b);
+        e.restart(b); // purges the stale timer, on_restart re-arms one
+        e.run_until(SimTime::from_millis(6));
+        assert_eq!(e.actor(b).timers, vec![99]);
+    }
+
+    #[test]
+    fn restart_of_live_actor_is_noop() {
+        let (mut e, _a, b) = two_actor_engine(1);
+        e.restart(b);
+        assert!(e.actor(b).timers.is_empty());
+        e.run_to_quiescence();
+        // No timer was armed because on_restart never ran.
+        assert!(e.actor(b).timers.is_empty());
+    }
+
+    #[test]
+    fn in_flight_messages_survive_a_short_outage() {
+        // A message already queued when the target crashes and restarts
+        // before its arrival time is delivered: it was in flight.
+        let (mut e, a, b) = two_actor_engine(1);
+        e.post(b, a, TestMsg::Ping(0), SimDuration::from_millis(50));
+        e.fail(b);
+        e.run_until(SimTime::from_millis(20));
+        e.restart(b);
+        e.run_to_quiescence();
+        assert_eq!(e.actor(b).pings.len(), 1);
+    }
+
+    /// Drops every message toward one unlucky actor.
+    struct DropTo(ActorId, u64);
+    impl crate::FaultInjector for DropTo {
+        fn on_send(&mut self, _now: SimTime, _from: ActorId, to: ActorId) -> crate::FaultAction {
+            if to == self.0 {
+                self.1 += 1;
+                crate::FaultAction::Drop
+            } else {
+                crate::FaultAction::Deliver
+            }
+        }
+    }
+
+    #[test]
+    fn injector_drops_silently_without_bounce() {
+        let (mut e, a, b) = two_actor_engine(1);
+        e.set_injector(Box::new(DropTo(b, 0)));
+        e.post(b, a, TestMsg::Ping(3), SimDuration::ZERO);
+        e.run_to_quiescence();
+        assert!(e.actor(b).pings.is_empty());
+        // Unlike Engine::fail, a lossy link produces no bounce.
+        assert!(e.actor(a).bounces.is_empty());
+        assert_eq!(e.fault_stats().dropped, 1);
+        let injector = e.take_injector().expect("installed");
+        // After removal, traffic flows again.
+        e.post(b, a, TestMsg::Ping(0), SimDuration::ZERO);
+        e.run_to_quiescence();
+        assert_eq!(e.actor(b).pings.len(), 1);
+        drop(injector);
+    }
+
+    struct DelayOrDup(FaultAction);
+    impl crate::FaultInjector for DelayOrDup {
+        fn on_send(&mut self, _now: SimTime, _from: ActorId, _to: ActorId) -> FaultAction {
+            self.0
+        }
+    }
+
+    #[test]
+    fn injector_delay_shifts_arrival() {
+        let (mut e, a, b) = two_actor_engine(1);
+        e.set_injector(Box::new(DelayOrDup(FaultAction::Delay(
+            SimDuration::from_millis(7),
+        ))));
+        e.post(b, a, TestMsg::Ping(0), SimDuration::ZERO);
+        e.run_to_quiescence();
+        // 10ms latency + 7ms injected delay.
+        assert_eq!(e.actor(b).pings, vec![(17_000, 0)]);
+        assert_eq!(e.fault_stats().delayed, 1);
+    }
+
+    #[test]
+    fn injector_duplicate_delivers_twice() {
+        let (mut e, a, b) = two_actor_engine(1);
+        e.set_injector(Box::new(DelayOrDup(FaultAction::Duplicate(
+            SimDuration::from_millis(5),
+        ))));
+        e.post(b, a, TestMsg::Ping(0), SimDuration::ZERO);
+        e.run_to_quiescence();
+        assert_eq!(e.actor(b).pings, vec![(10_000, 0), (15_000, 0)]);
+        assert_eq!(e.fault_stats().duplicated, 1);
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Fault-injection hooks: the engine consults a [`FaultInjector`] on every
+//! message send, letting a chaos layer (see the `vbundle-chaos` crate)
+//! drop, delay or duplicate traffic deterministically.
+//!
+//! Node-level faults (crash / restart) are *not* expressed here — they go
+//! through [`Engine::fail`](crate::Engine::fail) and
+//! [`Engine::restart`](crate::Engine::restart) — so an injector only ever
+//! decides the fate of a single message in flight.
+
+use crate::actor::ActorId;
+use crate::time::{SimDuration, SimTime};
+
+/// What the engine should do with one message about to be enqueued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver normally (the default when no injector is installed).
+    Deliver,
+    /// Silently discard the message. The sender is *not* notified: a lossy
+    /// link, unlike a dead host, produces no connection error.
+    Drop,
+    /// Deliver after an extra delay on top of the model latency.
+    Delay(SimDuration),
+    /// Deliver twice: once on time and once after the given extra delay.
+    Duplicate(SimDuration),
+}
+
+/// A policy the engine consults for every send (including external
+/// [`Engine::post`](crate::Engine::post) injections). Implementations must
+/// be deterministic functions of their own state and the arguments —
+/// typically by owning a seeded RNG — so that reruns are reproducible.
+pub trait FaultInjector {
+    /// Decides the fate of a message sent `from -> to` at time `now`.
+    fn on_send(&mut self, now: SimTime, from: ActorId, to: ActorId) -> FaultAction;
+}
+
+/// Tally of injector decisions, kept by the engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages silently discarded.
+    pub dropped: u64,
+    /// Messages delivered late.
+    pub delayed: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+}
+
+impl FaultStats {
+    /// Total number of faulted sends.
+    pub fn total(&self) -> u64 {
+        self.dropped + self.delayed + self.duplicated
+    }
+}

@@ -45,6 +45,7 @@
 mod actor;
 mod counters;
 mod engine;
+mod fault;
 mod latency;
 mod time;
 mod trace;
@@ -52,6 +53,7 @@ mod trace;
 pub use actor::{Actor, ActorId, Context, Message, MsgCategory};
 pub use counters::{ActorCounters, CounterSet};
 pub use engine::Engine;
+pub use fault::{FaultAction, FaultInjector, FaultStats};
 pub use latency::{ConstantLatency, LatencyFn, LatencyModel};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceBuffer, TraceKind, TraceRecord};

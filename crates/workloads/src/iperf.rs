@@ -73,7 +73,10 @@ mod tests {
             start: SimTime::from_secs(0),
             stop: SimTime::from_secs(60),
         };
-        assert_eq!(f.demand_at(SimTime::from_secs(59)), Bandwidth::from_mbps(100.0));
+        assert_eq!(
+            f.demand_at(SimTime::from_secs(59)),
+            Bandwidth::from_mbps(100.0)
+        );
         assert_eq!(f.demand_at(SimTime::from_secs(60)), Bandwidth::ZERO);
     }
 
@@ -81,6 +84,9 @@ mod tests {
     fn trace_conversion() {
         let f = IperfFlow::continuous(Bandwidth::from_mbps(10.0), SimTime::from_secs(1));
         let t = f.as_trace();
-        assert_eq!(t.demand_at(SimTime::from_secs(2)), Bandwidth::from_mbps(10.0));
+        assert_eq!(
+            t.demand_at(SimTime::from_secs(2)),
+            Bandwidth::from_mbps(10.0)
+        );
     }
 }

@@ -129,8 +129,7 @@ impl SippGenerator {
             (granted / demand).clamp(0.0, 1.0)
         };
         let starved_frac = 1.0 - satisfied_frac;
-        let failed =
-            (attempted as f64 * starved_frac * self.config.failure_share).round() as u64;
+        let failed = (attempted as f64 * starved_frac * self.config.failure_share).round() as u64;
         self.cumulative_failed += failed;
         // Sample response times. Queueing delay near saturation affects
         // nearly every call, not just the starved share, so the healthy
@@ -196,7 +195,12 @@ mod tests {
         let mut g = SippGenerator::new(SippConfig::default(), SimTime::ZERO);
         let mut r = rng();
         let demand = g.bw_demand_at(SimTime::from_secs(1));
-        let s = g.step(SimTime::from_secs(1), SimDuration::from_secs(1), demand, &mut r);
+        let s = g.step(
+            SimTime::from_secs(1),
+            SimDuration::from_secs(1),
+            demand,
+            &mut r,
+        );
         assert!(s.attempted > 0);
         assert_eq!(s.failed, 0);
         assert_eq!(g.cumulative_failed(), 0);

@@ -68,7 +68,10 @@ fn main() {
             "{label:<22} demand {:>5.0} Mbps | satisfied {:>5.0} Mbps | host loads {:?}",
             totals.demand.as_mbps(),
             totals.satisfied.as_mbps(),
-            utils.iter().map(|u| format!("{:.0}%", u * 100.0)).collect::<Vec<_>>()
+            utils
+                .iter()
+                .map(|u| format!("{:.0}%", u * 100.0))
+                .collect::<Vec<_>>()
         );
     };
 

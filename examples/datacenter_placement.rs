@@ -9,7 +9,9 @@
 
 use std::sync::Arc;
 
-use vbundle::core::{metrics, ClusterModel, Customer, PlacementPolicy, ResourceSpec, ResourceVector, VmId, VmRecord};
+use vbundle::core::{
+    metrics, ClusterModel, Customer, PlacementPolicy, ResourceSpec, ResourceVector, VmId, VmRecord,
+};
 use vbundle::dcn::{Bandwidth, Topology};
 use vbundle::pastry::overlay;
 
@@ -45,11 +47,7 @@ fn main() {
         PlacementPolicy::Random,
     ] {
         let ids = overlay::topology_aware_ids(&topo);
-        let mut model = ClusterModel::new(
-            Arc::clone(&topo),
-            ids,
-            topo.capacity().into(),
-        );
+        let mut model = ClusterModel::new(Arc::clone(&topo), ids, topo.capacity().into());
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
         let mut id = 0u64;
         for round in 0..per_customer {
@@ -67,8 +65,8 @@ fn main() {
             .map(|(vm, s)| (vm.customer, *s))
             .collect();
         let locality = metrics::customer_locality(&topo, &placements);
-        let mean_racks = locality.iter().map(|l| l.racks_spanned).sum::<usize>() as f64
-            / locality.len() as f64;
+        let mean_racks =
+            locality.iter().map(|l| l.racks_spanned).sum::<usize>() as f64 / locality.len() as f64;
         let mean_same_rack = locality
             .iter()
             .map(|l| l.same_rack_pair_fraction)

@@ -10,9 +10,7 @@
 
 use std::sync::Arc;
 
-use vbundle::core::{
-    metrics, Cluster, CustomerId, ResourceSpec, VBundleConfig, VmRecord,
-};
+use vbundle::core::{metrics, Cluster, CustomerId, ResourceSpec, VBundleConfig, VmRecord};
 use vbundle::dcn::{Bandwidth, Topology};
 use vbundle::harness::TraceDriver;
 use vbundle::sim::{SimDuration, SimTime};

@@ -11,8 +11,7 @@
 use std::sync::Arc;
 
 use vbundle::core::{
-    bw_capacity_topic, Cluster, CustomerId, ResourceSpec, ResourceVector, VBundleConfig,
-    VmRecord,
+    bw_capacity_topic, Cluster, CustomerId, ResourceSpec, ResourceVector, VBundleConfig, VmRecord,
 };
 use vbundle::dcn::{Bandwidth, Topology};
 use vbundle::sim::{ActorId, SimDuration, SimTime};
@@ -45,8 +44,7 @@ fn main() {
                 CustomerId(0),
                 ResourceSpec::bandwidth(Bandwidth::ZERO, Bandwidth::from_gbps(1.0)),
             );
-            vm.demand =
-                ResourceVector::bandwidth_only(Bandwidth::from_mbps(demand / 9.0));
+            vm.demand = ResourceVector::bandwidth_only(Bandwidth::from_mbps(demand / 9.0));
             let sid = cluster.topo.server(server);
             cluster.install_vm(sid, vm);
         }
@@ -83,7 +81,10 @@ fn main() {
         "t=10min  capacity aggregate count: {} (expected {survivors} after repair)",
         cap.count
     );
-    assert_eq!(cap.count as usize, survivors, "aggregation did not re-converge");
+    assert_eq!(
+        cap.count as usize, survivors,
+        "aggregation did not re-converge"
+    );
 
     // Phase 4: rebalancing still works on the survivors.
     cluster.run_until(SimTime::from_mins(20));

@@ -35,7 +35,8 @@ fn main() {
     // ── 3. One customer boots 6 instances: 3 standard (100 Mbps) and 3
     //       high-I/O (200 Mbps), the paper's Figure 1 bundle.
     let ibm = Customer::new(CustomerId(0), "IBM");
-    let standard = ResourceSpec::bandwidth(Bandwidth::from_mbps(100.0), Bandwidth::from_mbps(400.0));
+    let standard =
+        ResourceSpec::bandwidth(Bandwidth::from_mbps(100.0), Bandwidth::from_mbps(400.0));
     let high_io = ResourceSpec::bandwidth(Bandwidth::from_mbps(200.0), Bandwidth::from_mbps(400.0));
     let mut vms = Vec::new();
     for i in 0..6 {
@@ -47,7 +48,10 @@ fn main() {
             ResourceVector::bandwidth_only(Bandwidth::from_mbps(50.0)),
         );
         // Drive the simulation until the boot query resolves.
-        while cluster.boot_result(i % topo.num_servers(), request).is_none() {
+        while cluster
+            .boot_result(i % topo.num_servers(), request)
+            .is_none()
+        {
             cluster.run_for(SimDuration::from_millis(100));
         }
         let host = cluster
@@ -68,7 +72,10 @@ fn main() {
     //       1290 Mbps of demand against their shared host's 1 Gbps NIC,
     //       but comfortably within the customer's bundle.
     for &vm in &vms[..3] {
-        cluster.set_vm_demand(vm, ResourceVector::bandwidth_only(Bandwidth::from_mbps(380.0)));
+        cluster.set_vm_demand(
+            vm,
+            ResourceVector::bandwidth_only(Bandwidth::from_mbps(380.0)),
+        );
     }
     let before = cluster.satisfaction();
     println!(

@@ -11,6 +11,7 @@
 //! | [`aggregation`] | `vbundle-aggregation` | cross-hypervisor aggregation |
 //! | [`core`] | `vbundle-core` | placement, shaping, resource shuffling |
 //! | [`workloads`] | `vbundle-workloads` | traces, SIPp/Iperf models, CDFs |
+//! | [`chaos`] | `vbundle-chaos` | fault injection, invariants, recovery metrics |
 //!
 //! See `examples/quickstart.rs` for a guided tour and `DESIGN.md` for the
 //! paper-to-module map.
@@ -19,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub use vbundle_aggregation as aggregation;
+pub use vbundle_chaos as chaos;
 pub use vbundle_core as core;
 pub use vbundle_dcn as dcn;
 pub use vbundle_pastry as pastry;

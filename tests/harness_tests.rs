@@ -88,7 +88,9 @@ fn trace_driver_follows_migrating_vms() {
         SimDuration::from_secs(5),
         |_| {},
     );
-    assert!((cluster.utilizations()[3] - 0.4 - 0.0).abs() < 1e-6 || cluster.utilizations()[3] >= 0.4);
+    assert!(
+        (cluster.utilizations()[3] - 0.4 - 0.0).abs() < 1e-6 || cluster.utilizations()[3] >= 0.4
+    );
     assert_eq!(cluster.utilizations()[0], 0.0);
 }
 

@@ -167,7 +167,10 @@ fn placement_policies_order_by_bisection_usage() {
 fn facade_layers_compose() {
     use vbundle::core::bw_capacity_topic;
     let topo = Arc::new(Topology::paper_testbed());
-    let mut cluster = Cluster::builder(topo).vbundle(fast_config()).seed(5).build();
+    let mut cluster = Cluster::builder(topo)
+        .vbundle(fast_config())
+        .seed(5)
+        .build();
     cluster.run_until(SimTime::from_mins(2));
     // Aggregation converged on the capacity topic: 15 servers × 1 Gbps.
     let cap = cluster
@@ -196,15 +199,23 @@ fn aggregation_reconverges_after_mass_failure() {
             .servers_per_rack(4)
             .build(),
     );
-    let mut cluster = Cluster::builder(topo).vbundle(fast_config()).seed(6).build();
+    let mut cluster = Cluster::builder(topo)
+        .vbundle(fast_config())
+        .seed(6)
+        .build();
     cluster.run_until(SimTime::from_mins(2));
     for i in 0..8usize {
-        cluster.engine.fail(vbundle::sim::ActorId::new((i * 3) as u32));
+        cluster
+            .engine
+            .fail(vbundle::sim::ActorId::new((i * 3) as u32));
     }
     cluster.run_until(SimTime::from_mins(15));
     let mut live_checked = 0;
     for i in 0..cluster.num_servers() {
-        if !cluster.engine.is_alive(vbundle::sim::ActorId::new(i as u32)) {
+        if !cluster
+            .engine
+            .is_alive(vbundle::sim::ActorId::new(i as u32))
+        {
             continue;
         }
         let cap = cluster
@@ -216,4 +227,84 @@ fn aggregation_reconverges_after_mass_failure() {
         live_checked += 1;
     }
     assert_eq!(live_checked, 16);
+}
+
+/// Chaos invariants in steady state: with no faults injected, every
+/// structural checker is quiet on a warmed-up cluster.
+#[test]
+fn chaos_invariants_hold_in_steady_state() {
+    use vbundle::chaos::{check_capacity, check_leaf_sets, check_scribe_trees};
+    let topo = Arc::new(Topology::paper_testbed());
+    let mut cluster = Cluster::builder(topo)
+        .vbundle(fast_config())
+        .seed(9)
+        .build();
+    cluster.run_until(SimTime::from_mins(2));
+    let mut open = check_leaf_sets(&cluster.engine);
+    open.extend(check_scribe_trees(&cluster.engine));
+    open.extend(check_capacity(&cluster.engine));
+    assert!(open.is_empty(), "steady-state violations: {open:#?}");
+}
+
+/// With failure detection armed (heartbeats + parent probes), a crash is
+/// detected and repaired: the invariant checkers go quiet again.
+#[test]
+fn chaos_crash_repairs_with_detection_enabled() {
+    use vbundle::chaos::{check_leaf_sets, check_scribe_trees};
+    use vbundle::pastry::PastryConfig;
+    use vbundle::scribe::ScribeConfig;
+    let topo = Arc::new(Topology::paper_testbed());
+    let pastry = PastryConfig {
+        heartbeat: Some(SimDuration::from_secs(1)),
+        maintenance: Some(SimDuration::from_secs(10)),
+        ..PastryConfig::default()
+    };
+    let mut cluster = Cluster::builder(topo)
+        .pastry(pastry)
+        .scribe(ScribeConfig::default().with_probe_interval(SimDuration::from_secs(3)))
+        .vbundle(fast_config())
+        .seed(9)
+        .build();
+    cluster.run_until(SimTime::from_mins(2));
+    cluster.engine.fail(vbundle::sim::ActorId::new(4));
+    cluster.run_until(SimTime::from_mins(4));
+    let mut open = check_leaf_sets(&cluster.engine);
+    open.extend(check_scribe_trees(&cluster.engine));
+    assert!(open.is_empty(), "repair did not converge: {open:#?}");
+}
+
+/// Regression guard for the checker itself: with the repair path
+/// deliberately broken — heartbeats disabled and no application traffic,
+/// so neither failure detection nor bounce-driven eviction ever fires —
+/// a crash leaves dangling leaf-set entries that the invariant checker
+/// MUST flag. If this test fails, the checker has gone blind and the
+/// chaos suite proves nothing.
+#[test]
+fn chaos_checker_catches_broken_repair_path() {
+    use vbundle::chaos::check_leaf_sets;
+    use vbundle::pastry::{overlay, IdAssignment, PastryConfig};
+    let topo = Arc::new(Topology::paper_testbed());
+    // Default config: no heartbeats, no maintenance — repair disabled.
+    let (mut engine, handles) = overlay::launch_null(
+        &topo,
+        IdAssignment::Random { seed: 9 },
+        PastryConfig::default(),
+        9,
+    );
+    engine.run_until(SimTime::from_mins(1));
+    assert!(
+        check_leaf_sets(&engine).is_empty(),
+        "overlay should be clean before the fault"
+    );
+    engine.fail(handles[4].actor);
+    engine.run_until(SimTime::from_mins(5));
+    let leaf = check_leaf_sets(&engine);
+    assert!(
+        !leaf.is_empty(),
+        "checker missed the dangling leaf-set entries of the dead node"
+    );
+    assert!(
+        leaf.iter().any(|v| v.contains("dead")),
+        "violations should name the dead node: {leaf:#?}"
+    );
 }
