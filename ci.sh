@@ -16,4 +16,7 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace
 
+echo "==> chaos smoke (deterministic golden)"
+cargo run --release -q -p vbundle-bench --bin chaos_sweep -- --smoke
+
 echo "CI green."

@@ -8,9 +8,10 @@
 
 use std::collections::BTreeMap;
 
+use vbundle_fdetect::{ArrivalWindow, PhiConfig};
 use vbundle_pastry::NodeHandle;
 use vbundle_scribe::{GroupId, ScribeCtx};
-use vbundle_sim::{Message, SimDuration};
+use vbundle_sim::{Message, SimDuration, SimTime};
 
 use crate::{AggMsg, AggValue};
 
@@ -37,6 +38,12 @@ pub struct AggregationConfig {
     /// Per-node processing time added before each upward push (the paper
     /// measures 1–2 ms per tree level; default 1.5 ms).
     pub processing_delay: SimDuration,
+    /// If set, each node tracks the arrival cadence of global results with
+    /// a phi-accrual window and expires its cached aggregate once the
+    /// publishing root has been silent implausibly long — so a dead root's
+    /// last value cannot steer rebalancing forever. `None` keeps cached
+    /// aggregates until a newer result supersedes them.
+    pub staleness: Option<PhiConfig>,
 }
 
 impl Default for AggregationConfig {
@@ -44,6 +51,7 @@ impl Default for AggregationConfig {
         AggregationConfig {
             mode: UpdateMode::Periodic(SimDuration::from_mins(5)),
             processing_delay: SimDuration::from_micros(1500),
+            staleness: Some(PhiConfig::default()),
         }
     }
 }
@@ -72,6 +80,8 @@ struct TopicState {
     version: u64,
     /// Last global value this node published as root.
     last_published: Option<AggValue>,
+    /// Arrival cadence of accepted global results, for staleness expiry.
+    results: Option<ArrivalWindow>,
 }
 
 /// The aggregation component one server embeds in its Scribe client.
@@ -169,15 +179,43 @@ impl Aggregator {
             .and_then(|t| t.global.map(|(_, _, v)| v))
     }
 
-    /// Periodic tick: push every topic's subtree summary to the parent
-    /// (or publish, at the root), then re-arm the timer.
+    /// Periodic tick: expire stale cached aggregates, push every topic's
+    /// subtree summary to the parent (or publish, at the root), then
+    /// re-arm the timer.
     pub fn on_tick<M: AggCarrier>(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, M>) {
+        self.expire_stale(ctx.now());
         let topics: Vec<u128> = self.topics.keys().copied().collect();
         for t in topics {
             self.push_subtree(ctx, GroupId::from_u128(t));
         }
         if let UpdateMode::Periodic(interval) = self.config.mode {
             ctx.schedule(interval, AGG_TICK_TAG);
+        }
+    }
+
+    /// Drops cached global aggregates whose publishing root has been silent
+    /// implausibly long per the phi fit of its past publication cadence.
+    /// One missed round is always tolerated (the pause grace covers a full
+    /// periodic interval); sustained silence — a dead or partitioned root —
+    /// expires the cache so rebalancing falls back to local knowledge
+    /// instead of steering on a ghost value.
+    fn expire_stale(&mut self, now: SimTime) {
+        let Some(phi) = &self.config.staleness else {
+            return;
+        };
+        let pause = match self.config.mode {
+            UpdateMode::Periodic(interval) => phi.acceptable_pause.max(interval),
+            UpdateMode::Immediate => phi.acceptable_pause.max(phi.first_interval),
+        };
+        for st in self.topics.values_mut() {
+            let stale = st
+                .results
+                .as_ref()
+                .is_some_and(|w| w.phi(now, phi.min_std_dev, pause) > phi.threshold);
+            if stale {
+                st.global = None;
+                st.results = None;
+            }
         }
     }
 
@@ -216,14 +254,42 @@ impl Aggregator {
     /// accepted — their version counter is unrelated to the previous
     /// root's, so comparing across roots would wedge the topic on whichever
     /// root happened to have published more rounds.
-    pub fn on_result(&mut self, topic: GroupId, root: u128, version: u64, value: AggValue) {
+    ///
+    /// `now` feeds the staleness window: accepted results are proof the
+    /// publishing root is alive, and their cadence calibrates how much
+    /// silence [`Aggregator::on_tick`] tolerates before expiring the cache.
+    pub fn on_result(
+        &mut self,
+        topic: GroupId,
+        root: u128,
+        version: u64,
+        value: AggValue,
+        now: SimTime,
+    ) {
         let Some(st) = self.topics.get_mut(&topic.as_u128()) else {
             return;
         };
         match st.global {
             Some((r, v, _)) if r == root && v >= version => {}
-            _ => st.global = Some((root, version, value)),
+            _ => {
+                st.global = Some((root, version, value));
+                Self::record_result(&self.config, st, now);
+            }
         }
+    }
+
+    /// Records an accepted global result in the topic's arrival window.
+    fn record_result(config: &AggregationConfig, st: &mut TopicState, now: SimTime) {
+        let Some(phi) = &config.staleness else {
+            return;
+        };
+        let estimate = match config.mode {
+            UpdateMode::Periodic(interval) => interval,
+            UpdateMode::Immediate => phi.first_interval,
+        };
+        st.results
+            .get_or_insert_with(|| ArrivalWindow::new(phi.window, estimate))
+            .record(now);
     }
 
     /// A child left the tree: forget its contribution.
@@ -264,6 +330,8 @@ impl Aggregator {
             st.version += 1;
             st.last_published = Some(subtree);
             st.global = Some((me.id.as_u128(), st.version, subtree));
+            // The root's own publication is proof of its own liveness.
+            Self::record_result(&self.config, st, ctx.now());
             let msg = AggMsg::Result {
                 topic,
                 root: me.id.as_u128(),
@@ -289,5 +357,79 @@ impl Aggregator {
             ctx.send_client_after(parent, M::from(msg), self.config.processing_delay);
         }
         // No parent and not root: still joining; the next tick retries.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOPIC: u128 = 42;
+
+    fn topic() -> GroupId {
+        GroupId::from_u128(TOPIC)
+    }
+
+    fn periodic(secs: u64) -> Aggregator {
+        let mut a = Aggregator::new(AggregationConfig {
+            mode: UpdateMode::Periodic(SimDuration::from_secs(secs)),
+            ..AggregationConfig::default()
+        });
+        a.topics.insert(TOPIC, TopicState::default());
+        a
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn silent_root_expires_cached_global() {
+        let mut a = periodic(10);
+        for (v, s) in [(1, 0), (2, 10), (3, 20)] {
+            a.on_result(topic(), 5, v, AggValue::of(v as f64), t(s));
+        }
+        // One missed round is tolerated (pause grace = interval).
+        a.expire_stale(t(35));
+        assert!(a.global(topic()).is_some());
+        // Sustained silence on a 10 s cadence: the ghost value goes.
+        a.expire_stale(t(70));
+        assert!(a.global(topic()).is_none());
+    }
+
+    #[test]
+    fn single_result_uses_interval_estimate() {
+        let mut a = periodic(10);
+        a.on_result(topic(), 5, 1, AggValue::of(1.0), t(0));
+        a.expire_stale(t(15));
+        assert!(a.global(topic()).is_some(), "within estimate + pause");
+        a.expire_stale(t(60));
+        assert!(a.global(topic()).is_none(), "way past any plausible round");
+    }
+
+    #[test]
+    fn disabled_staleness_keeps_ghost_values() {
+        let mut a = Aggregator::new(AggregationConfig {
+            mode: UpdateMode::Periodic(SimDuration::from_secs(10)),
+            staleness: None,
+            ..AggregationConfig::default()
+        });
+        a.topics.insert(TOPIC, TopicState::default());
+        a.on_result(topic(), 5, 1, AggValue::of(1.0), t(0));
+        a.expire_stale(t(100_000));
+        assert!(a.global(topic()).is_some());
+    }
+
+    #[test]
+    fn new_root_resets_the_cadence_window() {
+        let mut a = periodic(10);
+        for (v, s) in [(1, 0), (2, 10)] {
+            a.on_result(topic(), 5, v, AggValue::of(v as f64), t(s));
+        }
+        // Failover successor publishes with an unrelated version counter;
+        // its arrivals keep feeding the same per-topic window.
+        a.on_result(topic(), 9, 1, AggValue::of(7.0), t(30));
+        a.expire_stale(t(45));
+        assert!(a.global(topic()).is_some());
     }
 }

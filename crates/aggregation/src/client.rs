@@ -29,7 +29,7 @@ impl ScribeClient for AggClient {
 
     fn deliver_multicast(
         &mut self,
-        _ctx: &mut ScribeCtx<'_, '_, '_, '_, AggMsg>,
+        ctx: &mut ScribeCtx<'_, '_, '_, '_, AggMsg>,
         _group: GroupId,
         msg: AggMsg,
     ) {
@@ -40,7 +40,7 @@ impl ScribeClient for AggClient {
             value,
         } = msg
         {
-            self.agg.on_result(topic, root, version, value);
+            self.agg.on_result(topic, root, version, value, ctx.now());
         }
     }
 

@@ -40,6 +40,7 @@ fn launch(
                 AggClient::new(Aggregator::new(AggregationConfig {
                     mode,
                     processing_delay: SimDuration::from_micros(1500),
+                    ..AggregationConfig::default()
                 })),
                 scribe_config.clone(),
             )
@@ -266,6 +267,7 @@ fn processing_delay_slows_convergence() {
                 Scribe::new(AggClient::new(Aggregator::new(AggregationConfig {
                     mode: UpdateMode::Immediate,
                     processing_delay: SimDuration::from_micros(delay_us),
+                    ..AggregationConfig::default()
                 })))
             },
         );

@@ -1,12 +1,24 @@
-//! Chaos sweep — recovery metrics for the full v-Bundle stack under three
+//! Chaos sweep — recovery metrics for the full v-Bundle stack under four
 //! deterministic fault scenarios: correlated crashes with later restarts,
-//! a rack-level network partition, and a lossy-network window.
+//! a rack-level network partition, a lossy-network window, and a
+//! duplicate-storm that stresses delivery idempotency.
 //!
 //! Every scenario is executed **twice from scratch** and the two recovery
 //! reports are asserted byte-identical — the reproducibility claim of the
 //! `vbundle-chaos` subsystem, checked on every run.
 //!
+//! A second section compares the phi-accrual failure detector (the
+//! default) against the legacy fixed `3 × interval` deadline under
+//! degraded-but-alive networks: every detector-driven eviction in those
+//! sweeps is a false positive, because no node ever actually dies. The
+//! sweep asserts the adaptive detector strictly reduces false evictions
+//! under ≥10 % message loss.
+//!
 //! Run: `cargo run --release -p vbundle-bench --bin chaos_sweep`
+//!
+//! `--smoke` runs one scenario and diffs the report against the
+//! checked-in golden at `results/chaos_smoke.golden` (CI's fast
+//! determinism gate); `--smoke --bless` rewrites the golden.
 
 use std::sync::Arc;
 
@@ -20,7 +32,7 @@ use vbundle_core::{
     VmId, VmRecord,
 };
 use vbundle_dcn::{Bandwidth, Topology};
-use vbundle_pastry::PastryConfig;
+use vbundle_pastry::{FailureDetection, PastryConfig};
 use vbundle_scribe::ScribeConfig;
 use vbundle_sim::{ActorId, SimDuration, SimTime};
 
@@ -36,17 +48,21 @@ fn topology() -> Arc<Topology> {
     )
 }
 
-/// Builds the cluster fresh (same seed every time), seeds a skewed VM
-/// population and warms the overlay up, returning the VM ids installed.
-fn build_cluster() -> (Cluster, Vec<VmId>) {
+/// Builds the cluster fresh (same seed every time) with the requested
+/// failure-detection mode, seeds a skewed VM population and warms the
+/// overlay up, returning the VM ids installed.
+fn build_cluster_with(detection: FailureDetection) -> (Cluster, Vec<VmId>) {
     let pastry = PastryConfig {
         heartbeat: Some(SimDuration::from_secs(1)),
         maintenance: Some(SimDuration::from_secs(10)),
+        failure_detection: detection.clone(),
         ..PastryConfig::default()
     };
+    let mut scribe = ScribeConfig::default().with_probe_interval(SimDuration::from_secs(5));
+    scribe.child_detection = detection;
     let mut cluster = Cluster::builder(topology())
         .pastry(pastry)
-        .scribe(ScribeConfig::default().with_probe_interval(SimDuration::from_secs(5)))
+        .scribe(scribe)
         .vbundle(
             VBundleConfig::default()
                 .with_update_interval(SimDuration::from_secs(10))
@@ -96,15 +112,30 @@ fn failed_migrations(engine: &VbEngine) -> u64 {
         .sum()
 }
 
+/// Cluster-wide count of leaf-set members evicted by the failure
+/// detector (fixed deadline or phi, whichever is configured). Evictions
+/// triggered by bounced sends to genuinely dead actors are *not* counted,
+/// so under degraded-but-alive plans this is the false-positive count.
+fn detector_evictions(engine: &VbEngine) -> u64 {
+    engine
+        .actors()
+        .map(|(_, node)| node.detector_evictions())
+        .sum()
+}
+
 fn play(name: &str, plan: FaultPlan) -> RecoveryReport {
-    let (mut cluster, vms) = build_cluster();
+    play_with(name, plan, FailureDetection::default()).0
+}
+
+fn play_with(name: &str, plan: FaultPlan, detection: FailureDetection) -> (RecoveryReport, u64) {
+    let (mut cluster, vms) = build_cluster_with(detection);
     let spec = ScenarioSpec {
         name: name.to_string(),
         check_interval: SimDuration::from_secs(1),
         deadline: SimDuration::from_secs(120),
     };
     let topo = cluster.topo.clone();
-    run_scenario(
+    let report = run_scenario(
         &mut cluster.engine,
         topo,
         plan,
@@ -112,7 +143,9 @@ fn play(name: &str, plan: FaultPlan) -> RecoveryReport {
         |engine| structural(engine, &vms),
         |engine| check_aggregation(engine, bw_demand_topic(), 1e-6).is_empty(),
         failed_migrations,
-    )
+    );
+    let evictions = detector_evictions(&cluster.engine);
+    (report, evictions)
 }
 
 fn scenarios() -> Vec<(&'static str, FaultPlan)> {
@@ -143,10 +176,124 @@ fn scenarios() -> Vec<(&'static str, FaultPlan)> {
                 )
                 .clear_degradations(t(150)),
         ),
+        (
+            // Heavy duplication, zero loss: every third message delivered
+            // twice. Exercises delivery idempotency end to end — duplicate
+            // Boot/Migrate/Publish handling must not double-install VMs or
+            // double-disseminate, or the VM-conservation and aggregation
+            // invariants below fail.
+            "duplicate-storm",
+            FaultPlan::new(SEED)
+                .degrade(
+                    t(90),
+                    Scope::All,
+                    Scope::All,
+                    LinkFault::loss(0.0).with_duplicate(0.35, SimDuration::from_millis(2)),
+                )
+                .clear_degradations(t(150)),
+        ),
     ]
 }
 
+/// Degraded-but-alive plans for the detector comparison: nobody dies, so
+/// every detector eviction is a false positive.
+fn degraded_plans() -> Vec<(&'static str, FaultPlan)> {
+    let t = SimTime::from_secs;
+    let window = |fault: LinkFault| {
+        FaultPlan::new(SEED)
+            .degrade(t(90), Scope::All, Scope::All, fault)
+            .clear_degradations(t(210))
+    };
+    vec![
+        ("lossy-10pct", window(LinkFault::loss(0.10))),
+        ("lossy-15pct", window(LinkFault::loss(0.15))),
+        (
+            "slow-link-1600ms",
+            window(LinkFault::slow(SimDuration::from_millis(1600))),
+        ),
+    ]
+}
+
+fn fmt_opt(d: Option<SimDuration>) -> String {
+    match d {
+        Some(d) => d.to_string(),
+        None => "DID NOT REPAIR".into(),
+    }
+}
+
+/// Runs the phi-vs-fixed comparison and returns the CSV rows.
+fn detector_comparison() -> Vec<String> {
+    println!("\n# Failure-detector comparison under degraded-but-alive networks");
+    println!("# (every eviction is a false positive: no node actually dies)");
+    println!(
+        "\n{:<18} {:>14} {:>14} {:>18} {:>18}",
+        "plan", "fp-evict(phi)", "fp-evict(3x)", "reconverge(phi)", "reconverge(3x)"
+    );
+    let mut rows = Vec::new();
+    for (name, plan) in degraded_plans() {
+        let (phi_report, phi_evict) = play_with(
+            name,
+            plan.clone(),
+            FailureDetection::PhiAccrual(Default::default()),
+        );
+        let (fixed_report, fixed_evict) = play_with(name, plan, FailureDetection::FixedInterval);
+        println!(
+            "{:<18} {:>14} {:>14} {:>18} {:>18}",
+            name,
+            phi_evict,
+            fixed_evict,
+            fmt_opt(phi_report.time_to_repair()),
+            fmt_opt(fixed_report.time_to_repair()),
+        );
+        if name.starts_with("lossy") {
+            assert!(
+                phi_evict < fixed_evict,
+                "{name}: phi-accrual must strictly reduce false evictions \
+                 (phi {phi_evict} vs fixed {fixed_evict})"
+            );
+        }
+        rows.push(format!(
+            "{name},{phi_evict},{fixed_evict},{},{}",
+            fmt_opt(phi_report.time_to_repair()),
+            fmt_opt(fixed_report.time_to_repair()),
+        ));
+    }
+    rows
+}
+
+/// Fast deterministic gate for CI: one scenario, byte-compared against
+/// the checked-in golden report.
+fn smoke(bless: bool) {
+    let (name, plan) = scenarios().remove(0);
+    let report = play(name, plan).to_string();
+    let path = std::path::Path::new("results/chaos_smoke.golden");
+    if bless {
+        std::fs::create_dir_all("results").expect("create results/");
+        std::fs::write(path, &report).expect("write golden");
+        println!("[blessed {}]", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with `--smoke --bless` to create it",
+            path.display()
+        )
+    });
+    if report != golden {
+        eprintln!("chaos smoke diverged from golden {}:", path.display());
+        eprintln!("--- golden\n{golden}\n--- got\n{report}");
+        std::process::exit(1);
+    }
+    println!("chaos smoke: report matches golden byte-for-byte");
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke(args.iter().any(|a| a == "--bless"));
+        return;
+    }
+
     println!("# Chaos sweep: recovery metrics under deterministic fault plans");
     let mut rows = Vec::new();
     for (name, plan) in scenarios() {
@@ -177,6 +324,13 @@ fn main() {
         "chaos_sweep.csv",
         "scenario,time_to_repair,messages_to_repair,aggregate_staleness,failed_migrations",
         &rows,
+    );
+
+    let detector_rows = detector_comparison();
+    write_csv(
+        "chaos_detectors.csv",
+        "plan,fp_evictions_phi,fp_evictions_fixed,reconverge_phi,reconverge_fixed",
+        &detector_rows,
     );
     println!("\nall scenarios reproduced byte-identically across two runs");
 }

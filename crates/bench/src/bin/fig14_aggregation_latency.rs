@@ -33,6 +33,7 @@ fn measure(servers: usize, seed: u64) -> (f64, usize) {
     let config = AggregationConfig {
         mode: UpdateMode::Immediate,
         processing_delay: SimDuration::from_micros(1500),
+        ..AggregationConfig::default()
     };
     let (mut net, handles) = overlay::launch(
         &topo,

@@ -8,10 +8,12 @@ use std::sync::Arc;
 use proptest::collection::vec;
 use proptest::prelude::*;
 use vbundle_chaos::{
-    check_aggregation, check_leaf_sets, check_scribe_trees, ChaosDriver, FaultPlan,
+    check_aggregation, check_capacity, check_leaf_sets, check_scribe_trees, check_vm_conservation,
+    ChaosDriver, FaultPlan, LinkFault, Scope,
 };
 use vbundle_core::{
-    bw_demand_topic, Cluster, CustomerId, ResourceSpec, ResourceVector, VBundleConfig, VmRecord,
+    bw_demand_topic, Cluster, CustomerId, ResourceSpec, ResourceVector, VBundleConfig, VmId,
+    VmRecord,
 };
 use vbundle_dcn::{Bandwidth, Topology};
 use vbundle_pastry::PastryConfig;
@@ -20,7 +22,7 @@ use vbundle_sim::{ActorId, SimDuration, SimTime};
 
 /// Paper testbed (15 servers) with fast protocol timers so detection,
 /// tree repair and aggregation all play out within a short settle window.
-fn build_cluster(seed: u64) -> Cluster {
+fn build_cluster(seed: u64) -> (Cluster, Vec<VmId>) {
     let topo = Arc::new(Topology::paper_testbed());
     let pastry = PastryConfig {
         heartbeat: Some(SimDuration::from_secs(1)),
@@ -38,6 +40,7 @@ fn build_cluster(seed: u64) -> Cluster {
         .seed(seed)
         .build();
     let demand = Bandwidth::from_mbps(80.0);
+    let mut vms = Vec::new();
     for server in 0..cluster.num_servers() {
         let id = cluster.alloc_vm_id();
         let mut vm = VmRecord::new(
@@ -47,9 +50,45 @@ fn build_cluster(seed: u64) -> Cluster {
         );
         vm.demand = ResourceVector::bandwidth_only(demand);
         cluster.install_vm(cluster.topo.server(server), vm);
+        vms.push(id);
     }
     cluster.run_until(SimTime::from_secs(60));
-    cluster
+    (cluster, vms)
+}
+
+/// A two-minute window in which roughly 40 % of all messages are delivered
+/// twice must change *nothing*: duplicate Migrate/Boot/Publish deliveries
+/// are absorbed by the dedup layers instead of double-installing VMs,
+/// double-disseminating multicasts, or corrupting the trees.
+#[test]
+fn duplicate_storm_is_idempotent() {
+    let t = SimTime::from_secs;
+    let (mut cluster, vms) = build_cluster(7);
+    let plan = FaultPlan::new(7)
+        .degrade(
+            t(70),
+            Scope::All,
+            Scope::All,
+            LinkFault::loss(0.0).with_duplicate(0.4, SimDuration::from_millis(2)),
+        )
+        .clear_degradations(t(190));
+    let topo = cluster.topo.clone();
+    let mut driver = ChaosDriver::install(&mut cluster.engine, topo, plan);
+    driver.run_until(&mut cluster.engine, t(240));
+    assert!(
+        cluster.engine.fault_stats().duplicated > 1000,
+        "the storm must actually duplicate traffic: {:?}",
+        cluster.engine.fault_stats()
+    );
+    let mut open = check_leaf_sets(&cluster.engine);
+    open.extend(check_scribe_trees(&cluster.engine));
+    open.extend(check_vm_conservation(&cluster.engine, &vms));
+    open.extend(check_capacity(&cluster.engine));
+    open.extend(check_aggregation(&cluster.engine, bw_demand_topic(), 1e-6));
+    assert!(
+        open.is_empty(),
+        "duplicate storm broke invariants: {open:#?}"
+    );
 }
 
 proptest! {
@@ -65,7 +104,7 @@ proptest! {
         crashes.dedup();
         prop_assume!(crashes.len() < 15 / 2); // fewer than a quorum
 
-        let mut cluster = build_cluster(seed);
+        let (mut cluster, _vms) = build_cluster(seed);
         // Stagger the crashes over a few seconds: correlated and
         // independent failures are both instances of this plan shape.
         let mut plan = FaultPlan::new(seed);

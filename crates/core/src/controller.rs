@@ -16,6 +16,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use vbundle_aggregation::{AggMsg, AggregationConfig, Aggregator, AGG_TICK_TAG};
 use vbundle_dcn::Bandwidth;
+use vbundle_fdetect::{Courier, CourierConfig, RetryDecision};
 use vbundle_pastry::NodeHandle;
 use vbundle_scribe::{group_id, GroupId, ScribeClient, ScribeCtx};
 use vbundle_sim::{ActorId, SimDuration, SimTime};
@@ -30,9 +31,11 @@ pub const REBALANCE_TAG: u64 = 0x102;
 /// Timer-tag space for per-migration ack timeouts (`base | query id`);
 /// sits below the Scribe-reserved space, above the small client tags.
 pub const MIGRATE_RETRY_TAG_BASE: u64 = 1 << 61;
-/// Resend attempts before a migration is declared failed and the VM is
-/// reinstalled on the shedder.
-const MAX_MIGRATION_RETRIES: u32 = 2;
+/// Total transmission attempts per migration (first send included) before
+/// it is declared failed and the VM is reinstalled on the shedder.
+const MIGRATION_ATTEMPTS: u32 = 3;
+/// Jitter salt for the migration courier ("MIGR").
+const MIGRATION_COURIER_SALT: u64 = 0x4d49_4752;
 
 /// The aggregation topic carrying every server's NIC capacity.
 pub fn bw_capacity_topic() -> GroupId {
@@ -92,12 +95,13 @@ struct Hold {
 
 /// A VM sent to a receiver but not yet acknowledged. The shedder keeps the
 /// record so the transfer can be retried (lossy network) or rolled back
-/// (receiver never answers) — a migration must never lose the VM.
+/// (receiver never answers) — a migration must never lose the VM. The
+/// retransmission schedule (backoff, jitter, retry budget) lives in the
+/// controller's [`Courier`], keyed by the query id.
 #[derive(Debug, Clone)]
 struct InFlight {
     vm: VmRecord,
     receiver: NodeHandle,
-    attempts: u32,
 }
 
 /// Observable counters of one controller, used by the figure harnesses.
@@ -141,6 +145,9 @@ pub struct Controller {
     pending_sheds: HashMap<u64, VmId>,
     /// Migrations sent but not yet acknowledged: query id → transfer.
     in_flight: BTreeMap<u64, InFlight>,
+    /// Retransmission state for in-flight migrations: exponential backoff
+    /// with deterministic jitter and a bounded retry budget.
+    courier: Courier,
     /// VMs whose last query found no receiver, with retry-after times:
     /// the next rounds try *other* (smaller) VMs instead of livelocking on
     /// the largest one.
@@ -157,6 +164,17 @@ impl Controller {
         agg_config: AggregationConfig,
         config: VBundleConfig,
     ) -> Self {
+        // First-attempt timeout: the transfer itself plus generous slack
+        // for the ack's round trip. Backed-off retries stay capped well
+        // inside the receiver's hold window so they still land on reserved
+        // bandwidth.
+        let courier = Courier::new(CourierConfig {
+            base_timeout: config.migration_delay * 2 + config.hold_timeout / 8,
+            max_timeout: config.hold_timeout / 2,
+            max_attempts: MIGRATION_ATTEMPTS,
+            jitter_pct: 10,
+            salt: MIGRATION_COURIER_SALT,
+        });
         Controller {
             capacity,
             config,
@@ -167,6 +185,7 @@ impl Controller {
             holds: Vec::new(),
             pending_sheds: HashMap::new(),
             in_flight: BTreeMap::new(),
+            courier,
             shed_cooldown: HashMap::new(),
             next_query: 0,
             stats: ControllerStats::default(),
@@ -552,6 +571,20 @@ impl Controller {
         self.stats.boots_handled += 1;
         let me = ctx.self_handle();
         let root = *q.root.get_or_insert(me);
+        if self.vms.iter().any(|v| v.id == q.vm.id) {
+            // Duplicate delivery of a Boot we already admitted: installing
+            // again would double-count the VM. Re-ack instead — the earlier
+            // BootResult may have been the casualty.
+            ctx.send_client(
+                q.origin,
+                CtrlMsg::BootResult {
+                    request: q.request,
+                    vm: q.vm.id,
+                    host: Some(me),
+                },
+            );
+            return;
+        }
         if (self.reserved() + q.vm.spec.reservation).fits_within(&self.capacity) {
             self.vms.push(q.vm);
             ctx.send_client(
@@ -629,15 +662,9 @@ impl Controller {
         let vm = self.vms.remove(pos);
         self.stats.migrations_out += 1;
         self.stats.migration_times.push(ctx.now());
-        self.in_flight.insert(
-            query,
-            InFlight {
-                vm,
-                receiver,
-                attempts: 0,
-            },
-        );
-        self.send_migrate(ctx, query, vm, receiver);
+        self.in_flight.insert(query, InFlight { vm, receiver });
+        let timeout = self.courier.register(query);
+        self.send_migrate(ctx, query, vm, receiver, timeout);
     }
 
     /// Sends (or resends) an in-flight VM and arms its ack timeout.
@@ -647,6 +674,7 @@ impl Controller {
         query: u64,
         vm: VmRecord,
         receiver: NodeHandle,
+        timeout: SimDuration,
     ) {
         let me = ctx.self_handle();
         ctx.send_client_after(
@@ -659,32 +687,30 @@ impl Controller {
             self.config.migration_delay,
         );
         debug_assert!(query < MIGRATE_RETRY_TAG_BASE);
-        ctx.schedule(self.migrate_ack_timeout(), MIGRATE_RETRY_TAG_BASE | query);
+        ctx.schedule(timeout, MIGRATE_RETRY_TAG_BASE | query);
     }
 
-    /// How long to wait for a [`CtrlMsg::MigrateAck`] before resending:
-    /// the transfer itself plus generous slack for the ack's round trip,
-    /// kept well inside the receiver's hold window so retries still land
-    /// on reserved bandwidth.
-    fn migrate_ack_timeout(&self) -> SimDuration {
-        self.config.migration_delay * 2 + self.config.hold_timeout / 8
-    }
-
-    /// The ack timeout for `query` fired. Resend, or — once out of
-    /// retries — declare the migration failed and take the VM back.
+    /// The ack timeout for `query` fired. Resend with backed-off timeout,
+    /// or — once the courier's budget is spent — declare the migration
+    /// failed and take the VM back.
     fn migrate_retry_tick(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>, query: u64) {
-        let Some(entry) = self.in_flight.get_mut(&query) else {
-            return; // acked (or rolled back) in the meantime
-        };
-        if entry.attempts >= MAX_MIGRATION_RETRIES {
-            let entry = self.in_flight.remove(&query).expect("just seen");
-            self.stats.migrations_failed += 1;
-            self.reinstall_failed_migration(entry.vm);
-            return;
+        match self.courier.on_timeout(query) {
+            RetryDecision::Settled => {} // acked (or rolled back) in the meantime
+            RetryDecision::GiveUp => {
+                if let Some(entry) = self.in_flight.remove(&query) {
+                    self.stats.migrations_failed += 1;
+                    self.reinstall_failed_migration(entry.vm);
+                }
+            }
+            RetryDecision::Retry { timeout } => {
+                let Some(entry) = self.in_flight.get(&query) else {
+                    self.courier.forget(query);
+                    return;
+                };
+                let (vm, receiver) = (entry.vm, entry.receiver);
+                self.send_migrate(ctx, query, vm, receiver, timeout);
+            }
         }
-        entry.attempts += 1;
-        let (vm, receiver) = (entry.vm, entry.receiver);
-        self.send_migrate(ctx, query, vm, receiver);
     }
 
     /// Brings a VM home after its transfer could not be completed.
@@ -757,8 +783,10 @@ impl ScribeClient for Controller {
         let jitter = SimDuration::from_micros(ctx.rng().gen_range(0..jitter_cap));
         ctx.schedule(self.config.update_interval + jitter, UPDATE_TAG);
         ctx.schedule(self.config.rebalance_interval + jitter, REBALANCE_TAG);
-        let timeout = self.migrate_ack_timeout();
-        for &query in self.in_flight.keys() {
+        let queries: Vec<u64> = self.in_flight.keys().copied().collect();
+        for query in queries {
+            // arm() re-covers the current attempt without burning a retry.
+            let timeout = self.courier.arm(query);
             ctx.schedule(timeout, MIGRATE_RETRY_TAG_BASE | query);
         }
     }
@@ -777,7 +805,7 @@ impl ScribeClient for Controller {
 
     fn deliver_multicast(
         &mut self,
-        _ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>,
+        ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>,
         _group: GroupId,
         msg: CtrlMsg,
     ) {
@@ -788,7 +816,7 @@ impl ScribeClient for Controller {
             value,
         }) = msg
         {
-            self.agg.on_result(topic, root, version, value);
+            self.agg.on_result(topic, root, version, value, ctx.now());
         }
     }
 
@@ -805,7 +833,10 @@ impl ScribeClient for Controller {
             CtrlMsg::Agg(_) => {}
             CtrlMsg::Boot(q) => self.handle_boot(ctx, q),
             CtrlMsg::BootResult { request, vm, host } => {
-                self.stats.boot_results.push((request, vm, host));
+                // A duplicated (or re-acked) result must not double-count.
+                if !self.stats.boot_results.iter().any(|(r, ..)| *r == request) {
+                    self.stats.boot_results.push((request, vm, host));
+                }
             }
             CtrlMsg::LoadAccept {
                 query,
@@ -816,6 +847,7 @@ impl ScribeClient for Controller {
                 self.handle_migrate_arrival(ctx, query, vm, from)
             }
             CtrlMsg::MigrateAck { query } => {
+                self.courier.ack(query);
                 self.in_flight.remove(&query);
             }
             CtrlMsg::Load(_) => {} // load queries only arrive via anycast
@@ -906,6 +938,7 @@ impl ScribeClient for Controller {
             // The receiver died mid-migration: the VM comes back home
             // right away (no point retrying into a dead host).
             CtrlMsg::Migrate { query, vm, .. } => {
+                self.courier.forget(query);
                 self.in_flight.remove(&query);
                 self.reinstall_failed_migration(vm);
                 self.stats.migrations_failed += 1;

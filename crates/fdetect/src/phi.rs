@@ -1,0 +1,403 @@
+//! The phi-accrual failure detector with SWIM-style suspicion tracking.
+//!
+//! Instead of a binary "alive until N missed probes" verdict, a phi-accrual
+//! detector (Hayashibara et al., SRDS 2004) keeps a sliding window of
+//! inter-arrival times per peer and outputs a *suspicion level*
+//! `phi(t) = -log10(P(next arrival later than t))` under a normal
+//! distribution fitted to the window. On a lossy or slow link the window
+//! absorbs the longer gaps, so the same silence that would trip a fixed
+//! `3 × interval` deadline yields a low phi — the detector adapts to the
+//! link instead of evicting a live peer.
+//!
+//! Crossing the threshold does not kill the peer either: the detector
+//! moves it to *suspect* and the protocol layer is expected to launch
+//! SWIM-style indirect probes (ask `k` intermediaries to ping the suspect
+//! on our behalf). Only when the confirmation grace expires with no proof
+//! of life — direct or relayed — does [`FailureDetector::evaluate`] return
+//! [`Verdict::Dead`].
+//!
+//! Everything here is pure state driven by the simulated clock: no wall
+//! time, no hidden randomness, so detection decisions are deterministic
+//! and replayable.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use vbundle_sim::{SimDuration, SimTime};
+
+/// Tunables of the phi-accrual detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhiConfig {
+    /// Inter-arrival samples kept per peer.
+    pub window: usize,
+    /// Suspicion level at which a peer becomes suspect. Phi 8 corresponds
+    /// to a false-positive probability of 1e-8 under the fitted model.
+    pub threshold: f64,
+    /// Floor on the fitted standard deviation: very regular arrival
+    /// streams (a deterministic simulator is the extreme case) would
+    /// otherwise make the detector hair-triggered.
+    pub min_std_dev: SimDuration,
+    /// Expected inter-arrival time before any sample has been observed;
+    /// per-peer bootstrap estimates (e.g. probe interval + RTT) override
+    /// this via [`FailureDetector::observe_with_estimate`].
+    pub first_interval: SimDuration,
+    /// Slack added to the fitted mean — tolerated silence beyond the
+    /// expected cadence before phi starts to climb.
+    pub acceptable_pause: SimDuration,
+    /// How long a suspect may redeem itself (e.g. through an indirect
+    /// probe relayed by an intermediary) before it is declared dead.
+    pub confirm_timeout: SimDuration,
+    /// Intermediaries asked to ping a newly suspected peer (SWIM's `k`).
+    pub indirect_probes: usize,
+}
+
+impl Default for PhiConfig {
+    fn default() -> Self {
+        PhiConfig {
+            window: 16,
+            threshold: 8.0,
+            min_std_dev: SimDuration::from_millis(200),
+            first_interval: SimDuration::from_secs(1),
+            acceptable_pause: SimDuration::ZERO,
+            confirm_timeout: SimDuration::from_secs(3),
+            indirect_probes: 3,
+        }
+    }
+}
+
+impl PhiConfig {
+    /// Sets the suspicion threshold.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Sets the confirmation grace a suspect gets before eviction.
+    pub fn with_confirm_timeout(mut self, timeout: SimDuration) -> Self {
+        self.confirm_timeout = timeout;
+        self
+    }
+
+    /// Sets the indirect-probe fan-out.
+    pub fn with_indirect_probes(mut self, k: usize) -> Self {
+        self.indirect_probes = k;
+        self
+    }
+}
+
+/// A bounded window of inter-arrival times for one peer.
+#[derive(Debug, Clone)]
+pub struct ArrivalWindow {
+    intervals: VecDeque<u64>, // micros
+    last: Option<SimTime>,
+    cap: usize,
+    first_estimate: u64, // micros
+}
+
+impl ArrivalWindow {
+    /// An empty window that will treat `first_estimate` as the expected
+    /// cadence until real samples arrive.
+    pub fn new(cap: usize, first_estimate: SimDuration) -> Self {
+        ArrivalWindow {
+            intervals: VecDeque::with_capacity(cap.max(1)),
+            last: None,
+            cap: cap.max(1),
+            first_estimate: first_estimate.as_micros().max(1),
+        }
+    }
+
+    /// Starts the silence clock without recording an interval — call when
+    /// a peer first becomes interesting, so that it can accrue suspicion
+    /// even if it never sends anything.
+    pub fn observe(&mut self, now: SimTime) {
+        if self.last.is_none() {
+            self.last = Some(now);
+        }
+    }
+
+    /// Records a proof-of-life arrival.
+    pub fn record(&mut self, now: SimTime) {
+        if let Some(last) = self.last {
+            if self.intervals.len() == self.cap {
+                self.intervals.pop_front();
+            }
+            self.intervals
+                .push_back(now.saturating_since(last).as_micros());
+        }
+        self.last = Some(now);
+    }
+
+    /// When the peer last proved itself (or started being observed).
+    pub fn last_seen(&self) -> Option<SimTime> {
+        self.last
+    }
+
+    /// Number of recorded inter-arrival samples.
+    pub fn samples(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Fitted mean inter-arrival time in microseconds.
+    fn mean_micros(&self) -> f64 {
+        if self.intervals.is_empty() {
+            self.first_estimate as f64
+        } else {
+            self.intervals.iter().sum::<u64>() as f64 / self.intervals.len() as f64
+        }
+    }
+
+    /// Fitted standard deviation in microseconds, floored at `min_std`.
+    fn std_micros(&self, min_std: f64) -> f64 {
+        if self.intervals.len() < 2 {
+            return min_std;
+        }
+        let mean = self.mean_micros();
+        let var = self
+            .intervals
+            .iter()
+            .map(|&x| {
+                let d = x as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / (self.intervals.len() - 1) as f64;
+        var.sqrt().max(min_std)
+    }
+
+    /// The suspicion level at `now`: `-log10(P(arrival later than now))`
+    /// under a normal fit of the window (logistic approximation to the
+    /// normal CDF, as in the Akka/Cassandra implementations).
+    pub fn phi(&self, now: SimTime, min_std: SimDuration, pause: SimDuration) -> f64 {
+        let Some(last) = self.last else {
+            return 0.0;
+        };
+        let elapsed = now.saturating_since(last).as_micros() as f64;
+        let mean = self.mean_micros() + pause.as_micros() as f64;
+        let std = self.std_micros(min_std.as_micros().max(1) as f64);
+        let y = (elapsed - mean) / std;
+        let e = (-y * (1.5976 + 0.070566 * y * y)).exp();
+        let p_later = if elapsed > mean {
+            e / (1.0 + e)
+        } else {
+            1.0 - 1.0 / (1.0 + e)
+        };
+        -p_later.max(f64::MIN_POSITIVE).log10()
+    }
+}
+
+/// What [`FailureDetector::evaluate`] concluded about a peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Suspicion below threshold; keep probing normally.
+    Alive,
+    /// Phi crossed the threshold just now: the caller should launch
+    /// indirect probes through `indirect_probes` intermediaries.
+    NewlySuspect,
+    /// Already suspect, confirmation grace still running.
+    Suspect,
+    /// The grace expired with no proof of life: evict.
+    Dead,
+}
+
+/// A multi-peer phi-accrual detector with SWIM suspicion state.
+///
+/// `K` identifies a peer (a node id, or a `(group, child)` link). All maps
+/// are ordered so iteration — and therefore every downstream decision — is
+/// deterministic.
+#[derive(Debug, Clone)]
+pub struct FailureDetector<K: Ord + Copy> {
+    peers: BTreeMap<K, PeerState>,
+    config: PhiConfig,
+}
+
+#[derive(Debug, Clone)]
+struct PeerState {
+    window: ArrivalWindow,
+    suspect_since: Option<SimTime>,
+}
+
+impl<K: Ord + Copy> FailureDetector<K> {
+    /// Creates a detector with the given tunables.
+    pub fn new(config: PhiConfig) -> Self {
+        FailureDetector {
+            peers: BTreeMap::new(),
+            config,
+        }
+    }
+
+    /// The tunables in effect.
+    pub fn config(&self) -> &PhiConfig {
+        &self.config
+    }
+
+    fn entry(&mut self, key: K, now: SimTime, estimate: SimDuration) -> &mut PeerState {
+        let window = self.config.window;
+        let st = self.peers.entry(key).or_insert_with(|| PeerState {
+            window: ArrivalWindow::new(window, estimate),
+            suspect_since: None,
+        });
+        st.window.observe(now);
+        st
+    }
+
+    /// Starts tracking `key` (idempotent), with the config's default
+    /// cadence estimate.
+    pub fn observe(&mut self, key: K, now: SimTime) {
+        let estimate = self.config.first_interval;
+        self.entry(key, now, estimate);
+    }
+
+    /// Starts tracking `key` with an explicit cadence estimate — e.g.
+    /// probe interval plus the peer's RTT sampled from the latency model.
+    pub fn observe_with_estimate(&mut self, key: K, now: SimTime, estimate: SimDuration) {
+        self.entry(key, now, estimate);
+    }
+
+    /// Records a proof of life for `key` and clears any suspicion.
+    pub fn heartbeat(&mut self, key: K, now: SimTime) {
+        let estimate = self.config.first_interval;
+        let st = self.entry(key, now, estimate);
+        st.window.record(now);
+        st.suspect_since = None;
+    }
+
+    /// The current suspicion level for `key` (0 if untracked).
+    pub fn phi(&self, key: &K, now: SimTime) -> f64 {
+        self.peers
+            .get(key)
+            .map(|st| {
+                st.window
+                    .phi(now, self.config.min_std_dev, self.config.acceptable_pause)
+            })
+            .unwrap_or(0.0)
+    }
+
+    /// Whether `key` is currently under suspicion.
+    pub fn is_suspect(&self, key: &K) -> bool {
+        self.peers
+            .get(key)
+            .is_some_and(|st| st.suspect_since.is_some())
+    }
+
+    /// Classifies `key` at `now`, advancing the suspicion state machine.
+    pub fn evaluate(&mut self, key: K, now: SimTime) -> Verdict {
+        let threshold = self.config.threshold;
+        let confirm = self.config.confirm_timeout;
+        let min_std = self.config.min_std_dev;
+        let pause = self.config.acceptable_pause;
+        let estimate = self.config.first_interval;
+        let st = self.entry(key, now, estimate);
+        if st.window.phi(now, min_std, pause) < threshold {
+            st.suspect_since = None;
+            return Verdict::Alive;
+        }
+        match st.suspect_since {
+            None => {
+                st.suspect_since = Some(now);
+                Verdict::NewlySuspect
+            }
+            Some(since) if now.saturating_since(since) >= confirm => Verdict::Dead,
+            Some(_) => Verdict::Suspect,
+        }
+    }
+
+    /// Stops tracking `key` (evicted, departed, or no longer a neighbor).
+    pub fn forget(&mut self, key: &K) {
+        self.peers.remove(key);
+    }
+
+    /// Keeps only the peers the predicate approves of.
+    pub fn retain(&mut self, mut f: impl FnMut(&K) -> bool) {
+        self.peers.retain(|k, _| f(k));
+    }
+
+    /// Drops all peer state (e.g. after a restart: pre-crash arrival
+    /// history would read as ancient silence and evict everyone).
+    pub fn clear(&mut self) {
+        self.peers.clear();
+    }
+
+    /// Number of peers currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.peers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn phi_grows_with_silence() {
+        let mut w = ArrivalWindow::new(8, SimDuration::from_secs(1));
+        for s in 0..8 {
+            w.record(t(s));
+        }
+        let min = SimDuration::from_millis(200);
+        let p1 = w.phi(t(9), min, SimDuration::ZERO);
+        let p2 = w.phi(t(12), min, SimDuration::ZERO);
+        assert!(p1 < p2, "phi must be monotone in silence: {p1} vs {p2}");
+        assert!(w.phi(t(8), min, SimDuration::ZERO) < 1.0);
+        assert!(p2 > 8.0, "5 s of silence on a 1 s cadence is damning: {p2}");
+    }
+
+    #[test]
+    fn irregular_links_are_tolerated() {
+        // Same total silence, but the window has seen multi-second gaps
+        // before (a lossy link): phi stays low where the regular stream
+        // above would have evicted.
+        let mut w = ArrivalWindow::new(8, SimDuration::from_secs(1));
+        for &s in &[0u64, 1, 4, 5, 8, 9, 12, 13] {
+            w.record(t(s));
+        }
+        let min = SimDuration::from_millis(200);
+        assert!(w.phi(t(16), min, SimDuration::ZERO) < 8.0);
+    }
+
+    #[test]
+    fn suspect_state_machine_escalates_then_redeems() {
+        let mut d: FailureDetector<u64> = FailureDetector::new(
+            PhiConfig::default().with_confirm_timeout(SimDuration::from_secs(2)),
+        );
+        for s in 0..6 {
+            d.heartbeat(7, t(s));
+        }
+        assert_eq!(d.evaluate(7, t(6)), Verdict::Alive);
+        // Silence: threshold crossing yields exactly one NewlySuspect.
+        assert_eq!(d.evaluate(7, t(9)), Verdict::NewlySuspect);
+        assert_eq!(d.evaluate(7, t(10)), Verdict::Suspect);
+        // A (relayed) proof of life redeems the suspect.
+        d.heartbeat(7, t(10));
+        assert_eq!(d.evaluate(7, t(11)), Verdict::Alive);
+        // Silence again — longer this time, because the window has now
+        // absorbed the 5 s gap and adapted its expectations — and this
+        // time nobody vouches: dead after the confirmation grace.
+        assert_eq!(d.evaluate(7, t(22)), Verdict::NewlySuspect);
+        assert_eq!(d.evaluate(7, t(25)), Verdict::Dead);
+    }
+
+    #[test]
+    fn observe_alone_accrues_suspicion() {
+        let mut d: FailureDetector<u64> = FailureDetector::new(PhiConfig::default());
+        d.observe_with_estimate(1, t(0), SimDuration::from_secs(1));
+        assert!(matches!(
+            d.evaluate(1, t(30)),
+            Verdict::NewlySuspect | Verdict::Suspect
+        ));
+    }
+
+    #[test]
+    fn forget_and_clear_reset_state() {
+        let mut d: FailureDetector<u64> = FailureDetector::new(PhiConfig::default());
+        d.heartbeat(1, t(0));
+        d.heartbeat(2, t(0));
+        d.forget(&1);
+        assert_eq!(d.tracked(), 1);
+        d.clear();
+        assert_eq!(d.tracked(), 0);
+        assert_eq!(d.phi(&2, t(5)), 0.0);
+    }
+}

@@ -1,5 +1,6 @@
 //! Tunables of the Pastry overlay.
 
+use vbundle_fdetect::{FailureDetection, PhiConfig};
 use vbundle_sim::SimDuration;
 
 /// Configuration of a Pastry node.
@@ -21,8 +22,14 @@ pub struct PastryConfig {
     /// consecutive probes. `None` disables active failure detection
     /// (bounced sends still trigger eviction).
     pub heartbeat: Option<SimDuration>,
-    /// How many heartbeat intervals of silence mark a peer dead.
+    /// How many heartbeat intervals of silence mark a peer dead — only
+    /// consulted in [`FailureDetection::FixedInterval`] mode.
     pub failure_multiplier: u32,
+    /// How leaf-set liveness is decided. The default, phi-accrual with
+    /// SWIM-style indirect probing, tolerates lossy and slow links;
+    /// [`FailureDetection::FixedInterval`] restores the legacy
+    /// `failure_multiplier × heartbeat` deadline (ablation baseline).
+    pub failure_detection: FailureDetection,
     /// If set, nodes periodically exchange routing-table rows with a
     /// random known peer — Pastry's routing-table maintenance, which
     /// repopulates slots emptied by failures and improves entry locality
@@ -38,6 +45,7 @@ impl Default for PastryConfig {
             max_hops: 64,
             heartbeat: None,
             failure_multiplier: 3,
+            failure_detection: FailureDetection::default(),
             maintenance: None,
         }
     }
@@ -53,6 +61,20 @@ impl PastryConfig {
     /// Enables periodic routing-table maintenance at `interval`.
     pub fn with_maintenance(mut self, interval: SimDuration) -> Self {
         self.maintenance = Some(interval);
+        self
+    }
+
+    /// Selects the legacy fixed-interval failure detector (the
+    /// `failure_multiplier × heartbeat` deadline) — the ablation baseline
+    /// for the adaptive default.
+    pub fn with_fixed_detection(mut self) -> Self {
+        self.failure_detection = FailureDetection::FixedInterval;
+        self
+    }
+
+    /// Selects phi-accrual detection with explicit tunables.
+    pub fn with_phi_detection(mut self, phi: PhiConfig) -> Self {
+        self.failure_detection = FailureDetection::PhiAccrual(phi);
         self
     }
 

@@ -63,6 +63,21 @@ pub enum PastryMsg<M> {
     /// Graceful departure announcement: receivers evict the sender
     /// immediately instead of waiting for failure detection.
     Depart(NodeHandle),
+    /// SWIM-style indirect probe request: `origin` suspects `subject` and
+    /// asks the receiver to ping it on origin's behalf.
+    PingReq {
+        /// The suspecting node.
+        origin: NodeHandle,
+        /// The suspected node to be pinged.
+        subject: NodeHandle,
+    },
+    /// The relayed ping of a [`PastryMsg::PingReq`]: the receiver (the
+    /// suspect) answers `origin` directly with a
+    /// [`PastryMsg::HeartbeatAck`], refuting the suspicion.
+    RelayPing {
+        /// The node that originated the suspicion.
+        origin: NodeHandle,
+    },
     /// Routing-table maintenance: request one row of the receiver's table.
     RowRequest {
         /// The asking node.
@@ -87,7 +102,9 @@ impl<M: Message> Message for PastryMsg<M> {
             | PastryMsg::Heartbeat(_)
             | PastryMsg::HeartbeatAck(_)
             | PastryMsg::LeafSetRequest(_)
-            | PastryMsg::Depart(_) => 4 + HANDLE_BYTES,
+            | PastryMsg::Depart(_)
+            | PastryMsg::RelayPing { .. } => 4 + HANDLE_BYTES,
+            PastryMsg::PingReq { .. } => 4 + HANDLE_BYTES * 2,
             PastryMsg::RowRequest { .. } => 5 + HANDLE_BYTES,
             PastryMsg::LeafSetReply(v) | PastryMsg::RowReply(v) => 4 + HANDLE_BYTES * v.len(),
         }

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use vbundle_fdetect::{backoff_rounds, FailureDetection, FailureDetector, Verdict};
 use vbundle_sim::{Actor, ActorId, Context as SimContext, Message, SimDuration, SimTime};
 
 use crate::message::{PastryMsg, RouteEnvelope};
@@ -15,9 +16,14 @@ pub const PASTRY_TAG_BASE: u64 = 1 << 63;
 const HEARTBEAT_TAG: u64 = PASTRY_TAG_BASE;
 const MAINTENANCE_TAG: u64 = PASTRY_TAG_BASE + 1;
 
-/// Maintenance rounds a forgotten node stays on the resurrection-probe
-/// list (see [`PastryNode`]'s `departed` field).
-const RESURRECTION_PROBES: u32 = 12;
+/// Resurrection-probe budget per graveyard entry (see [`PastryNode`]'s
+/// `departed` field). Probes back off exponentially (gaps of 1, 2, 2, …
+/// maintenance rounds), so the budget covers a long healing horizon with
+/// few messages.
+const RESURRECTION_PROBES: u32 = 10;
+/// Backoff cap exponent for resurrection probes: gaps saturate at
+/// `2^RESURRECTION_BACKOFF_EXP` maintenance rounds.
+const RESURRECTION_BACKOFF_EXP: u32 = 1;
 /// Upper bound on remembered departed nodes (oldest evicted first).
 const GRAVEYARD_CAP: usize = 32;
 
@@ -135,6 +141,12 @@ impl<'a, 'b, M: Message + Clone> AppCtx<'a, 'b, M> {
         self.state.proximity(h.actor)
     }
 
+    /// Estimated round-trip time to `h` under the installed latency model
+    /// — seeds failure-detector cadence expectations.
+    pub fn rtt_to(&self, h: &NodeHandle) -> SimDuration {
+        self.sim.rtt_to(h.actor)
+    }
+
     /// Routes `msg` toward `key` through the overlay, starting at the
     /// local node. Processing begins after a loopback delay, exactly as if
     /// the node had routed a received message.
@@ -186,11 +198,21 @@ pub struct PastryNode<A: PastryApp> {
     joined: bool,
     bootstrap: Option<ActorId>,
     last_ack: HashMap<u128, SimTime>,
-    /// Recently-forgotten nodes with a countdown of resurrection probes
-    /// left. A node declared dead because a partition swallowed its traffic
-    /// is still running; maintenance rounds keep sending it leaf-set
-    /// requests for a while so the rings re-merge once the network heals.
-    departed: Vec<(NodeHandle, u32)>,
+    /// Phi-accrual detector over leaf-set peers, keyed by node id. `None`
+    /// in [`FailureDetection::FixedInterval`] mode, where the legacy
+    /// `failure_multiplier × heartbeat` deadline over `last_ack` decides.
+    detector: Option<FailureDetector<u128>>,
+    /// Peers evicted by this node's own failure detector (either mode).
+    /// Bounced-send evictions are not counted: under a lossy or partitioned
+    /// network every detector eviction is a false positive, which is what
+    /// the chaos harness measures.
+    evictions: u64,
+    /// Recently-forgotten nodes as `(handle, probes_sent, rounds_to_next)`.
+    /// A node declared dead because a partition swallowed its traffic is
+    /// still running; maintenance rounds keep sending it leaf-set requests
+    /// (with exponential backoff) so the rings re-merge once the network
+    /// heals.
+    departed: Vec<(NodeHandle, u32, u32)>,
 }
 
 impl<A: PastryApp> PastryNode<A> {
@@ -198,6 +220,7 @@ impl<A: PastryApp> PastryNode<A> {
     /// "centralized certificate authority" mode, §II.B): the node is born
     /// joined.
     pub fn with_state(state: PastryState, app: A, config: PastryConfig) -> Self {
+        let detector = Self::make_detector(&config);
         PastryNode {
             state,
             app,
@@ -205,6 +228,8 @@ impl<A: PastryApp> PastryNode<A> {
             joined: true,
             bootstrap: None,
             last_ack: HashMap::new(),
+            detector,
+            evictions: 0,
             departed: Vec::new(),
         }
     }
@@ -212,6 +237,7 @@ impl<A: PastryApp> PastryNode<A> {
     /// Creates a node with empty state that will join through `bootstrap`
     /// (a physically nearby, already-joined node) when started.
     pub fn joining(state: PastryState, bootstrap: ActorId, app: A, config: PastryConfig) -> Self {
+        let detector = Self::make_detector(&config);
         PastryNode {
             state,
             app,
@@ -219,8 +245,25 @@ impl<A: PastryApp> PastryNode<A> {
             joined: false,
             bootstrap: Some(bootstrap),
             last_ack: HashMap::new(),
+            detector,
+            evictions: 0,
             departed: Vec::new(),
         }
+    }
+
+    fn make_detector(config: &PastryConfig) -> Option<FailureDetector<u128>> {
+        match &config.failure_detection {
+            FailureDetection::FixedInterval => None,
+            FailureDetection::PhiAccrual(phi) => Some(FailureDetector::new(phi.clone())),
+        }
+    }
+
+    /// How many peers this node's failure detector has evicted so far.
+    /// Bounced sends (the engine telling us the target actor is dead) do
+    /// not count: under lossy links or partitions, where no actor has
+    /// actually crashed, this is exactly the false-positive eviction count.
+    pub fn detector_evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// The node's routing state.
@@ -373,7 +416,7 @@ impl<A: PastryApp> PastryNode<A> {
     /// life, which also clears any tombstone so a resurrected or healed
     /// node is trusted again.
     fn learn_firsthand(&mut self, h: NodeHandle) {
-        self.departed.retain(|(d, _)| d.id != h.id);
+        self.departed.retain(|(d, ..)| d.id != h.id);
         self.state.learn(h);
     }
 
@@ -382,7 +425,7 @@ impl<A: PastryApp> PastryNode<A> {
     /// state would otherwise gossip the corpse back into our leaf set
     /// faster than heartbeats can evict it.
     fn learn_gossip(&mut self, h: NodeHandle) {
-        if self.departed.iter().any(|(d, _)| d.id == h.id) {
+        if self.departed.iter().any(|(d, ..)| d.id == h.id) {
             return;
         }
         self.state.learn(h);
@@ -393,11 +436,15 @@ impl<A: PastryApp> PastryNode<A> {
             return;
         }
         self.last_ack.remove(&failed.id.as_u128());
+        if let Some(det) = self.detector.as_mut() {
+            det.forget(&failed.id.as_u128());
+        }
         // Remember the departed for a while: if it was only unreachable (a
         // partition, not a crash), resurrection probes from the maintenance
-        // loop will re-merge the rings once the network heals.
-        self.departed.retain(|(h, _)| h.id != failed.id);
-        self.departed.push((failed, RESURRECTION_PROBES));
+        // loop will re-merge the rings once the network heals. The first
+        // probe goes out on the next maintenance round.
+        self.departed.retain(|(h, ..)| h.id != failed.id);
+        self.departed.push((failed, 0, 1));
         if self.departed.len() > GRAVEYARD_CAP {
             self.departed.remove(0);
         }
@@ -436,16 +483,21 @@ impl<A: PastryApp> PastryNode<A> {
         }
         // Resurrection probes: leaf-set requests to recently-departed
         // nodes. A healed partition answers (re-merging the two rings); a
-        // truly dead node bounces harmlessly. Each entry gets a finite
-        // probe budget so the graveyard drains.
+        // truly dead node bounces harmlessly. Probes back off exponentially
+        // and each entry gets a finite budget so the graveyard drains.
         let me = self.state.handle();
         let mut departed = std::mem::take(&mut self.departed);
-        departed.retain(|(h, _)| !known.iter().any(|k| k.id == h.id));
-        for (h, left) in &mut departed {
+        departed.retain(|(h, ..)| !known.iter().any(|k| k.id == h.id));
+        for (h, sent, cooldown) in &mut departed {
+            if *cooldown > 1 {
+                *cooldown -= 1;
+                continue;
+            }
             ctx.send(h.actor, PastryMsg::LeafSetRequest(me));
-            *left -= 1;
+            *sent += 1;
+            *cooldown = backoff_rounds(*sent, RESURRECTION_BACKOFF_EXP) as u32;
         }
-        departed.retain(|&(_, left)| left > 0);
+        departed.retain(|&(_, sent, _)| sent < RESURRECTION_PROBES);
         self.departed = departed;
         ctx.schedule(interval, MAINTENANCE_TAG);
     }
@@ -455,18 +507,62 @@ impl<A: PastryApp> PastryNode<A> {
             return;
         };
         let now = ctx.now();
-        let deadline = interval * self.config.failure_multiplier as u64;
-        let mut dead = Vec::new();
         let me = self.state.handle();
-        for member in self.state.leaf_set().members() {
-            let seen = *self.last_ack.entry(member.id.as_u128()).or_insert(now);
-            if now.saturating_since(seen) > deadline {
-                dead.push(member);
-            } else {
-                ctx.send(member.actor, PastryMsg::Heartbeat(me));
+        let members = self.state.leaf_set().members();
+        let mut dead = Vec::new();
+        if let Some(detector) = self.detector.as_mut() {
+            // Phi-accrual mode: suspicion adapts to each peer's observed
+            // ack cadence; a suspect gets a SWIM-style indirect-probe round
+            // and a confirmation grace before eviction.
+            for member in &members {
+                let key = member.id.as_u128();
+                // Expected ack cadence: one ack per probe round, arriving
+                // an RTT after the probe.
+                detector.observe_with_estimate(key, now, interval + ctx.rtt_to(member.actor));
+                match detector.evaluate(key, now) {
+                    Verdict::Alive | Verdict::Suspect => {
+                        ctx.send(member.actor, PastryMsg::Heartbeat(me));
+                    }
+                    Verdict::NewlySuspect => {
+                        ctx.send(member.actor, PastryMsg::Heartbeat(me));
+                        // Ask the k leaf peers numerically closest to the
+                        // suspect to ping it on our behalf: their paths may
+                        // be up even if ours is lossy.
+                        let k = detector.config().indirect_probes;
+                        let mut relays: Vec<&NodeHandle> =
+                            members.iter().filter(|h| h.id != member.id).collect();
+                        relays.sort_by_key(|h| h.id.ring_distance(member.id));
+                        for relay in relays.into_iter().take(k) {
+                            ctx.send(
+                                relay.actor,
+                                PastryMsg::PingReq {
+                                    origin: me,
+                                    subject: *member,
+                                },
+                            );
+                        }
+                    }
+                    Verdict::Dead => dead.push(*member),
+                }
+            }
+            // Stop tracking peers that left the leaf set without an
+            // explicit eviction (displaced by closer nodes).
+            detector.retain(|key| members.iter().any(|h| h.id.as_u128() == *key));
+        } else {
+            // Legacy fixed-interval mode: a peer silent for
+            // `failure_multiplier` rounds is declared dead outright.
+            let deadline = interval * self.config.failure_multiplier as u64;
+            for member in &members {
+                let seen = *self.last_ack.entry(member.id.as_u128()).or_insert(now);
+                if now.saturating_since(seen) > deadline {
+                    dead.push(*member);
+                } else {
+                    ctx.send(member.actor, PastryMsg::Heartbeat(me));
+                }
             }
         }
         for d in dead {
+            self.evictions += 1;
             self.fail_node(ctx, d);
         }
         ctx.schedule(interval, HEARTBEAT_TAG);
@@ -508,6 +604,9 @@ impl<A: PastryApp> Actor<PastryMsg<A::Msg>> for PastryNode<A> {
         // Acks recorded before the outage would read as ancient on the next
         // heartbeat round and trigger false failure verdicts; start fresh.
         self.last_ack.clear();
+        if let Some(det) = self.detector.as_mut() {
+            det.clear();
+        }
         // Peers that declared us dead evicted us from their state; announce
         // ourselves so they re-learn us, and pull fresh leaf sets from the
         // extremes to pick up any membership change we slept through.
@@ -570,8 +669,11 @@ impl<A: PastryApp> Actor<PastryMsg<A::Msg>> for PastryNode<A> {
                 ctx.send(h.actor, PastryMsg::HeartbeatAck(me));
             }
             PastryMsg::HeartbeatAck(h) => {
-                self.departed.retain(|(d, _)| d.id != h.id);
+                self.departed.retain(|(d, ..)| d.id != h.id);
                 self.last_ack.insert(h.id.as_u128(), ctx.now());
+                if let Some(det) = self.detector.as_mut() {
+                    det.heartbeat(h.id.as_u128(), ctx.now());
+                }
             }
             PastryMsg::LeafSetRequest(h) => {
                 self.learn_firsthand(h);
@@ -587,6 +689,19 @@ impl<A: PastryApp> Actor<PastryMsg<A::Msg>> for PastryNode<A> {
             PastryMsg::Depart(h) => {
                 // A graceful goodbye: evict immediately and repair.
                 self.fail_node(ctx, h);
+            }
+            PastryMsg::PingReq { origin, subject } => {
+                // Relay the suspicion probe: if our path to the subject is
+                // up, it will refute directly to the suspecting origin. If
+                // the subject really is dead, our relayed ping bounces and
+                // we evict it too.
+                self.learn_firsthand(origin);
+                ctx.send(subject.actor, PastryMsg::RelayPing { origin });
+            }
+            PastryMsg::RelayPing { origin } => {
+                // We are the suspect: refute the suspicion at its source.
+                let me = self.state.handle();
+                ctx.send(origin.actor, PastryMsg::HeartbeatAck(me));
             }
             PastryMsg::RowRequest { from, row } => {
                 self.learn_firsthand(from);

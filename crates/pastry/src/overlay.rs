@@ -191,11 +191,9 @@ pub struct NullApp {
     pub delivered: Vec<crate::Key>,
 }
 
-/// A minimal routable payload for overlay-only tests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Probe(pub u64);
-
-impl vbundle_sim::Message for Probe {}
+/// A minimal routable probe payload for overlay-only tests — the shared
+/// sequence-numbered probe from the failure-detection substrate.
+pub use vbundle_fdetect::Probe;
 
 impl PastryApp for NullApp {
     type Msg = Probe;

@@ -51,6 +51,12 @@ pub enum ScribeMsg<M> {
         group: GroupId,
         /// The payload.
         payload: M,
+        /// The publishing node's id: dedup scope for `nonce`.
+        origin: u128,
+        /// Publisher-assigned nonce; the root drops `(origin, nonce)`
+        /// pairs it has already disseminated, so a duplicated-in-flight
+        /// Publish cannot fan out twice under two sequence numbers.
+        nonce: u64,
     },
     /// A multicast payload flowing down the tree (parent to child).
     Disseminate {
@@ -92,6 +98,15 @@ pub enum ScribeMsg<M> {
         /// The group.
         group: GroupId,
     },
+    /// Parent → child liveness check, sent when the parent's phi-accrual
+    /// detector first suspects the child link. A child that still considers
+    /// the sender its parent answers with a [`ScribeMsg::ParentProbe`]
+    /// (refuting the suspicion); one that re-parented answers
+    /// [`ScribeMsg::Leave`] so the stale graft is dropped at once.
+    ChildProbe {
+        /// The group being checked.
+        group: GroupId,
+    },
 }
 
 const GROUP_BYTES: usize = 16;
@@ -101,7 +116,7 @@ impl<M: Message> Message for ScribeMsg<M> {
     fn wire_size(&self) -> usize {
         match self {
             ScribeMsg::Join { .. } | ScribeMsg::Leave { .. } => GROUP_BYTES + HANDLE_BYTES + 4,
-            ScribeMsg::Publish { payload, .. } => GROUP_BYTES + 4 + payload.wire_size(),
+            ScribeMsg::Publish { payload, .. } => GROUP_BYTES + 28 + payload.wire_size(),
             ScribeMsg::Disseminate { payload, .. } => GROUP_BYTES + 32 + payload.wire_size(),
             ScribeMsg::Anycast(env) | ScribeMsg::AnycastStep(env) => {
                 GROUP_BYTES
@@ -113,7 +128,7 @@ impl<M: Message> Message for ScribeMsg<M> {
             ScribeMsg::AnycastFail { payload, .. } => GROUP_BYTES + 4 + payload.wire_size(),
             ScribeMsg::Client(m) => 4 + m.wire_size(),
             ScribeMsg::ParentProbe { .. } => GROUP_BYTES + HANDLE_BYTES + 4,
-            ScribeMsg::ProbeNack { .. } => GROUP_BYTES + 4,
+            ScribeMsg::ProbeNack { .. } | ScribeMsg::ChildProbe { .. } => GROUP_BYTES + 4,
         }
     }
 
@@ -122,7 +137,8 @@ impl<M: Message> Message for ScribeMsg<M> {
             ScribeMsg::Join { .. }
             | ScribeMsg::Leave { .. }
             | ScribeMsg::ParentProbe { .. }
-            | ScribeMsg::ProbeNack { .. } => MsgCategory::Maintenance,
+            | ScribeMsg::ProbeNack { .. }
+            | ScribeMsg::ChildProbe { .. } => MsgCategory::Maintenance,
             ScribeMsg::Publish { payload, .. }
             | ScribeMsg::Disseminate { payload, .. }
             | ScribeMsg::AnycastFail { payload, .. } => payload.category(),
@@ -158,8 +174,10 @@ mod tests {
         let pubm: ScribeMsg<P> = ScribeMsg::Publish {
             group: Id::from_u128(2),
             payload: P,
+            origin: 7,
+            nonce: 0,
         };
-        assert_eq!(pubm.wire_size(), 70);
+        assert_eq!(pubm.wire_size(), 94);
         assert_eq!(pubm.category(), MsgCategory::Payload);
 
         let any: ScribeMsg<P> = ScribeMsg::Anycast(AnycastEnvelope {

@@ -11,6 +11,7 @@
 
 use std::collections::BTreeMap;
 
+use vbundle_fdetect::{DedupWindow, FailureDetection, FailureDetector, Verdict};
 use vbundle_pastry::{AppCtx, Key, NodeHandle, PastryApp, RouteDecision};
 use vbundle_sim::{ActorId, Message, SimDuration, SimTime};
 
@@ -36,6 +37,12 @@ pub struct ScribeConfig {
     /// child side. `None` disables probing — repair then relies on bounced
     /// application traffic alone.
     pub probe_interval: Option<SimDuration>,
+    /// How parent-side child-link liveness is decided. The default,
+    /// phi-accrual, adapts to each link's observed probe cadence and sends
+    /// the child a [`ScribeMsg::ChildProbe`] before dropping the graft;
+    /// [`FailureDetection::FixedInterval`] restores the legacy rule (drop
+    /// after three silent probe rounds).
+    pub child_detection: FailureDetection,
 }
 
 impl Default for ScribeConfig {
@@ -44,6 +51,7 @@ impl Default for ScribeConfig {
             anycast_ttl: 4096,
             disseminate_ttl: 64,
             probe_interval: None,
+            child_detection: FailureDetection::default(),
         }
     }
 }
@@ -52,6 +60,13 @@ impl ScribeConfig {
     /// Enables child→parent tree probing at `interval`.
     pub fn with_probe_interval(mut self, interval: SimDuration) -> Self {
         self.probe_interval = Some(interval);
+        self
+    }
+
+    /// Selects the legacy fixed-interval child-link expiry (three silent
+    /// probe rounds) — the ablation baseline for the adaptive default.
+    pub fn with_fixed_child_detection(mut self) -> Self {
+        self.child_detection = FailureDetection::FixedInterval;
         self
     }
 }
@@ -308,9 +323,22 @@ pub struct Scribe<C: ScribeClient> {
     /// rounds are dropped, so a child that re-parented elsewhere (or died
     /// without a Leave) cannot stay grafted under a stale parent.
     child_heard: BTreeMap<(u128, u128), SimTime>,
+    /// Phi-accrual detector over `(group, child id)` links. `None` in
+    /// [`FailureDetection::FixedInterval`] mode, where the three-round
+    /// expiry over `child_heard` decides.
+    child_detector: Option<FailureDetector<(u128, u128)>>,
+    /// `(origin, nonce)` pairs of Publishes already disseminated by this
+    /// root: a Publish duplicated in flight must not fan out twice under
+    /// two sequence numbers.
+    pub_seen: DedupWindow<(u128, u64)>,
+    /// Nonce for the next Publish this node sends toward a root.
+    next_pub_nonce: u64,
     client: C,
     config: ScribeConfig,
 }
+
+/// Root-side memory of recently disseminated Publish nonces.
+const PUB_DEDUP_WINDOW: usize = 128;
 
 impl<C: ScribeClient> Scribe<C> {
     /// Creates a Scribe layer around `client`.
@@ -320,11 +348,34 @@ impl<C: ScribeClient> Scribe<C> {
 
     /// Creates a Scribe layer with explicit tunables.
     pub fn with_config(client: C, config: ScribeConfig) -> Self {
+        let child_detector = match &config.child_detection {
+            FailureDetection::FixedInterval => None,
+            FailureDetection::PhiAccrual(phi) => Some(FailureDetector::new(phi.clone())),
+        };
         Scribe {
             groups: BTreeMap::new(),
             child_heard: BTreeMap::new(),
+            child_detector,
+            pub_seen: DedupWindow::new(PUB_DEDUP_WINDOW),
+            next_pub_nonce: 0,
             client,
             config,
+        }
+    }
+
+    /// Records proof of life for a `(group, child)` tree link.
+    fn child_alive(&mut self, group: u128, child: u128, now: SimTime) {
+        self.child_heard.insert((group, child), now);
+        if let Some(det) = self.child_detector.as_mut() {
+            det.heartbeat((group, child), now);
+        }
+    }
+
+    /// Drops all liveness state for a `(group, child)` tree link.
+    fn child_gone(&mut self, group: u128, child: u128) {
+        self.child_heard.remove(&(group, child));
+        if let Some(det) = self.child_detector.as_mut() {
+            det.forget(&(group, child));
         }
     }
 
@@ -437,6 +488,9 @@ impl<C: ScribeClient> Scribe<C> {
         let parent = st.parent;
         self.groups.remove(&g.as_u128());
         self.child_heard.retain(|&(gk, _), _| gk != g.as_u128());
+        if let Some(det) = self.child_detector.as_mut() {
+            det.retain(|&(gk, _)| gk != g.as_u128());
+        }
         if let Some(p) = parent {
             pastry.send_direct(
                 p,
@@ -466,11 +520,16 @@ impl<C: ScribeClient> Scribe<C> {
                 return;
             }
         }
+        let origin = pastry.self_handle().id.as_u128();
+        let nonce = self.next_pub_nonce;
+        self.next_pub_nonce += 1;
         pastry.route(
             g,
             ScribeMsg::Publish {
                 group: g,
                 payload: msg,
+                origin,
+                nonce,
             },
         );
     }
@@ -733,7 +792,7 @@ impl<C: ScribeClient> Scribe<C> {
                 }
             }
             for d in removed_children {
-                self.child_heard.remove(&(key, d.id.as_u128()));
+                self.child_gone(key, d.id.as_u128());
                 self.with_client(pastry, |c, ctx| c.on_child_removed(ctx, g, d));
             }
             if lost_parent {
@@ -821,6 +880,9 @@ impl<C: ScribeClient> PastryApp for Scribe<C> {
             self.groups.remove(&key);
         }
         self.child_heard.clear();
+        if let Some(det) = self.child_detector.as_mut() {
+            det.clear();
+        }
         for (g, child) in dropped {
             self.with_client(ctx, |c, sctx| c.on_child_removed(sctx, g, child));
         }
@@ -863,15 +925,23 @@ impl<C: ScribeClient> PastryApp for Scribe<C> {
                 st.parent = None;
                 if child.id != me.id {
                     let added = st.add_child(child);
-                    self.child_heard
-                        .insert((group.as_u128(), child.id.as_u128()), now);
+                    self.child_alive(group.as_u128(), child.id.as_u128(), now);
                     if added {
                         self.with_client(ctx, |c, sctx| c.on_child_added(sctx, group, child));
                     }
                 }
             }
-            ScribeMsg::Publish { group, payload } => {
-                self.disseminate_as_root(ctx, group, payload);
+            ScribeMsg::Publish {
+                group,
+                payload,
+                origin,
+                nonce,
+            } => {
+                // A Publish duplicated in flight must not fan out twice
+                // under two root-assigned sequence numbers.
+                if self.pub_seen.remember((origin, nonce)) {
+                    self.disseminate_as_root(ctx, group, payload);
+                }
             }
             ScribeMsg::Anycast(env) => self.anycast_step(ctx, env),
             ScribeMsg::Client(m) => {
@@ -903,8 +973,7 @@ impl<C: ScribeClient> PastryApp for Scribe<C> {
                 if st.in_tree() {
                     // Already grafted: adopt the child and stop the join.
                     let added = st.add_child(child);
-                    self.child_heard
-                        .insert((group.as_u128(), child.id.as_u128()), now);
+                    self.child_alive(group.as_u128(), child.id.as_u128(), now);
                     if added {
                         self.with_client(ctx, |c, sctx| c.on_child_added(sctx, group, child));
                     }
@@ -914,8 +983,7 @@ impl<C: ScribeClient> PastryApp for Scribe<C> {
                     // toward the root under our own name.
                     st.parent = Some(next);
                     st.add_child(child);
-                    self.child_heard
-                        .insert((group.as_u128(), child.id.as_u128()), now);
+                    self.child_alive(group.as_u128(), child.id.as_u128(), now);
                     self.with_client(ctx, |c, sctx| c.on_child_added(sctx, group, child));
                     Some(ScribeMsg::Join { group, child: me })
                 }
@@ -944,8 +1012,7 @@ impl<C: ScribeClient> PastryApp for Scribe<C> {
                     return;
                 };
                 if st.remove_child(child.id) {
-                    self.child_heard
-                        .remove(&(group.as_u128(), child.id.as_u128()));
+                    self.child_gone(group.as_u128(), child.id.as_u128());
                     self.with_client(ctx, |c, sctx| c.on_child_removed(sctx, group, child));
                     self.prune(ctx, group);
                 }
@@ -976,8 +1043,7 @@ impl<C: ScribeClient> PastryApp for Scribe<C> {
                         .get_mut(&group.as_u128())
                         .expect("group present")
                         .add_child(child);
-                    self.child_heard
-                        .insert((group.as_u128(), child.id.as_u128()), now);
+                    self.child_alive(group.as_u128(), child.id.as_u128(), now);
                     if added {
                         self.with_client(ctx, |c, sctx| c.on_child_added(sctx, group, child));
                     }
@@ -1001,6 +1067,21 @@ impl<C: ScribeClient> PastryApp for Scribe<C> {
                     None => {}
                 }
             }
+            ScribeMsg::ChildProbe { group } => {
+                // Our parent's detector suspects us. If we still consider
+                // the sender our parent, refute with an immediate probe;
+                // otherwise confirm the graft is stale with a Leave.
+                let me = ctx.self_handle();
+                let still_child = self
+                    .groups
+                    .get(&group.as_u128())
+                    .is_some_and(|st| st.parent.is_some_and(|p| p.actor == from.actor));
+                if still_child {
+                    ctx.send_direct(from, ScribeMsg::ParentProbe { group, child: me });
+                } else {
+                    ctx.send_direct(from, ScribeMsg::Leave { group, child: me });
+                }
+            }
             other => debug_assert!(false, "unexpected direct Scribe message: {other:?}"),
         }
     }
@@ -1022,20 +1103,47 @@ impl<C: ScribeClient> PastryApp for Scribe<C> {
                 }
             }
             // Parent-side expiry: a child that re-parented elsewhere (or
-            // died without a Leave) stops probing us; after three silent
-            // rounds drop the link so no node stays grafted under two
-            // parents.
+            // died without a Leave) stops probing us; drop the link so no
+            // node stays grafted under two parents. Phi mode adapts to the
+            // link's observed probe cadence and double-checks with a direct
+            // ChildProbe before dropping; fixed mode expires after three
+            // silent rounds.
             if let Some(interval) = self.config.probe_interval {
                 let now = ctx.now();
-                let expiry = interval * 3;
                 let mut expired: Vec<(GroupId, NodeHandle)> = Vec::new();
-                let groups = &self.groups;
-                let child_heard = &mut self.child_heard;
-                for (&key, st) in groups {
-                    for &child in &st.children {
-                        let heard = child_heard.entry((key, child.id.as_u128())).or_insert(now);
-                        if now.saturating_since(*heard) > expiry {
-                            expired.push((GroupId::from_u128(key), child));
+                if let Some(det) = self.child_detector.as_mut() {
+                    let links: Vec<(u128, NodeHandle)> = self
+                        .groups
+                        .iter()
+                        .flat_map(|(&key, st)| st.children.iter().map(move |&c| (key, c)))
+                        .collect();
+                    for &(key, child) in &links {
+                        let link = (key, child.id.as_u128());
+                        det.observe_with_estimate(link, now, interval + ctx.rtt_to(&child));
+                        match det.evaluate(link, now) {
+                            Verdict::Alive | Verdict::Suspect => {}
+                            Verdict::NewlySuspect => ctx.send_direct(
+                                child,
+                                ScribeMsg::ChildProbe {
+                                    group: GroupId::from_u128(key),
+                                },
+                            ),
+                            Verdict::Dead => expired.push((GroupId::from_u128(key), child)),
+                        }
+                    }
+                    // Stop tracking links that disappeared without passing
+                    // through child_gone (e.g. bulk drops on restart).
+                    det.retain(|&(g, c)| links.iter().any(|(k, h)| *k == g && h.id.as_u128() == c));
+                } else {
+                    let expiry = interval * 3;
+                    let groups = &self.groups;
+                    let child_heard = &mut self.child_heard;
+                    for (&key, st) in groups {
+                        for &child in &st.children {
+                            let heard = child_heard.entry((key, child.id.as_u128())).or_insert(now);
+                            if now.saturating_since(*heard) > expiry {
+                                expired.push((GroupId::from_u128(key), child));
+                            }
                         }
                     }
                 }
@@ -1045,7 +1153,7 @@ impl<C: ScribeClient> PastryApp for Scribe<C> {
                         .get_mut(&g.as_u128())
                         .is_some_and(|st| st.remove_child(child.id));
                     if removed {
-                        self.child_heard.remove(&(g.as_u128(), child.id.as_u128()));
+                        self.child_gone(g.as_u128(), child.id.as_u128());
                         self.with_client(ctx, |c, sctx| c.on_child_removed(sctx, g, child));
                         self.prune(ctx, g);
                     }

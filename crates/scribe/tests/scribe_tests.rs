@@ -643,3 +643,49 @@ fn anycast_ttl_exhaustion_fails_cleanly() {
         "origin must learn about the exhausted search"
     );
 }
+
+#[test]
+fn duplicated_publish_fans_out_once() {
+    use vbundle_pastry::RouteEnvelope;
+
+    let (mut net, handles) = launch(12, IdAssignment::TopologyAware, 4);
+    let g = group_id("dedup");
+    join_all(&mut net, &handles, g);
+    let root = *handles
+        .iter()
+        .find(|h| net.actor(h.actor).app().group(g).is_some_and(|st| st.root))
+        .expect("group has a root");
+    // The same Publish — identical (origin, nonce) — reaches the root
+    // twice, as a duplicating link would deliver it. The root must fan
+    // it out once: assigning two sequence numbers would defeat the
+    // downstream Disseminate dedup and deliver the payload twice.
+    let sender = handles[3];
+    let publish = || {
+        PastryMsg::Route(RouteEnvelope {
+            key: g,
+            payload: ScribeMsg::Publish {
+                group: g,
+                payload: TestPayload(9),
+                origin: sender.id.as_u128(),
+                nonce: 1,
+            },
+            hops: 0,
+            origin: sender,
+        })
+    };
+    net.post(root.actor, sender.actor, publish(), SimDuration::ZERO);
+    net.post(
+        root.actor,
+        sender.actor,
+        publish(),
+        SimDuration::from_millis(1),
+    );
+    net.run_to_quiescence();
+    for h in &handles {
+        assert_eq!(
+            net.actor(h.actor).app().client().multicasts,
+            vec![(g, TestPayload(9))],
+            "every member must deliver the payload exactly once"
+        );
+    }
+}

@@ -151,6 +151,13 @@ impl<'a, W: Message> Context<'a, W> {
         self.latency.latency(self.self_id, to)
     }
 
+    /// Estimated round-trip time to `to` under the installed model — the
+    /// sample failure detectors seed their per-peer cadence expectations
+    /// with (probe interval + RTT ≈ expected ack inter-arrival time).
+    pub fn rtt_to(&self, to: ActorId) -> SimDuration {
+        self.latency.latency(self.self_id, to) * 2
+    }
+
     /// Sends `msg` to `to`; it arrives after the model's network latency.
     pub fn send(&mut self, to: ActorId, msg: W) {
         self.send_after(to, msg, SimDuration::ZERO);

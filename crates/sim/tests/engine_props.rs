@@ -22,6 +22,104 @@ impl Actor<Tagged> for Recorder {
     }
 }
 
+/// Records arrivals, timer firings, bounces and restarts — for pinning
+/// down [`Engine::restart`] semantics with traffic in flight.
+#[derive(Default)]
+struct RestartProbe {
+    arrivals: Vec<(u64, u64)>, // (time µs, tag)
+    timers: Vec<(u64, u64)>,   // (time µs, tag)
+    bounces: Vec<u64>,         // bounced tag
+    restarts: u32,
+}
+
+impl Actor<Tagged> for RestartProbe {
+    fn on_message(&mut self, ctx: &mut Context<'_, Tagged>, _from: ActorId, msg: Tagged) {
+        self.arrivals.push((ctx.now().as_micros(), msg.0));
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Tagged>, tag: u64) {
+        self.timers.push((ctx.now().as_micros(), tag));
+    }
+
+    fn on_delivery_failure(&mut self, _ctx: &mut Context<'_, Tagged>, _to: ActorId, msg: Tagged) {
+        self.bounces.push(msg.0);
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, Tagged>) {
+        self.restarts += 1;
+        // Re-arm a periodic timer, as a real protocol stack would.
+        ctx.schedule(SimDuration::from_micros(5_000), 99);
+    }
+}
+
+fn restart_pair() -> (Engine<Tagged, RestartProbe>, ActorId, ActorId) {
+    let mut e: Engine<Tagged, RestartProbe> = Engine::new(
+        Box::new(ConstantLatency(SimDuration::from_micros(10_000))),
+        1,
+    );
+    let a = e.add_actor(RestartProbe::default());
+    let b = e.add_actor(RestartProbe::default());
+    (e, a, b)
+}
+
+/// A message already in flight toward a node when it crashes — but timed
+/// to land after the restart — is delivered (a packet crossing the outage
+/// window); one landing *during* the outage bounces to its sender and is
+/// gone for good.
+#[test]
+fn restart_keeps_in_flight_messages_but_not_outage_arrivals() {
+    let (mut e, a, b) = restart_pair();
+    // Arrives at t = 40ms + 10ms latency = 50ms, after the restart below.
+    e.post(b, a, Tagged(1), SimDuration::from_micros(40_000));
+    // Arrives at t = 25ms, inside the outage window: bounces.
+    e.post(b, a, Tagged(2), SimDuration::from_micros(15_000));
+    e.run_until(SimTime::from_micros(20_000));
+    e.fail(b);
+    e.run_until(SimTime::from_micros(40_000));
+    e.restart(b);
+    e.run_to_quiescence();
+    assert_eq!(e.actor(b).arrivals, vec![(50_000, 1)]);
+    assert_eq!(e.actor(b).restarts, 1);
+    // The outage-window message bounced back to its sender instead.
+    assert_eq!(e.actor(a).bounces, vec![2]);
+}
+
+/// Timers armed before the crash are purged — the process that scheduled
+/// them is gone — so the restarted node sees only what `on_restart`
+/// re-armed, and never a pre-crash timer resurrecting old state.
+#[test]
+fn restart_purges_pre_crash_timers() {
+    let (mut e, _a, b) = restart_pair();
+    e.call(b, |_, ctx| {
+        ctx.schedule(SimDuration::from_micros(100_000), 7)
+    });
+    e.run_until(SimTime::from_micros(10_000));
+    e.fail(b);
+    e.run_until(SimTime::from_micros(20_000));
+    e.restart(b);
+    e.run_to_quiescence();
+    assert_eq!(e.actor(b).timers, vec![(25_000, 99)]);
+}
+
+/// Messages a node sent just before crashing stay in flight: the crash
+/// kills the process, not packets already on the wire. Replies to those
+/// messages then race the outage like any other traffic.
+#[test]
+fn messages_from_a_crashing_node_still_deliver() {
+    let (mut e, a, b) = restart_pair();
+    e.call(a, |_, ctx| ctx.send(b, Tagged(3)));
+    e.fail(a);
+    e.run_to_quiescence();
+    assert_eq!(e.actor(b).arrivals, vec![(10_000, 3)]);
+    // The sender is dead, so nothing bounced anywhere.
+    assert!(e.actor(a).bounces.is_empty());
+    // After a restart the revived node exchanges traffic normally again.
+    e.restart(a);
+    e.call(b, |_, ctx| ctx.send(a, Tagged(4)));
+    e.run_to_quiescence();
+    assert_eq!(e.actor(a).arrivals, vec![(20_000, 4)]);
+}
+
 /// A plan of external messages: (sender, receiver, delay µs, tag).
 fn arb_plan(actors: usize) -> impl Strategy<Value = Vec<(u32, u32, u64, u64)>> {
     proptest::collection::vec(
