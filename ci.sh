@@ -19,4 +19,15 @@ cargo test --workspace
 echo "==> chaos smoke (deterministic golden)"
 cargo run --release -q -p vbundle-bench --bin chaos_sweep -- --smoke
 
+echo "==> poison smoke (deterministic golden)"
+cargo run --release -q -p vbundle-bench --bin poison_sweep -- --smoke
+
+echo "==> golden files unchanged"
+if ! git diff --quiet -- results/*.golden; then
+    git --no-pager diff --stat -- results/*.golden
+    echo "golden drift: inspect the diff, then regen with" \
+         "'cargo run --release -p vbundle-bench --bin <sweep> -- --smoke --bless'" >&2
+    exit 1
+fi
+
 echo "CI green."

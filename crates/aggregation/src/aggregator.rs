@@ -13,6 +13,7 @@ use vbundle_pastry::NodeHandle;
 use vbundle_scribe::{GroupId, ScribeCtx};
 use vbundle_sim::{Message, SimDuration, SimTime};
 
+use crate::robust::{winsorized_combine, Robustness};
 use crate::{AggMsg, AggValue};
 
 /// Timer tag the embedding client must route to [`Aggregator::on_tick`].
@@ -44,6 +45,11 @@ pub struct AggregationConfig {
     /// last value cannot steer rebalancing forever. `None` keeps cached
     /// aggregates until a newer result supersedes them.
     pub staleness: Option<PhiConfig>,
+    /// How incoming contributions are screened and combined. Defaults to
+    /// [`Robustness::TrustAll`] — exact, lossless aggregation — because
+    /// honest-network tests and the Fig. 14 measurements assert exact sums;
+    /// poison-facing deployments opt into [`Robustness::Defensive`].
+    pub robustness: Robustness,
 }
 
 impl Default for AggregationConfig {
@@ -52,6 +58,7 @@ impl Default for AggregationConfig {
             mode: UpdateMode::Periodic(SimDuration::from_mins(5)),
             processing_delay: SimDuration::from_micros(1500),
             staleness: Some(PhiConfig::default()),
+            robustness: Robustness::TrustAll,
         }
     }
 }
@@ -97,6 +104,7 @@ struct TopicState {
 pub struct Aggregator {
     topics: BTreeMap<u128, TopicState>,
     config: AggregationConfig,
+    rejected: u64,
 }
 
 impl Aggregator {
@@ -105,12 +113,20 @@ impl Aggregator {
         Aggregator {
             topics: BTreeMap::new(),
             config,
+            rejected: 0,
         }
     }
 
     /// The configuration in effect.
     pub fn config(&self) -> &AggregationConfig {
         &self.config
+    }
+
+    /// Contributions (child updates or published results) rejected by
+    /// [`Robustness::Defensive`] validation. Always zero under
+    /// [`Robustness::TrustAll`].
+    pub fn rejected_contributions(&self) -> u64 {
+        self.rejected
     }
 
     /// Subscribes this node to `topic`: joins the Scribe tree and starts
@@ -128,6 +144,13 @@ impl Aggregator {
                 ctx.schedule(interval, AGG_TICK_TAG);
             }
         }
+    }
+
+    /// Registers a topic locally without joining its Scribe group or
+    /// arming the tick timer — for offline harnesses and tests that inject
+    /// globals directly through [`Aggregator::on_result`].
+    pub fn track(&mut self, topic: GroupId) {
+        self.topics.entry(topic.as_u128()).or_default();
     }
 
     /// Topics this node subscribed to.
@@ -238,9 +261,25 @@ impl Aggregator {
         topic: GroupId,
         value: AggValue,
     ) {
-        let Some(st) = self.topics.get_mut(&topic.as_u128()) else {
+        if !self.topics.contains_key(&topic.as_u128()) {
             return; // not subscribed (e.g. pure forwarder); drop
+        }
+        let value = match &self.config.robustness {
+            Robustness::TrustAll => value,
+            Robustness::Defensive(p) => {
+                if p.check(&value).is_err() {
+                    // Reject: keep the child's last accepted contribution
+                    // (its last-good snapshot) instead of overwriting.
+                    self.rejected += 1;
+                    return;
+                }
+                p.clamp(value)
+            }
         };
+        let st = self
+            .topics
+            .get_mut(&topic.as_u128())
+            .expect("presence checked above");
         st.info_base.insert(from.id.as_u128(), value);
         if self.config.mode == UpdateMode::Immediate {
             self.push_subtree(ctx, topic);
@@ -266,9 +305,20 @@ impl Aggregator {
         value: AggValue,
         now: SimTime,
     ) {
-        let Some(st) = self.topics.get_mut(&topic.as_u128()) else {
+        if !self.topics.contains_key(&topic.as_u128()) {
             return;
-        };
+        }
+        if let Robustness::Defensive(p) = &self.config.robustness {
+            if p.check(&value).is_err() {
+                // A poisoned global: keep the last-good cached result.
+                self.rejected += 1;
+                return;
+            }
+        }
+        let st = self
+            .topics
+            .get_mut(&topic.as_u128())
+            .expect("presence checked above");
         match st.global {
             Some((r, v, _)) if r == root && v >= version => {}
             _ => {
@@ -313,30 +363,47 @@ impl Aggregator {
         };
         st.info_base
             .retain(|id, _| children.iter().any(|c| c.id.as_u128() == *id));
-        let subtree = st.info_base.values().fold(st.local, |acc, v| acc.merge(v));
+        let subtree = match &self.config.robustness {
+            Robustness::TrustAll => st.info_base.values().fold(st.local, |acc, v| acc.merge(v)),
+            Robustness::Defensive(_) => {
+                // Winsorized trimmed-mean combine: clamp the extreme
+                // contributions (local value included) to the crowd.
+                let mut contribs = Vec::with_capacity(1 + st.info_base.len());
+                contribs.push(st.local);
+                contribs.extend(st.info_base.values().copied());
+                winsorized_combine(&contribs)
+            }
+        };
         if ctx.is_root(topic) {
             // The root's subtree is the global value: publish down. In
             // periodic mode the root re-publishes every round even when
             // unchanged — the downward traffic doubles as tree liveness
             // (a dead child bounces the dissemination, detaching it).
+            // Defensive roots additionally bound how far each publication
+            // may move the mean versus the last published (epoch-stamped
+            // by `version`) value, so surviving poison crawls, not jumps.
+            let publish = match &self.config.robustness {
+                Robustness::TrustAll => subtree,
+                Robustness::Defensive(p) => p.bound_step(st.last_published, subtree),
+            };
             if self.config.mode == UpdateMode::Immediate
                 && st
                     .last_published
-                    .map(|p| p.approx_eq(&subtree))
+                    .map(|p| p.approx_eq(&publish))
                     .unwrap_or(false)
             {
                 return;
             }
             st.version += 1;
-            st.last_published = Some(subtree);
-            st.global = Some((me.id.as_u128(), st.version, subtree));
+            st.last_published = Some(publish);
+            st.global = Some((me.id.as_u128(), st.version, publish));
             // The root's own publication is proof of its own liveness.
             Self::record_result(&self.config, st, ctx.now());
             let msg = AggMsg::Result {
                 topic,
                 root: me.id.as_u128(),
                 version: st.version,
-                value: subtree,
+                value: publish,
             };
             ctx.multicast(topic, M::from(msg));
         } else if let Some(parent) = ctx.parent(topic) {
@@ -418,6 +485,39 @@ mod tests {
         a.on_result(topic(), 5, 1, AggValue::of(1.0), t(0));
         a.expire_stale(t(100_000));
         assert!(a.global(topic()).is_some());
+    }
+
+    #[test]
+    fn defensive_on_result_keeps_last_good_under_poison() {
+        let mut a = Aggregator::new(AggregationConfig {
+            mode: UpdateMode::Periodic(SimDuration::from_secs(10)),
+            robustness: Robustness::defensive(),
+            ..AggregationConfig::default()
+        });
+        a.topics.insert(TOPIC, TopicState::default());
+        a.on_result(topic(), 5, 1, AggValue::of(100.0), t(0));
+
+        // A NaN-poisoned publication is rejected; the cached global stays.
+        let mut nan = AggValue::of(100.0);
+        nan.sum = f64::NAN;
+        a.on_result(topic(), 5, 2, nan, t(10));
+        assert_eq!(a.global(topic()).unwrap().sum, 100.0);
+        assert_eq!(a.rejected_contributions(), 1);
+
+        // A later honest publication is accepted normally.
+        a.on_result(topic(), 5, 3, AggValue::of(110.0), t(20));
+        assert_eq!(a.global(topic()).unwrap().sum, 110.0);
+        assert_eq!(a.rejected_contributions(), 1);
+    }
+
+    #[test]
+    fn trust_all_accepts_poisoned_results() {
+        let mut a = periodic(10);
+        let mut nan = AggValue::of(100.0);
+        nan.sum = f64::NAN;
+        a.on_result(topic(), 5, 1, nan, t(0));
+        assert!(a.global(topic()).unwrap().sum.is_nan());
+        assert_eq!(a.rejected_contributions(), 0);
     }
 
     #[test]

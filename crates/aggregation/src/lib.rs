@@ -80,9 +80,11 @@
 mod aggregator;
 mod client;
 mod message;
+mod robust;
 mod value;
 
 pub use aggregator::{AggCarrier, AggregationConfig, Aggregator, UpdateMode, AGG_TICK_TAG};
 pub use client::AggClient;
 pub use message::AggMsg;
+pub use robust::{winsorized_combine, DefensiveParams, RejectReason, Robustness};
 pub use value::AggValue;

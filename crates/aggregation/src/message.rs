@@ -1,7 +1,7 @@
 //! Aggregation protocol messages.
 
 use vbundle_scribe::GroupId;
-use vbundle_sim::{Message, MsgCategory};
+use vbundle_sim::{CorruptionMode, Message, MsgCategory};
 
 use crate::AggValue;
 
@@ -47,6 +47,18 @@ impl Message for AggMsg {
     fn category(&self) -> MsgCategory {
         MsgCategory::Payload
     }
+
+    /// Both the upward reports and the downward published globals carry an
+    /// [`AggValue`] a poisoned node can mutate — a corrupted *interior*
+    /// node corrupts its `Result` disseminations too, which is what gives
+    /// different servers divergent views of the global mean.
+    fn corrupt(&mut self, mode: CorruptionMode) -> bool {
+        match self {
+            AggMsg::Update { value, .. } | AggMsg::Result { value, .. } => {
+                value.apply_corruption(mode)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -69,5 +81,30 @@ mod tests {
         };
         assert_eq!(r.wire_size(), 72);
         assert_eq!(u.category(), MsgCategory::Payload);
+    }
+
+    #[test]
+    fn corrupt_reaches_both_variants() {
+        let mut u = AggMsg::Update {
+            topic: Id::from_u128(1),
+            value: AggValue::of(3.0),
+        };
+        assert!(u.corrupt(CorruptionMode::Negative));
+        let AggMsg::Update { value, .. } = &u else {
+            unreachable!()
+        };
+        assert_eq!(value.sum, -3.0);
+
+        let mut r = AggMsg::Result {
+            topic: Id::from_u128(1),
+            root: 9,
+            version: 2,
+            value: AggValue::of(3.0),
+        };
+        assert!(r.corrupt(CorruptionMode::Nan));
+        let AggMsg::Result { value, .. } = &r else {
+            unreachable!()
+        };
+        assert!(value.sum.is_nan());
     }
 }

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use vbundle_sim::CorruptionMode;
+
 /// A commutative, associative summary of a set of samples: sum, count,
 /// minimum and maximum (mean is derived). One value type covers every
 /// topic the paper aggregates (`BW_Capacity`, `BW_Demand`, configuration
@@ -71,6 +73,46 @@ impl AggValue {
     /// True if no samples are summarized.
     pub fn is_empty(&self) -> bool {
         self.count == 0
+    }
+
+    /// Applies an in-flight corruption fault to this value, returning
+    /// `true` if the value actually changed. Empty values have nothing to
+    /// corrupt. Used by the fault-injection layer via
+    /// [`Message::corrupt`](vbundle_sim::Message::corrupt).
+    pub fn apply_corruption(&mut self, mode: CorruptionMode) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let before = *self;
+        match mode {
+            CorruptionMode::Nan => {
+                self.sum = f64::NAN;
+                self.min = self.min.map(|_| f64::NAN);
+                self.max = self.max.map(|_| f64::NAN);
+            }
+            CorruptionMode::Negative => {
+                self.sum = -self.sum.abs();
+                // Negating swaps which extremum is which.
+                let (min, max) = (self.min, self.max);
+                self.min = max.map(|v| -v.abs());
+                self.max = min.map(|v| -v.abs());
+            }
+            CorruptionMode::HugeScale => {
+                const SCALE: f64 = 1.0e6;
+                self.sum *= SCALE;
+                self.min = self.min.map(|v| v * SCALE);
+                self.max = self.max.map(|v| v * SCALE);
+            }
+            CorruptionMode::Frozen => {
+                // A stuck reporter: claims zero load for its whole subtree.
+                // Plausible values — range validation cannot catch this.
+                self.sum = 0.0;
+                self.min = self.min.map(|_| 0.0);
+                self.max = self.max.map(|_| 0.0);
+            }
+        }
+        // NaN never approx_eqs itself, so Nan always reports changed.
+        !before.approx_eq(self)
     }
 
     /// Approximate equality, used to suppress no-op re-publications.
@@ -166,6 +208,39 @@ mod tests {
         let c = AggValue::of(1.0);
         assert!(!a.approx_eq(&c));
         assert!(AggValue::EMPTY.approx_eq(&AggValue::EMPTY));
+    }
+
+    #[test]
+    fn corruption_modes_mutate_as_specified() {
+        let base: AggValue = vec![10.0, 30.0].into_iter().collect();
+
+        let mut v = base;
+        assert!(v.apply_corruption(CorruptionMode::Nan));
+        assert!(v.sum.is_nan() && v.min.unwrap().is_nan());
+
+        let mut v = base;
+        assert!(v.apply_corruption(CorruptionMode::Negative));
+        assert_eq!(v.sum, -40.0);
+        assert_eq!((v.min, v.max), (Some(-30.0), Some(-10.0)));
+
+        let mut v = base;
+        assert!(v.apply_corruption(CorruptionMode::HugeScale));
+        assert_eq!(v.sum, 40.0e6);
+
+        let mut v = base;
+        assert!(v.apply_corruption(CorruptionMode::Frozen));
+        assert_eq!((v.sum, v.count), (0.0, 2));
+        assert_eq!((v.min, v.max), (Some(0.0), Some(0.0)));
+    }
+
+    #[test]
+    fn corruption_of_empty_is_a_noop() {
+        let mut v = AggValue::EMPTY;
+        assert!(!v.apply_corruption(CorruptionMode::Nan));
+        assert_eq!(v, AggValue::EMPTY);
+        // Freezing an already-zero value changes nothing and says so.
+        let mut z = AggValue::of(0.0);
+        assert!(!z.apply_corruption(CorruptionMode::Frozen));
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vbundle_dcn::Topology;
-use vbundle_sim::{ActorId, FaultAction, FaultInjector, SimTime};
+use vbundle_sim::{ActorId, CorruptionMode, FaultAction, FaultInjector, SimTime};
 
 use crate::plan::{LinkFault, Scope};
 
@@ -26,6 +26,10 @@ pub struct NetState {
     /// Active degradations, directional `(from, to, fault)`. Every
     /// matching rule gets a chance to fault a message, in insert order.
     pub degradations: Vec<(Scope, Scope, LinkFault)>,
+    /// Active poisoned reporters, directional `(from, to, mode)`: every
+    /// matching message is marked for corruption (the engine mutates only
+    /// the ones carrying corruptible content).
+    pub corruptions: Vec<(Scope, Scope, CorruptionMode)>,
     rng: StdRng,
 }
 
@@ -40,6 +44,7 @@ impl SharedNet {
         SharedNet(Rc::new(RefCell::new(NetState {
             partitions: Vec::new(),
             degradations: Vec::new(),
+            corruptions: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
         })))
     }
@@ -87,7 +92,10 @@ impl FaultInjector for ChaosInjector {
             // Destructure to let the rule iteration and the RNG borrow
             // disjoint fields.
             let NetState {
-                degradations, rng, ..
+                degradations,
+                corruptions,
+                rng,
+                ..
             } = st;
             for (src, dst, fault) in degradations.iter() {
                 if !(src.contains(topo, from) && dst.contains(topo, to)) {
@@ -101,6 +109,16 @@ impl FaultInjector for ChaosInjector {
                 }
                 if fault.delay > 0.0 && rng.gen_bool(fault.delay) {
                     return FaultAction::Delay(fault.delay_by);
+                }
+                if fault.corrupt > 0.0 && rng.gen_bool(fault.corrupt.min(1.0)) {
+                    return FaultAction::Corrupt(fault.corrupt_mode);
+                }
+            }
+            // Poisoned reporters corrupt every matching message; the rules
+            // are content-blind, the engine skips uncorruptible payloads.
+            for (src, dst, mode) in corruptions.iter() {
+                if src.contains(topo, from) && dst.contains(topo, to) {
+                    return FaultAction::Corrupt(*mode);
                 }
             }
             FaultAction::Deliver

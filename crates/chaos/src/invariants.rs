@@ -220,6 +220,81 @@ where
     out
 }
 
+/// Poison containment, part 1 — the steering signal: every live server's
+/// *effective* cluster-mean bandwidth utilization (what its shuffling
+/// logic actually steers on, after the aggregator's robust combine and
+/// the controller's sanity gate) stays within `epsilon` of the honest
+/// ground truth computed from the servers' actual state. Corrupted
+/// *reports* never change a server's real demand, so the truth here is
+/// immune to poisoning by construction.
+pub fn check_global_mean(engine: &VbEngine, epsilon: f64) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut demand = 0.0;
+    let mut capacity = 0.0;
+    for (id, node) in engine.actors() {
+        if !engine.is_alive(id) {
+            continue;
+        }
+        let ctrl = node.app().client();
+        demand += ctrl.demand_for(vbundle_core::ResourceKind::Bandwidth);
+        capacity += ctrl.capacity().get(vbundle_core::ResourceKind::Bandwidth);
+    }
+    if capacity <= 0.0 {
+        return out;
+    }
+    let truth = demand / capacity;
+    for (id, node) in engine.actors() {
+        if !engine.is_alive(id) {
+            continue;
+        }
+        let ctrl = node.app().client();
+        match ctrl.effective_mean_for(vbundle_core::ResourceKind::Bandwidth) {
+            None => out.push(format!(
+                "global-mean: server {} steers on no mean at all",
+                id.index()
+            )),
+            // NaN compares false against everything, so test non-finite
+            // explicitly — a NaN-poisoned mean must not slip through.
+            Some(m) if !m.is_finite() || (m - truth).abs() > epsilon => out.push(format!(
+                "global-mean: server {} steers on mean {m:.4}, honest truth is {truth:.4}",
+                id.index()
+            )),
+            Some(_) => {}
+        }
+    }
+    out
+}
+
+/// Poison containment, part 2 — the blast radius: the cluster started at
+/// most `max_migrations` outbound migrations since `since`. A poisoned
+/// mean that survives the defenses shows up here as a migration storm
+/// (every server suddenly classifying itself as a shedder or receiver).
+pub fn check_migration_rate(
+    engine: &VbEngine,
+    since: vbundle_sim::SimTime,
+    max_migrations: u64,
+) -> Vec<Violation> {
+    let started: u64 = engine
+        .actors()
+        .map(|(_, node)| {
+            node.app()
+                .client()
+                .stats
+                .migration_times
+                .iter()
+                .filter(|&&t| t >= since)
+                .count() as u64
+        })
+        .sum();
+    if started > max_migrations {
+        vec![format!(
+            "migration-rate: {started} migrations started since {since} (bound {max_migrations})"
+        )]
+    } else {
+        Vec::new()
+    }
+}
+
 /// VM conservation across migrations: no VM is installed on two servers at
 /// once, and every VM in `expected` is accounted for — hosted somewhere
 /// (server state survives a warm restart) or sitting in a shedder's

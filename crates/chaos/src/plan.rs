@@ -6,7 +6,7 @@
 //! the chaos layer is that a failing scenario can be replayed exactly.
 
 use vbundle_dcn::Topology;
-use vbundle_sim::{ActorId, SimDuration, SimTime};
+use vbundle_sim::{ActorId, CorruptionMode, SimDuration, SimTime};
 
 /// A set of servers, at the granularities the datacenter fabric fails at:
 /// one host, one rack (top-of-rack switch), one pod (aggregation switch),
@@ -57,6 +57,12 @@ pub struct LinkFault {
     pub delay: f64,
     /// Extra latency added to delayed messages.
     pub delay_by: SimDuration,
+    /// Probability a message's aggregation payload is corrupted in flight
+    /// (evaluated after drop / duplicate / delay; messages without
+    /// corruptible content deliver unchanged).
+    pub corrupt: f64,
+    /// How corrupted payloads are mutated.
+    pub corrupt_mode: CorruptionMode,
 }
 
 impl LinkFault {
@@ -68,17 +74,27 @@ impl LinkFault {
             duplicate_gap: SimDuration::ZERO,
             delay: 0.0,
             delay_by: SimDuration::ZERO,
+            corrupt: 0.0,
+            corrupt_mode: CorruptionMode::Nan,
         }
     }
 
     /// A degraded (slow) link: every message is delayed by `extra`.
     pub fn slow(extra: SimDuration) -> LinkFault {
         LinkFault {
-            drop: 0.0,
-            duplicate: 0.0,
-            duplicate_gap: SimDuration::ZERO,
             delay: 1.0,
             delay_by: extra,
+            ..LinkFault::loss(0.0)
+        }
+    }
+
+    /// A poisoning link: each message's aggregation payload is corrupted
+    /// with probability `p` using `mode`.
+    pub fn poison(p: f64, mode: CorruptionMode) -> LinkFault {
+        LinkFault {
+            corrupt: p,
+            corrupt_mode: mode,
+            ..LinkFault::loss(0.0)
         }
     }
 
@@ -86,6 +102,13 @@ impl LinkFault {
     pub fn with_duplicate(mut self, p: f64, gap: SimDuration) -> LinkFault {
         self.duplicate = p;
         self.duplicate_gap = gap;
+        self
+    }
+
+    /// Adds a corruption probability.
+    pub fn with_corruption(mut self, p: f64, mode: CorruptionMode) -> LinkFault {
+        self.corrupt = p;
+        self.corrupt_mode = mode;
         self
     }
 }
@@ -108,6 +131,30 @@ pub enum FaultKind {
     },
     /// Remove every active partition.
     HealPartitions,
+    /// Remove one specific partition (matched in either orientation),
+    /// leaving any others in place — for scenarios that heal cuts in
+    /// stages rather than all at once.
+    HealPartition {
+        /// One side of the cut to heal.
+        a: Scope,
+        /// The other side.
+        b: Scope,
+    },
+    /// Start corrupting the aggregation payloads `node` sends, every
+    /// message, with the given mutation — a poisoned reporter. The
+    /// injector stays content-blind: the engine applies the mutation to
+    /// messages that carry corruptible content and delivers the rest
+    /// unchanged.
+    CorruptAggregate {
+        /// The poisoned server.
+        node: ActorId,
+        /// How its outgoing aggregation payloads are mutated.
+        mode: CorruptionMode,
+    },
+    /// Remove every active corruption (both [`FaultKind::CorruptAggregate`]
+    /// rules and probabilistic [`LinkFault::corrupt`] degradations stay
+    /// governed by their own lists — this clears only the former).
+    ClearCorruptions,
     /// Start applying per-message fault probabilities to traffic from
     /// `from` to `to` (one direction; add the mirrored event for both).
     Degrade {
@@ -185,6 +232,21 @@ impl FaultPlan {
     /// Schedules the healing of all partitions.
     pub fn heal(self, at: SimTime) -> FaultPlan {
         self.event(at, FaultKind::HealPartitions)
+    }
+
+    /// Schedules the healing of one specific partition.
+    pub fn heal_partition(self, at: SimTime, a: Scope, b: Scope) -> FaultPlan {
+        self.event(at, FaultKind::HealPartition { a, b })
+    }
+
+    /// Schedules a server to start poisoning its aggregation reports.
+    pub fn corrupt_aggregate(self, at: SimTime, node: ActorId, mode: CorruptionMode) -> FaultPlan {
+        self.event(at, FaultKind::CorruptAggregate { node, mode })
+    }
+
+    /// Schedules the removal of all poisoned reporters.
+    pub fn clear_corruptions(self, at: SimTime) -> FaultPlan {
+        self.event(at, FaultKind::ClearCorruptions)
     }
 
     /// Schedules a one-directional link degradation.

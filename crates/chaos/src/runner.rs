@@ -9,7 +9,7 @@ use vbundle_sim::{Actor, Engine, FaultStats, Message, SimDuration, SimTime};
 
 use crate::injector::{ChaosInjector, SharedNet};
 use crate::invariants::Violation;
-use crate::plan::{FaultKind, FaultPlan};
+use crate::plan::{FaultKind, FaultPlan, Scope};
 
 /// Plays a [`FaultPlan`]'s events at their scheduled times while the
 /// engine runs.
@@ -57,10 +57,18 @@ impl ChaosDriver {
             FaultKind::Restart(actor) => engine.restart(actor),
             FaultKind::Partition { a, b } => self.net.with(|st| st.partitions.push((a, b))),
             FaultKind::HealPartitions => self.net.with(|st| st.partitions.clear()),
+            FaultKind::HealPartition { a, b } => self.net.with(|st| {
+                st.partitions
+                    .retain(|&(x, y)| !((x == a && y == b) || (x == b && y == a)))
+            }),
             FaultKind::Degrade { from, to, fault } => {
                 self.net.with(|st| st.degradations.push((from, to, fault)))
             }
             FaultKind::ClearDegradations => self.net.with(|st| st.degradations.clear()),
+            FaultKind::CorruptAggregate { node, mode } => self
+                .net
+                .with(|st| st.corruptions.push((Scope::Actor(node), Scope::All, mode))),
+            FaultKind::ClearCorruptions => self.net.with(|st| st.corruptions.clear()),
         }
     }
 
@@ -144,8 +152,8 @@ impl fmt::Display for RecoveryReport {
         writeln!(f, "scenario: {}", self.scenario)?;
         writeln!(
             f,
-            "  injected: {} dropped, {} delayed, {} duplicated",
-            self.faults.dropped, self.faults.delayed, self.faults.duplicated
+            "  injected: {} dropped, {} delayed, {} duplicated, {} corrupted",
+            self.faults.dropped, self.faults.delayed, self.faults.duplicated, self.faults.corrupted
         )?;
         writeln!(f, "  last fault at: {}", self.last_fault_at)?;
         match self.time_to_repair() {

@@ -29,6 +29,7 @@ pub struct ClusterBuilder {
     pastry: PastryConfig,
     scribe: ScribeConfig,
     vbundle: VBundleConfig,
+    agg: Option<AggregationConfig>,
     agg_mode: Option<UpdateMode>,
     latency: Option<Box<dyn LatencyModel>>,
     capacity_fn: Option<Box<dyn Fn(usize) -> ResourceVector>>,
@@ -44,6 +45,7 @@ impl ClusterBuilder {
             pastry: PastryConfig::default(),
             scribe: ScribeConfig::default().with_probe_interval(SimDuration::from_secs(30)),
             vbundle: VBundleConfig::default(),
+            agg: None,
             agg_mode: None,
             latency: None,
             capacity_fn: None,
@@ -82,6 +84,15 @@ impl ClusterBuilder {
         self
     }
 
+    /// Overrides the full aggregation configuration — e.g. to run the
+    /// robust (`Defensive`) combine for the poison benches. The update
+    /// mode field is still governed by [`ClusterBuilder::aggregation_mode`]
+    /// and the v-Bundle update interval, not by `config.mode`.
+    pub fn aggregation(mut self, config: AggregationConfig) -> Self {
+        self.agg = Some(config);
+        self
+    }
+
     /// Overrides the latency model (default: topology-derived).
     pub fn latency(mut self, latency: Box<dyn LatencyModel>) -> Self {
         self.latency = Some(latency);
@@ -111,7 +122,7 @@ impl ClusterBuilder {
             mode: self
                 .agg_mode
                 .unwrap_or(UpdateMode::Periodic(self.vbundle.update_interval)),
-            ..AggregationConfig::default()
+            ..self.agg.unwrap_or_default()
         };
         let default_capacity: ResourceVector = self.topo.capacity().into();
         let vb = self.vbundle.clone();

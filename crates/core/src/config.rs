@@ -51,6 +51,24 @@ pub struct VBundleConfig {
     /// step 3), which prevents shed/receive oscillation. Disable only for
     /// the ablation benches.
     pub oscillation_guard: bool,
+    /// Sanity-gates the aggregated cluster mean before it steers
+    /// shedder/receiver classification. A fresh reading is rejected when it
+    /// is non-finite, outside `[0, mean_ceiling]`, or further than
+    /// `mean_jump_bound` from the last accepted reading; the controller
+    /// then holds the last-good mean and enters *conservative mode* (no
+    /// new sheds, in-flight holds honored) until the aggregate
+    /// re-stabilizes. Lossless for honest runs with the default bounds.
+    pub mean_gate: bool,
+    /// Largest absolute change of the cluster mean utilization between two
+    /// consecutive update ticks the gate accepts without suspicion.
+    pub mean_jump_bound: f64,
+    /// Absolute plausibility ceiling on the mean utilization (demand over
+    /// capacity; oversubscription can push it past 1, but not this far).
+    pub mean_ceiling: f64,
+    /// Consecutive mutually consistent suspect readings after which the
+    /// gate re-anchors on the new level — a genuine cluster-wide load
+    /// change must not wedge the controller on a stale mean forever.
+    pub mean_recovery_rounds: u32,
 }
 
 impl Default for VBundleConfig {
@@ -68,6 +86,10 @@ impl Default for VBundleConfig {
             migration_link: Bandwidth::from_gbps(1.0),
             multi_metric: false,
             oscillation_guard: true,
+            mean_gate: true,
+            mean_jump_bound: 0.5,
+            mean_ceiling: 10.0,
+            mean_recovery_rounds: 3,
         }
     }
 }
@@ -108,6 +130,24 @@ impl VBundleConfig {
         self.oscillation_guard = enabled;
         self
     }
+
+    /// Enables or disables the cluster-mean sanity gate.
+    pub fn with_mean_gate(mut self, enabled: bool) -> Self {
+        self.mean_gate = enabled;
+        self
+    }
+
+    /// Sets the per-tick jump bound of the mean sanity gate.
+    pub fn with_mean_jump_bound(mut self, bound: f64) -> Self {
+        self.mean_jump_bound = bound;
+        self
+    }
+
+    /// Sets how many consistent readings re-anchor the mean gate.
+    pub fn with_mean_recovery_rounds(mut self, rounds: u32) -> Self {
+        self.mean_recovery_rounds = rounds;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -134,5 +174,22 @@ mod tests {
         assert_eq!(c.update_interval, SimDuration::from_secs(30));
         assert_eq!(c.rebalance_interval, SimDuration::from_secs(60));
         assert!(c.cost_benefit);
+    }
+
+    #[test]
+    fn mean_gate_defaults_and_builders() {
+        let c = VBundleConfig::default();
+        assert!(c.mean_gate);
+        assert_eq!(c.mean_jump_bound, 0.5);
+        assert_eq!(c.mean_ceiling, 10.0);
+        assert_eq!(c.mean_recovery_rounds, 3);
+
+        let c = VBundleConfig::default()
+            .with_mean_gate(false)
+            .with_mean_jump_bound(0.15)
+            .with_mean_recovery_rounds(5);
+        assert!(!c.mean_gate);
+        assert_eq!(c.mean_jump_bound, 0.15);
+        assert_eq!(c.mean_recovery_rounds, 5);
     }
 }

@@ -14,7 +14,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use vbundle_aggregation::{AggMsg, AggregationConfig, Aggregator, AGG_TICK_TAG};
+use vbundle_aggregation::{AggMsg, AggregationConfig, Aggregator, Robustness, AGG_TICK_TAG};
 use vbundle_dcn::Bandwidth;
 use vbundle_fdetect::{Courier, CourierConfig, RetryDecision};
 use vbundle_pastry::NodeHandle;
@@ -129,6 +129,34 @@ pub struct ControllerStats {
     /// Migrations whose receiver never acknowledged the transfer; the VM
     /// was reinstalled on this server.
     pub migrations_failed: u64,
+    /// Cluster-mean readings rejected by the sanity gate (implausible
+    /// range or jump); the controller kept steering on the last-good mean.
+    pub rejected_aggregates: u64,
+    /// Update intervals this controller spent in conservative mode (mean
+    /// gate suspicious: no new sheds, in-flight holds honored).
+    pub conservative_intervals: u64,
+    /// Inbound aggregation payloads dropped by the Scribe-layer poison
+    /// screen ([`ScribeClient::validate_payload`]) before processing.
+    pub invalid_payloads: u64,
+}
+
+/// Per-dimension state of the cluster-mean sanity gate.
+///
+/// The gate sits between the aggregation trees and the shuffling logic:
+/// each update tick it samples the freshly aggregated mean and either
+/// accepts it as the new `last_good` or — on an implausible range or jump —
+/// holds the previous value and starts counting. `streak` consecutive
+/// readings that agree *with each other* (a real cluster-wide load change
+/// looks the same every round; flapping poison does not) re-anchor the
+/// gate on the new level so it cannot wedge forever.
+#[derive(Debug, Clone, Copy, Default)]
+struct MeanGate {
+    /// The last reading that passed the gate; what classification uses.
+    last_good: Option<f64>,
+    /// The level the current suspect streak agrees on.
+    candidate: f64,
+    /// Consecutive mutually consistent suspect readings.
+    streak: u32,
 }
 
 /// The v-Bundle controller running on one server.
@@ -153,6 +181,10 @@ pub struct Controller {
     /// the largest one.
     shed_cooldown: HashMap<VmId, SimTime>,
     next_query: u64,
+    /// Sanity-gate state per managed resource dimension. Only read through
+    /// [`Controller::effective_mean_for`]; iteration always follows the
+    /// fixed `active_kinds()` order, so the map never affects determinism.
+    mean_gates: HashMap<crate::ResourceKind, MeanGate>,
     /// Observable counters.
     pub stats: ControllerStats,
 }
@@ -188,6 +220,7 @@ impl Controller {
             courier,
             shed_cooldown: HashMap::new(),
             next_query: 0,
+            mean_gates: HashMap::new(),
             stats: ControllerStats::default(),
         }
     }
@@ -278,6 +311,96 @@ impl Controller {
         } else {
             None
         }
+    }
+
+    /// The mean utilization the shuffling logic actually steers on: the
+    /// raw aggregate filtered through the sanity gate. With the gate
+    /// disabled this is [`Controller::cluster_mean_for`] verbatim; with it
+    /// enabled it is the gate's last-good reading — before the first
+    /// update tick seeds the gate, the raw value passes through only if it
+    /// clears the absolute plausibility bounds.
+    pub fn effective_mean_for(&self, kind: crate::ResourceKind) -> Option<f64> {
+        if !self.config.mean_gate {
+            return self.cluster_mean_for(kind);
+        }
+        match self.mean_gates.get(&kind) {
+            Some(gate) => gate.last_good,
+            None => self
+                .cluster_mean_for(kind)
+                .filter(|&m| self.mean_in_absolute_bounds(m)),
+        }
+    }
+
+    /// Whether a mean reading clears the gate's absolute (memoryless)
+    /// plausibility bounds.
+    fn mean_in_absolute_bounds(&self, mean: f64) -> bool {
+        mean.is_finite() && (0.0..=self.config.mean_ceiling).contains(&mean)
+    }
+
+    /// Samples the fresh cluster means and advances each dimension's
+    /// sanity gate. Called once per update tick, *before* classification.
+    fn gate_means(&mut self) {
+        if !self.config.mean_gate {
+            return;
+        }
+        for &kind in self.active_kinds() {
+            let Some(reading) = self.cluster_mean_for(kind) else {
+                // No aggregate (trees converging or cache expired): the
+                // gate keeps its state; classification sees last-good.
+                continue;
+            };
+            let in_bounds = self.mean_in_absolute_bounds(reading);
+            let gate = self.mean_gates.entry(kind).or_default();
+            let plausible = in_bounds
+                && match gate.last_good {
+                    Some(lg) => (reading - lg).abs() <= self.config.mean_jump_bound,
+                    None => true,
+                };
+            if plausible {
+                gate.last_good = Some(reading);
+                gate.streak = 0;
+                continue;
+            }
+            self.stats.rejected_aggregates += 1;
+            // Suspect. Readings agreeing with the current candidate level
+            // extend the streak; a genuine load change repeats itself and
+            // re-anchors after `mean_recovery_rounds`, while flapping
+            // poison keeps resetting. Out-of-bounds values (NaN, negative,
+            // huge) can never anchor a candidate.
+            if in_bounds {
+                if gate.streak > 0
+                    && (reading - gate.candidate).abs() <= self.config.mean_jump_bound
+                {
+                    gate.streak += 1;
+                } else {
+                    gate.candidate = reading;
+                    gate.streak = 1;
+                }
+                if gate.streak >= self.config.mean_recovery_rounds {
+                    gate.last_good = Some(reading);
+                    gate.streak = 0;
+                }
+            } else {
+                // Out-of-bounds garbage keeps the gate suspicious (streak
+                // stays alive ⇒ conservative mode) but can never anchor a
+                // recovery candidate: the NaN candidate guarantees the next
+                // in-bounds suspect starts a fresh streak.
+                gate.candidate = f64::NAN;
+                gate.streak = 1;
+            }
+        }
+    }
+
+    /// True while any dimension's gate is holding a suspect reading — the
+    /// conservative mode of §graceful degradation: classification steers
+    /// on last-good means, no new sheds are planned, in-flight holds are
+    /// honored.
+    pub fn conservative_mode(&self) -> bool {
+        self.config.mean_gate
+            && self
+                .active_kinds()
+                .iter()
+                .any(|k| self.mean_gates.get(k).is_some_and(|g| g.streak > 0))
     }
 
     /// This server's total demand along one dimension, each VM clamped to
@@ -383,6 +506,12 @@ impl Controller {
         );
     }
 
+    /// Drops lapsed holds. Expiry-at-`now` semantics: a hold is live
+    /// strictly *before* its `expires` instant, so at `expires` itself the
+    /// bandwidth is already released. Called from the update tick and —
+    /// because holds can lapse between ticks — again at accept time, so a
+    /// lapsed hold is never double-counted against an arriving query in
+    /// the very tick it expires.
     fn expire_holds(&mut self, now: SimTime) {
         self.holds.retain(|h| h.expires > now);
     }
@@ -396,6 +525,12 @@ impl Controller {
             self.agg.set_local(ctx, demand_topic(kind), demand);
             self.agg.set_local(ctx, capacity_topic(kind), capacity);
         }
+        // Sample the fresh aggregates through the sanity gate before any
+        // classification reads them.
+        self.gate_means();
+        if self.conservative_mode() {
+            self.stats.conservative_intervals += 1;
+        }
         // Status: a server sheds when *any* managed dimension exceeds its
         // cluster mean plus the threshold, and receives only when *every*
         // dimension sits below its mean.
@@ -403,7 +538,7 @@ impl Controller {
         let mut all_under = true;
         let mut any_mean_known = false;
         for &kind in self.active_kinds() {
-            let Some(mean) = self.cluster_mean_for(kind) else {
+            let Some(mean) = self.effective_mean_for(kind) else {
                 all_under = false;
                 continue;
             };
@@ -441,20 +576,22 @@ impl Controller {
     }
 
     fn rebalance_tick(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>) {
-        if self.status == ServerStatus::Shedder {
+        // Conservative mode: the mean is in doubt, so plan no *new* sheds
+        // this round (in-flight migrations and holds proceed untouched).
+        if self.status == ServerStatus::Shedder && !self.conservative_mode() {
             // Shed along the most-overloaded dimension (the bottleneck).
             let kind = self
                 .active_kinds()
                 .iter()
                 .copied()
                 .filter_map(|k| {
-                    self.cluster_mean_for(k)
+                    self.effective_mean_for(k)
                         .map(|m| (k, self.utilization_for(k) - m))
                 })
                 .max_by(|a, b| a.1.total_cmp(&b.1))
                 .map(|(k, _)| k);
             if let Some(kind) = kind {
-                if let Some(mean) = self.cluster_mean_for(kind) {
+                if let Some(mean) = self.effective_mean_for(kind) {
                     self.plan_sheds(ctx, kind, mean);
                 }
             }
@@ -549,7 +686,7 @@ impl Controller {
             let dim_mean = if kind == crate::ResourceKind::Bandwidth {
                 mean
             } else {
-                match self.cluster_mean_for(kind) {
+                match self.effective_mean_for(kind) {
                     Some(m) => m,
                     None => continue,
                 }
@@ -803,6 +940,27 @@ impl ScribeClient for Controller {
         }
     }
 
+    /// The poison screen: when the aggregator runs defensively, inbound
+    /// aggregation reports are range-checked *before* Scribe processes
+    /// them, so a blatantly corrupted value is dropped at the door instead
+    /// of entering the combine. Under `TrustAll` everything passes — that
+    /// is the ablation the poison bench measures against.
+    fn validate_payload(&mut self, msg: &CtrlMsg) -> bool {
+        let CtrlMsg::Agg(agg) = msg else { return true };
+        let Robustness::Defensive(params) = &self.agg.config().robustness else {
+            return true;
+        };
+        let value = match agg {
+            AggMsg::Update { value, .. } => value,
+            AggMsg::Result { value, .. } => value,
+        };
+        if params.check(value).is_err() {
+            self.stats.invalid_payloads += 1;
+            return false;
+        }
+        true
+    }
+
     fn deliver_multicast(
         &mut self,
         ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>,
@@ -879,7 +1037,10 @@ impl ScribeClient for Controller {
         let CtrlMsg::Load(q) = msg else {
             return false;
         };
-        let Some(mean) = self.cluster_mean() else {
+        // Holds can lapse between update ticks; release them before the
+        // capacity check so an expired hold does not block this accept.
+        self.expire_holds(ctx.now());
+        let Some(mean) = self.effective_mean_for(crate::ResourceKind::Bandwidth) else {
             return false;
         };
         if !self.receiver_check(&q.vm, mean) {
@@ -1078,6 +1239,148 @@ mod tests {
         c2.install_vm(light);
         c2.install_vm(vm(3, 0.0, 1000.0, 600.0));
         assert!(c2.migration_worthwhile(&c2.vms()[0]));
+    }
+
+    /// Injects a fresh global pair so `cluster_mean_for(Bandwidth)` reads
+    /// `util` (demand mean `util * 1000` over capacity mean `1000`).
+    fn feed_mean(c: &mut Controller, version: u64, util: f64) {
+        let kind = crate::ResourceKind::Bandwidth;
+        c.agg.track(demand_topic(kind));
+        c.agg.track(capacity_topic(kind));
+        c.agg.on_result(
+            demand_topic(kind),
+            9,
+            version,
+            vbundle_aggregation::AggValue::of(util * 1000.0),
+            SimTime::ZERO,
+        );
+        c.agg.on_result(
+            capacity_topic(kind),
+            9,
+            version,
+            vbundle_aggregation::AggValue::of(1000.0),
+            SimTime::ZERO,
+        );
+    }
+
+    #[test]
+    fn hold_expiry_is_exclusive_at_the_boundary() {
+        let mut c = controller(0.15);
+        let expires = SimTime::ZERO + SimDuration::from_mins(10);
+        c.holds.push(Hold {
+            query: 1,
+            vm: vm(1, 100.0, 100.0, 100.0),
+            expires,
+        });
+        // Any instant strictly before `expires`: still held.
+        c.expire_holds(expires - SimDuration::from_micros(1));
+        assert_eq!(c.bw_held().as_mbps(), 100.0);
+        // At `expires` itself the bandwidth is already released, so an
+        // accept arriving in that very tick is not double-charged.
+        c.expire_holds(expires);
+        assert_eq!(c.bw_held().as_mbps(), 0.0);
+    }
+
+    #[test]
+    fn mean_gate_holds_last_good_and_reanchors() {
+        let mut c = Controller::new(
+            ResourceVector::bandwidth_only(Bandwidth::from_gbps(1.0)),
+            AggregationConfig::default(),
+            VBundleConfig::default()
+                .with_mean_jump_bound(0.2)
+                .with_mean_recovery_rounds(2),
+        );
+        let bw = crate::ResourceKind::Bandwidth;
+        feed_mean(&mut c, 1, 0.5);
+        c.gate_means();
+        assert_eq!(c.effective_mean_for(bw), Some(0.5));
+        assert!(!c.conservative_mode());
+
+        // A poisoned aggregate jumps to 5.0: in absolute bounds but far
+        // past the jump bound, so the gate holds 0.5 and goes conservative.
+        feed_mean(&mut c, 2, 5.0);
+        c.gate_means();
+        assert_eq!(c.effective_mean_for(bw), Some(0.5));
+        assert!(c.conservative_mode());
+        assert_eq!(c.stats.rejected_aggregates, 1);
+
+        // The same level repeating looks like a genuine cluster-wide load
+        // change: after `mean_recovery_rounds` consistent readings the gate
+        // re-anchors and leaves conservative mode.
+        c.gate_means();
+        assert_eq!(c.effective_mean_for(bw), Some(5.0));
+        assert!(!c.conservative_mode());
+        assert_eq!(c.stats.rejected_aggregates, 2);
+    }
+
+    #[test]
+    fn mean_gate_never_anchors_on_garbage() {
+        let mut c = Controller::new(
+            ResourceVector::bandwidth_only(Bandwidth::from_gbps(1.0)),
+            AggregationConfig::default(),
+            VBundleConfig::default()
+                .with_mean_jump_bound(0.2)
+                .with_mean_recovery_rounds(2),
+        );
+        let bw = crate::ResourceKind::Bandwidth;
+        feed_mean(&mut c, 1, 0.5);
+        c.gate_means();
+        // Negative demand sum → negative mean: outside the absolute
+        // bounds, so no matter how often it repeats it cannot re-anchor.
+        feed_mean(&mut c, 2, -0.5);
+        for _ in 0..5 {
+            c.gate_means();
+            assert_eq!(c.effective_mean_for(bw), Some(0.5));
+            assert!(c.conservative_mode());
+        }
+        assert_eq!(c.stats.rejected_aggregates, 5);
+    }
+
+    #[test]
+    fn mean_gate_disabled_is_passthrough() {
+        let mut c = Controller::new(
+            ResourceVector::bandwidth_only(Bandwidth::from_gbps(1.0)),
+            AggregationConfig::default(),
+            VBundleConfig::default().with_mean_gate(false),
+        );
+        let bw = crate::ResourceKind::Bandwidth;
+        feed_mean(&mut c, 1, 7.5);
+        c.gate_means();
+        // No gate: the implausible reading steers classification directly.
+        assert_eq!(c.effective_mean_for(bw), Some(7.5));
+        assert!(!c.conservative_mode());
+        assert_eq!(c.stats.rejected_aggregates, 0);
+    }
+
+    #[test]
+    fn validate_payload_screens_poison_under_defensive() {
+        use vbundle_aggregation::{AggMsg, AggValue, Robustness};
+        let defensive = AggregationConfig {
+            robustness: Robustness::defensive(),
+            ..AggregationConfig::default()
+        };
+        let mut c = Controller::new(
+            ResourceVector::bandwidth_only(Bandwidth::from_gbps(1.0)),
+            defensive,
+            VBundleConfig::default(),
+        );
+        let topic = bw_demand_topic();
+        let good = CtrlMsg::Agg(AggMsg::Update {
+            topic,
+            value: AggValue::of(10.0),
+        });
+        let poisoned = CtrlMsg::Agg(AggMsg::Update {
+            topic,
+            value: AggValue::of(f64::NAN),
+        });
+        assert!(c.validate_payload(&good));
+        assert!(!c.validate_payload(&poisoned));
+        assert_eq!(c.stats.invalid_payloads, 1);
+
+        // TrustAll is the ablation: everything passes.
+        let mut t = controller(0.15);
+        assert!(t.validate_payload(&poisoned));
+        assert_eq!(t.stats.invalid_payloads, 0);
     }
 
     #[test]

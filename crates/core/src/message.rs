@@ -2,7 +2,7 @@
 
 use vbundle_aggregation::AggMsg;
 use vbundle_pastry::NodeHandle;
-use vbundle_sim::{ActorId, Message, MsgCategory};
+use vbundle_sim::{ActorId, CorruptionMode, Message, MsgCategory};
 
 use crate::{VmId, VmRecord};
 
@@ -104,6 +104,15 @@ impl Message for CtrlMsg {
 
     fn category(&self) -> MsgCategory {
         MsgCategory::Payload
+    }
+
+    /// Only aggregation reports are corruptible: the poison model targets
+    /// the telemetry steering the shuffle, not the VM transfers themselves.
+    fn corrupt(&mut self, mode: CorruptionMode) -> bool {
+        match self {
+            CtrlMsg::Agg(m) => m.corrupt(mode),
+            _ => false,
+        }
     }
 }
 

@@ -223,6 +223,41 @@ mod tests {
         assert_eq!(c.on_timeout(5), RetryDecision::Settled);
     }
 
+    /// Drive a request all the way to exhaustion: the decision sequence is
+    /// exactly `Retry^(max_attempts-1), GiveUp`, the give-up fires *once*
+    /// (spurious timers afterwards settle silently), and the backoff
+    /// schedule — jitter included — replays identically in a fresh courier.
+    #[test]
+    fn exhaustion_gives_up_once_with_replayable_backoff() {
+        let schedule = |c: &mut Courier| {
+            let mut timeouts = vec![c.register(77)];
+            let mut give_ups = 0;
+            // Fire the timer well past the budget, as a buggy embedding
+            // that re-arms after give-up would.
+            for _ in 0..10 {
+                match c.on_timeout(77) {
+                    RetryDecision::Retry { timeout } => timeouts.push(timeout),
+                    RetryDecision::GiveUp => give_ups += 1,
+                    RetryDecision::Settled => {}
+                }
+            }
+            (timeouts, give_ups)
+        };
+        let (timeouts, give_ups) = schedule(&mut Courier::new(config()));
+        assert_eq!(give_ups, 1, "give-up must fire exactly once");
+        assert_eq!(
+            timeouts.len(),
+            config().max_attempts as usize,
+            "one timeout per attempt, first transmission included"
+        );
+        assert!(
+            timeouts.windows(2).all(|w| w[0] < w[1]),
+            "backoff grows monotonically: {timeouts:?}"
+        );
+        let (replay, _) = schedule(&mut Courier::new(config()));
+        assert_eq!(timeouts, replay, "schedule must replay bit-for-bit");
+    }
+
     #[test]
     fn ack_settles_and_dedups() {
         let mut c = Courier::new(config());

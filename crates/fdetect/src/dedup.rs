@@ -77,6 +77,30 @@ mod tests {
         assert_eq!(w.len(), 2);
     }
 
+    /// A duplicate storm — every id delivered three times, far more ids
+    /// than the window holds — never grows the window past its cap, and
+    /// duplicates arriving within the horizon are still suppressed.
+    #[test]
+    fn bounded_under_duplicate_storm() {
+        const CAP: usize = 16;
+        let mut w: DedupWindow<u64> = DedupWindow::new(CAP);
+        for id in 0..1000u64 {
+            assert!(w.remember(id), "first delivery of {id} must be new");
+            assert!(!w.remember(id), "immediate duplicate of {id} must drop");
+            assert!(!w.remember(id));
+            assert!(w.len() <= CAP, "window exceeded its cap at id {id}");
+        }
+        assert_eq!(w.len(), CAP);
+        // The horizon is FIFO over *new* ids: duplicates never re-insert,
+        // so exactly the last CAP distinct ids remain.
+        for old in 0..(1000 - CAP as u64) {
+            assert!(!w.contains(&old), "evicted id {old} still remembered");
+        }
+        for recent in (1000 - CAP as u64)..1000 {
+            assert!(w.contains(&recent), "recent id {recent} fell out early");
+        }
+    }
+
     #[test]
     fn evicts_oldest_first() {
         let mut w: DedupWindow<u64> = DedupWindow::new(2);

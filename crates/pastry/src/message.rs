@@ -1,6 +1,6 @@
 //! Wire messages of the Pastry overlay.
 
-use vbundle_sim::{Message, MsgCategory};
+use vbundle_sim::{CorruptionMode, Message, MsgCategory};
 
 use crate::{Key, NodeHandle};
 
@@ -115,6 +115,16 @@ impl<M: Message> Message for PastryMsg<M> {
             PastryMsg::Route(env) => env.payload.category(),
             PastryMsg::Direct { msg, .. } => msg.category(),
             _ => MsgCategory::Maintenance,
+        }
+    }
+
+    /// Corruption passes through to the application payload; overlay
+    /// maintenance traffic carries no corruptible data.
+    fn corrupt(&mut self, mode: CorruptionMode) -> bool {
+        match self {
+            PastryMsg::Route(env) => env.payload.corrupt(mode),
+            PastryMsg::Direct { msg, .. } => msg.corrupt(mode),
+            _ => false,
         }
     }
 }

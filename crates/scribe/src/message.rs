@@ -1,7 +1,7 @@
 //! Wire messages of the Scribe layer (carried as Pastry payloads).
 
 use vbundle_pastry::NodeHandle;
-use vbundle_sim::{ActorId, Message, MsgCategory};
+use vbundle_sim::{ActorId, CorruptionMode, Message, MsgCategory};
 
 use crate::GroupId;
 
@@ -144,6 +144,24 @@ impl<M: Message> Message for ScribeMsg<M> {
             | ScribeMsg::AnycastFail { payload, .. } => payload.category(),
             ScribeMsg::Anycast(env) | ScribeMsg::AnycastStep(env) => env.payload.category(),
             ScribeMsg::Client(m) => m.category(),
+        }
+    }
+
+    /// Corruption targets the client payload, not the tree-maintenance
+    /// metadata: a poisoned reporter lies about its data, it does not
+    /// rewrite group membership.
+    fn corrupt(&mut self, mode: CorruptionMode) -> bool {
+        match self {
+            ScribeMsg::Publish { payload, .. }
+            | ScribeMsg::Disseminate { payload, .. }
+            | ScribeMsg::AnycastFail { payload, .. }
+            | ScribeMsg::Client(payload) => payload.corrupt(mode),
+            ScribeMsg::Anycast(env) | ScribeMsg::AnycastStep(env) => env.payload.corrupt(mode),
+            ScribeMsg::Join { .. }
+            | ScribeMsg::Leave { .. }
+            | ScribeMsg::ParentProbe { .. }
+            | ScribeMsg::ProbeNack { .. }
+            | ScribeMsg::ChildProbe { .. } => false,
         }
     }
 }

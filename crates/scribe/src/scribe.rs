@@ -89,6 +89,18 @@ pub trait ScribeClient: Sized {
         self.on_start(ctx);
     }
 
+    /// Screens an inbound client payload before Scribe processes it — the
+    /// poison gate: called on direct client messages (the aggregation
+    /// tree's upward reports), on Publishes reaching a root, and on
+    /// Disseminates before they are delivered locally or forwarded to
+    /// children. Returning `false` drops the message at the Scribe layer,
+    /// so a poisoned report is neither combined upward nor fanned out
+    /// downward. The default accepts everything.
+    fn validate_payload(&mut self, msg: &Self::Msg) -> bool {
+        let _ = msg;
+        true
+    }
+
     /// A multicast published to a group this node subscribes to arrived.
     fn deliver_multicast(
         &mut self,
@@ -615,6 +627,11 @@ impl<C: ScribeClient> Scribe<C> {
         seq: u64,
         root: u128,
     ) {
+        // Screen before delivering *or* forwarding: a Disseminate poisoned
+        // on the link above us must not propagate to the whole subtree.
+        if !self.client.validate_payload(&payload) {
+            return;
+        }
         let Some(st) = self.groups.get_mut(&g.as_u128()) else {
             return; // stale: we pruned since
         };
@@ -938,14 +955,18 @@ impl<C: ScribeClient> PastryApp for Scribe<C> {
                 nonce,
             } => {
                 // A Publish duplicated in flight must not fan out twice
-                // under two root-assigned sequence numbers.
-                if self.pub_seen.remember((origin, nonce)) {
+                // under two root-assigned sequence numbers. Poisoned
+                // payloads are dropped before they can fan out at all.
+                if self.client.validate_payload(&payload) && self.pub_seen.remember((origin, nonce))
+                {
                     self.disseminate_as_root(ctx, group, payload);
                 }
             }
             ScribeMsg::Anycast(env) => self.anycast_step(ctx, env),
             ScribeMsg::Client(m) => {
-                self.with_client(ctx, |c, sctx| c.deliver_routed(sctx, key, m, origin));
+                if self.client.validate_payload(&m) {
+                    self.with_client(ctx, |c, sctx| c.deliver_routed(sctx, key, m, origin));
+                }
             }
             // Direct-only variants should never arrive through routing.
             other => debug_assert!(false, "unexpected routed Scribe message: {other:?}"),
@@ -1029,7 +1050,9 @@ impl<C: ScribeClient> PastryApp for Scribe<C> {
                 self.with_client(ctx, |c, sctx| c.anycast_failed(sctx, group, payload));
             }
             ScribeMsg::Client(m) => {
-                self.with_client(ctx, |c, sctx| c.on_direct(sctx, from, m));
+                if self.client.validate_payload(&m) {
+                    self.with_client(ctx, |c, sctx| c.on_direct(sctx, from, m));
+                }
             }
             ScribeMsg::ParentProbe { group, child } => {
                 let in_tree = matches!(self.groups.get(&group.as_u128()), Some(st) if st.in_tree());

@@ -3,6 +3,7 @@
 use rand::rngs::StdRng;
 
 use crate::counters::CounterSet;
+use crate::fault::CorruptionMode;
 use crate::latency::LatencyModel;
 use crate::time::{SimDuration, SimTime};
 
@@ -66,6 +67,19 @@ pub trait Message: std::fmt::Debug + Clone {
     /// Accounting category for overhead breakdowns.
     fn category(&self) -> MsgCategory {
         MsgCategory::Payload
+    }
+
+    /// Mutates this message's payload per a
+    /// [`FaultAction::Corrupt`](crate::FaultAction::Corrupt) verdict,
+    /// returning `true` if anything changed.
+    ///
+    /// The default is a no-op: most control traffic (joins, probes,
+    /// heartbeats) has no corruptible numeric payload. Wrapper enums should
+    /// delegate to their inner payload so corruption reaches the
+    /// aggregation values buried inside routed envelopes.
+    fn corrupt(&mut self, mode: CorruptionMode) -> bool {
+        let _ = mode;
+        false
     }
 }
 

@@ -367,7 +367,7 @@ impl<W: Message, A: Actor<W>> Engine<W, A> {
     }
 
     /// Enqueues one send, applying the installed fault injector's verdict.
-    fn enqueue_send(&mut self, from: ActorId, to: ActorId, at: SimTime, msg: W) {
+    fn enqueue_send(&mut self, from: ActorId, to: ActorId, at: SimTime, mut msg: W) {
         let action = match self.injector.as_mut() {
             Some(injector) => injector.on_send(self.now, from, to),
             None => FaultAction::Deliver,
@@ -401,6 +401,11 @@ impl<W: Message, A: Actor<W>> Engine<W, A> {
                         msg: msg.clone(),
                     },
                 });
+            }
+            FaultAction::Corrupt(mode) => {
+                if msg.corrupt(mode) {
+                    self.fault_stats.corrupted += 1;
+                }
             }
         }
         let seq = self.next_seq();
@@ -466,7 +471,20 @@ mod tests {
     enum TestMsg {
         Ping(u32),
     }
-    impl Message for TestMsg {}
+    impl Message for TestMsg {
+        fn corrupt(&mut self, mode: crate::CorruptionMode) -> bool {
+            // Only HugeScale has an effect here, so tests can cover both
+            // the mutated-and-counted and untouched-and-uncounted paths.
+            match mode {
+                crate::CorruptionMode::HugeScale => {
+                    let TestMsg::Ping(v) = self;
+                    *v = v.saturating_mul(1_000);
+                    true
+                }
+                _ => false,
+            }
+        }
+    }
 
     #[derive(Default)]
     struct Counter {
@@ -755,6 +773,33 @@ mod tests {
         e.run_to_quiescence();
         assert_eq!(e.actor(b).pings, vec![(10_000, 0), (15_000, 0)]);
         assert_eq!(e.fault_stats().duplicated, 1);
+    }
+
+    #[test]
+    fn injector_corrupt_mutates_in_flight_and_counts() {
+        let (mut e, a, b) = two_actor_engine(1);
+        e.set_injector(Box::new(DelayOrDup(FaultAction::Corrupt(
+            crate::CorruptionMode::HugeScale,
+        ))));
+        e.post(b, a, TestMsg::Ping(0), SimDuration::ZERO);
+        e.run_to_quiescence();
+        // Delivered on time, but the payload was scaled by 1000... of zero.
+        assert_eq!(e.actor(b).pings, vec![(10_000, 0)]);
+        assert_eq!(e.fault_stats().corrupted, 1);
+    }
+
+    #[test]
+    fn injector_corrupt_noop_mode_counts_nothing() {
+        let (mut e, a, b) = two_actor_engine(1);
+        e.set_injector(Box::new(DelayOrDup(FaultAction::Corrupt(
+            crate::CorruptionMode::Nan,
+        ))));
+        e.post(b, a, TestMsg::Ping(0), SimDuration::ZERO);
+        e.run_to_quiescence();
+        // TestMsg has nothing NaN-able: delivered verbatim, not counted.
+        assert_eq!(e.actor(b).pings, vec![(10_000, 0)]);
+        assert_eq!(e.fault_stats().corrupted, 0);
+        assert_eq!(e.fault_stats().total(), 0);
     }
 
     #[test]

@@ -10,6 +10,29 @@
 use crate::actor::ActorId;
 use crate::time::{SimDuration, SimTime};
 
+/// How a corrupted aggregation payload is mutated in flight.
+///
+/// Corruption only touches message *contents*, never routing metadata, so a
+/// corrupted report still reaches its parent — it just lies. Which parts of
+/// a message are corruptible is decided by the message type itself via
+/// [`Message::corrupt`](crate::Message::corrupt); payloads with nothing to
+/// corrupt pass through unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorruptionMode {
+    /// Replace numeric fields with NaN — a crashed float pipeline.
+    Nan,
+    /// Negate magnitudes — a sign-flip / underflowed counter.
+    Negative,
+    /// Multiply magnitudes by a huge factor — a unit mix-up or bit flip in
+    /// the exponent.
+    HugeScale,
+    /// A "stuck" reporter: the payload freezes at zero load regardless of
+    /// reality. Unlike the other modes this produces *plausible* values
+    /// that pass range validation, so only cross-checking against other
+    /// reporters (trimmed combine, controller sanity gate) can catch it.
+    Frozen,
+}
+
 /// What the engine should do with one message about to be enqueued.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultAction {
@@ -22,6 +45,10 @@ pub enum FaultAction {
     Delay(SimDuration),
     /// Deliver twice: once on time and once after the given extra delay.
     Duplicate(SimDuration),
+    /// Deliver on time but with the payload mutated per the mode. Counts in
+    /// [`FaultStats::corrupted`] only if the message actually changed
+    /// (see [`Message::corrupt`](crate::Message::corrupt)).
+    Corrupt(CorruptionMode),
 }
 
 /// A policy the engine consults for every send (including external
@@ -42,11 +69,13 @@ pub struct FaultStats {
     pub delayed: u64,
     /// Messages delivered twice.
     pub duplicated: u64,
+    /// Messages delivered with a mutated payload.
+    pub corrupted: u64,
 }
 
 impl FaultStats {
     /// Total number of faulted sends.
     pub fn total(&self) -> u64 {
-        self.dropped + self.delayed + self.duplicated
+        self.dropped + self.delayed + self.duplicated + self.corrupted
     }
 }

@@ -53,7 +53,7 @@ mod trace;
 pub use actor::{Actor, ActorId, Context, Message, MsgCategory};
 pub use counters::{ActorCounters, CounterSet};
 pub use engine::Engine;
-pub use fault::{FaultAction, FaultInjector, FaultStats};
+pub use fault::{CorruptionMode, FaultAction, FaultInjector, FaultStats};
 pub use latency::{ConstantLatency, LatencyFn, LatencyModel};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceBuffer, TraceKind, TraceRecord};
