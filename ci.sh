@@ -10,6 +10,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc -D warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo build --release"
 cargo build --workspace --release
 
@@ -21,6 +24,9 @@ cargo run --release -q -p vbundle-bench --bin chaos_sweep -- --smoke
 
 echo "==> poison smoke (deterministic golden)"
 cargo run --release -q -p vbundle-bench --bin poison_sweep -- --smoke
+
+echo "==> bundle market smoke (deterministic golden)"
+cargo run --release -q -p vbundle-bench --bin bundle_market -- --smoke
 
 echo "==> golden files unchanged"
 if ! git diff --quiet -- results/*.golden; then

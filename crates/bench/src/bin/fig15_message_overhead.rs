@@ -107,10 +107,7 @@ fn print_overhead(o: &Overhead) {
 }
 
 fn main() {
-    let fault_rate = std::env::args()
-        .find_map(|a| a.strip_prefix("--fault-rate=").map(str::to_owned))
-        .map(|v| v.parse::<f64>().expect("--fault-rate expects a float"))
-        .unwrap_or(0.0);
+    let fault_rate: f64 = vbundle_bench::BenchArgs::parse().value_or("fault-rate", 0.0);
     assert!(
         (0.0..1.0).contains(&fault_rate),
         "--fault-rate must be in [0, 1)"

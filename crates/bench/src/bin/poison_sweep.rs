@@ -33,7 +33,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use vbundle_aggregation::{AggregationConfig, Robustness};
-use vbundle_bench::write_csv;
+use vbundle_bench::{golden_gate, write_csv, BenchArgs};
 use vbundle_chaos::{check_global_mean, ChaosDriver, FaultPlan};
 use vbundle_core::{
     Cluster, CustomerId, ResourceKind, ResourceSpec, ResourceVector, VBundleConfig, VmRecord,
@@ -374,31 +374,13 @@ fn smoke(bless: bool) {
         first, second,
         "poison smoke is not deterministic across reruns"
     );
-    let path = std::path::Path::new("results/poison_smoke.golden");
-    if bless {
-        std::fs::create_dir_all("results").expect("create results/");
-        std::fs::write(path, &first).expect("write golden");
-        println!("[blessed {}]", path.display());
-        return;
-    }
-    let golden = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        panic!(
-            "missing golden {} ({e}); run with `--smoke --bless` to create it",
-            path.display()
-        )
-    });
-    if first != golden {
-        eprintln!("poison smoke diverged from golden {}:", path.display());
-        eprintln!("--- golden\n{golden}\n--- got\n{first}");
-        std::process::exit(1);
-    }
-    println!("poison smoke: report matches golden byte-for-byte");
+    golden_gate("poison", "poison_smoke.golden", &first, bless);
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    if args.iter().any(|a| a == "--smoke") {
-        smoke(args.iter().any(|a| a == "--bless"));
+    let args = BenchArgs::parse();
+    if args.smoke() {
+        smoke(args.bless());
         return;
     }
 

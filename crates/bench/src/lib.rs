@@ -13,6 +13,90 @@ pub mod scenarios;
 use std::io::Write;
 use std::path::Path;
 
+/// Command-line flags shared by the sweep/figure binaries: `--smoke`
+/// (fast deterministic CI gate), `--bless` (rewrite the golden) and
+/// `--key=value` options. Each binary used to hand-roll this scan of
+/// `std::env::args()`; parse once instead.
+pub struct BenchArgs {
+    args: Vec<String>,
+}
+
+impl BenchArgs {
+    /// Captures the process arguments (program name excluded).
+    pub fn parse() -> Self {
+        BenchArgs {
+            args: std::env::args().skip(1).collect(),
+        }
+    }
+
+    /// True when `--smoke` was passed: run the fast deterministic subset
+    /// and byte-compare against the checked-in golden.
+    pub fn smoke(&self) -> bool {
+        self.flag("smoke")
+    }
+
+    /// True when `--bless` was passed: rewrite the golden instead of
+    /// diffing against it.
+    pub fn bless(&self) -> bool {
+        self.flag("bless")
+    }
+
+    /// True when `--<name>` was passed as a bare flag.
+    pub fn flag(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == &format!("--{name}"))
+    }
+
+    /// The value of a `--<name>=<value>` option, if present.
+    pub fn value_of(&self, name: &str) -> Option<&str> {
+        let prefix = format!("--{name}=");
+        self.args
+            .iter()
+            .find_map(|a| a.strip_prefix(prefix.as_str()))
+    }
+
+    /// Parses `--<name>=<value>` into `T`, falling back to `default`
+    /// when the option is absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a readable message when the value does not parse —
+    /// these are CLI tools, and a bad flag should fail loudly.
+    pub fn value_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.value_of(name) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("--{name} could not parse {v:?}")),
+            None => default,
+        }
+    }
+}
+
+/// Byte-compares `report` against the golden at `results/<name>`; with
+/// `bless` the golden is (re)written instead. On divergence both texts
+/// are printed and the process exits non-zero — this is the CI
+/// determinism gate every `--smoke` run goes through.
+pub fn golden_gate(label: &str, name: &str, report: &str, bless: bool) {
+    let path = Path::new("results").join(name);
+    if bless {
+        std::fs::create_dir_all("results").expect("create results/");
+        std::fs::write(&path, report).expect("write golden");
+        println!("[blessed {}]", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with `--smoke --bless` to create it",
+            path.display()
+        )
+    });
+    if report != golden {
+        eprintln!("{label} smoke diverged from golden {}:", path.display());
+        eprintln!("--- golden\n{golden}\n--- got\n{report}");
+        std::process::exit(1);
+    }
+    println!("{label} smoke: report matches golden byte-for-byte");
+}
+
 /// Writes `rows` as CSV into `results/<name>` (creating the directory),
 /// with a header line. Errors are reported but non-fatal so figure
 /// binaries still print their stdout series.

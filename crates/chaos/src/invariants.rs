@@ -332,6 +332,106 @@ pub fn check_vm_conservation(engine: &VbEngine, expected: &[VmId]) -> Vec<Violat
     out
 }
 
+/// Entitlement conservation under bundle trading — the ledger's "no
+/// phantom credit" guarantee, checked from reassembled per-server books:
+///
+/// - every *live* borrower half still inside its validity window is
+///   backed by a lender half with identical terms somewhere in the
+///   cluster (crashed servers keep their state, so a frozen debit still
+///   counts — the unsafe direction is credit with no debit anywhere);
+/// - per customer, the cluster-wide sum of live entitled reservations
+///   never exceeds the sum of purchased (base) reservations. Strict
+///   equality is not required: a stranded lender debit under-uses the
+///   bundle until expiry, which is tolerated;
+/// - on every live server, no VM's shaper grant exceeds its live
+///   entitlement ceiling.
+///
+/// All lease-liveness filtering uses one engine-wide `now`, so the check
+/// is independent of each controller's event clock.
+pub fn check_entitlement_conservation(engine: &VbEngine) -> Vec<Violation> {
+    use vbundle_trade::LeaseRole;
+    let now = engine.now();
+    let eps = 1e-6;
+    let mut out = Vec::new();
+
+    // Reassemble the cluster-wide debit ledger (dead servers included).
+    let mut lender_halves: BTreeMap<u64, vbundle_trade::Lease> = BTreeMap::new();
+    for (_, node) in engine.actors() {
+        for h in node.app().client().trade_book().halves() {
+            if h.role == LeaseRole::Lender {
+                lender_halves.insert(h.lease.id.0, h.lease);
+            }
+        }
+    }
+
+    // Per-customer conservation across ALL servers: client state survives
+    // crashes, so the base/entitled sums stay comparable through faults.
+    let mut base: BTreeMap<u32, f64> = BTreeMap::new();
+    let mut entitled: BTreeMap<u32, f64> = BTreeMap::new();
+    for (id, node) in engine.actors() {
+        let ctrl = node.app().client();
+        let book = ctrl.trade_book();
+        for vm in ctrl.vms() {
+            *base.entry(vm.customer.0).or_default() += vm.spec.reservation.bandwidth.as_mbps();
+            *entitled.entry(vm.customer.0).or_default() += book
+                .live_spec(vm.id, vm.spec, now)
+                .reservation
+                .bandwidth
+                .as_mbps();
+        }
+        if !engine.is_alive(id) {
+            continue;
+        }
+        // Live borrower halves must pair with a debit somewhere.
+        for h in book.halves() {
+            if h.role != LeaseRole::Borrower || h.lease.expires <= now {
+                continue;
+            }
+            match lender_halves.get(&h.lease.id.0) {
+                None => out.push(format!(
+                    "entitlement: server {} holds credit for lease {} with no backing debit anywhere",
+                    id.index(),
+                    h.lease.id
+                )),
+                Some(l) if *l != h.lease => out.push(format!(
+                    "entitlement: lease {} terms disagree between lender and borrower halves",
+                    h.lease.id
+                )),
+                Some(_) => {}
+            }
+        }
+        // Shaper enforcement: grants follow the live ledger, never the
+        // static contract plus phantom credit.
+        let allocs =
+            vbundle_core::shaper::allocate_entitled(ctrl.capacity().bandwidth, ctrl.vms(), |vm| {
+                book.live_spec(vm.id, vm.spec, now)
+            });
+        for (vm, a) in ctrl.vms().iter().zip(&allocs) {
+            let ceil = a
+                .demand
+                .min(book.live_spec(vm.id, vm.spec, now).limit.bandwidth);
+            if a.granted.as_mbps() > ceil.as_mbps() + eps {
+                out.push(format!(
+                    "entitlement: server {} grants VM {} {:.3} Mbps beyond its live ceiling {:.3}",
+                    id.index(),
+                    vm.id,
+                    a.granted.as_mbps(),
+                    ceil.as_mbps()
+                ));
+            }
+        }
+    }
+    for (customer, &e) in &entitled {
+        let b = base.get(customer).copied().unwrap_or(0.0);
+        if e > b + eps {
+            out.push(format!(
+                "entitlement: customer {customer} holds {e:.6} Mbps of live entitlement against {b:.6} purchased (phantom credit)"
+            ));
+        }
+    }
+    out
+}
+
 /// Capacity safety: no live server's installed reservations exceed its
 /// capacity (in particular its NIC bandwidth).
 pub fn check_capacity(engine: &VbEngine) -> Vec<Violation> {

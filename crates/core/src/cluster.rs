@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use vbundle_aggregation::{AggregationConfig, UpdateMode};
-use vbundle_dcn::{Bandwidth, ServerId, Topology, TopologyLatency};
+use vbundle_dcn::{ServerId, Topology, TopologyLatency};
 use vbundle_pastry::{
     overlay, IdAssignment, NodeHandle, NodeId, PastryConfig, PastryMsg, PastryNode,
 };
@@ -309,6 +309,13 @@ impl Cluster {
     /// unknown (call [`Cluster::reindex`] first if it may have migrated).
     pub fn shutdown_vm(&mut self, vm: VmId) -> Option<VmRecord> {
         let &server = self.vm_index.get(&vm.0)?;
+        // A planned shutdown unwinds the VM's leases first, with peer
+        // notification — only a crash should leave halves to expiry.
+        self.engine.call(ActorId::new(server as u32), |node, ctx| {
+            node.app_call(ctx, |scribe, actx| {
+                scribe.client_call(actx, |c, sctx| c.release_vm_leases(sctx, vm));
+            });
+        });
         let record = self
             .engine
             .actor_mut(ActorId::new(server as u32))
@@ -345,11 +352,27 @@ impl Cluster {
     pub fn satisfaction(&self) -> SatisfactionTotals {
         let mut totals = SatisfactionTotals::default();
         for i in 0..self.num_servers() {
-            let controller = self.controller(i);
-            let capacity: Bandwidth = controller.capacity().bandwidth;
-            totals.add_server(capacity, controller.vms());
+            // allocations() is entitlement-aware: with bundle trading on,
+            // Fig. 11's satisfied series reflects the live ledger.
+            totals.add_allocations(&self.controller(i).allocations());
         }
         totals
+    }
+
+    /// Live committed leases cluster-wide, counted once (borrower halves).
+    pub fn active_leases(&self) -> usize {
+        let now = self.now();
+        (0..self.num_servers())
+            .map(|i| {
+                self.controller(i)
+                    .trade_book()
+                    .halves()
+                    .filter(|h| {
+                        h.role == vbundle_trade::LeaseRole::Borrower && h.lease.expires > now
+                    })
+                    .count()
+            })
+            .sum()
     }
 
     /// All placements as `(vm, customer, server)` triples.

@@ -69,6 +69,22 @@ pub struct VBundleConfig {
     /// gate re-anchors on the new level — a genuine cluster-wide load
     /// change must not wedge the controller on a stale mean forever.
     pub mean_recovery_rounds: u32,
+    /// Enables intra-customer bundle trading (§I, §III): starved VMs
+    /// borrow bandwidth entitlement from idle same-customer siblings via
+    /// time-bounded leases, and the shaper's rate/ceil follow the live
+    /// ledger instead of the static contract. Off by default — with it
+    /// off the controller behaves bit-identically to the pre-trading
+    /// code.
+    pub bundle_trading: bool,
+    /// How long a committed lease lives before auto-reverting. Both sides
+    /// carry the same expiry, so a partition can strand entitlement for at
+    /// most this long.
+    pub lease_duration: SimDuration,
+    /// Fraction of a would-be lender's spare reservation kept back as
+    /// self-insurance against its own demand growing mid-lease.
+    pub trade_margin: f64,
+    /// Upper bound on borrow requests one server issues per update tick.
+    pub max_trades_per_round: usize,
 }
 
 impl Default for VBundleConfig {
@@ -90,6 +106,10 @@ impl Default for VBundleConfig {
             mean_jump_bound: 0.5,
             mean_ceiling: 10.0,
             mean_recovery_rounds: 3,
+            bundle_trading: false,
+            lease_duration: SimDuration::from_mins(15),
+            trade_margin: 0.1,
+            max_trades_per_round: 4,
         }
     }
 }
@@ -148,6 +168,30 @@ impl VBundleConfig {
         self.mean_recovery_rounds = rounds;
         self
     }
+
+    /// Enables or disables intra-customer bundle trading.
+    pub fn with_bundle_trading(mut self, enabled: bool) -> Self {
+        self.bundle_trading = enabled;
+        self
+    }
+
+    /// Sets the lease lifetime for bundle trading.
+    pub fn with_lease_duration(mut self, duration: SimDuration) -> Self {
+        self.lease_duration = duration;
+        self
+    }
+
+    /// Sets the lender's self-insurance margin.
+    pub fn with_trade_margin(mut self, margin: f64) -> Self {
+        self.trade_margin = margin;
+        self
+    }
+
+    /// Sets the per-tick borrow-request bound.
+    pub fn with_max_trades_per_round(mut self, n: usize) -> Self {
+        self.max_trades_per_round = n;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +218,25 @@ mod tests {
         assert_eq!(c.update_interval, SimDuration::from_secs(30));
         assert_eq!(c.rebalance_interval, SimDuration::from_secs(60));
         assert!(c.cost_benefit);
+    }
+
+    #[test]
+    fn trading_defaults_off_and_builders() {
+        let c = VBundleConfig::default();
+        assert!(!c.bundle_trading);
+        assert_eq!(c.lease_duration, SimDuration::from_mins(15));
+        assert_eq!(c.trade_margin, 0.1);
+        assert_eq!(c.max_trades_per_round, 4);
+
+        let c = VBundleConfig::default()
+            .with_bundle_trading(true)
+            .with_lease_duration(SimDuration::from_mins(5))
+            .with_trade_margin(0.25)
+            .with_max_trades_per_round(2);
+        assert!(c.bundle_trading);
+        assert_eq!(c.lease_duration, SimDuration::from_mins(5));
+        assert_eq!(c.trade_margin, 0.25);
+        assert_eq!(c.max_trades_per_round, 2);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!   anycast load-balance queries into the *Less-Loaded* tree; accepting
 //!   receivers hold bandwidth until the VM migrates over.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use vbundle_aggregation::{AggMsg, AggregationConfig, Aggregator, Robustness, AGG_TICK_TAG};
 use vbundle_dcn::Bandwidth;
@@ -20,9 +20,10 @@ use vbundle_fdetect::{Courier, CourierConfig, RetryDecision};
 use vbundle_pastry::NodeHandle;
 use vbundle_scribe::{group_id, GroupId, ScribeClient, ScribeCtx};
 use vbundle_sim::{ActorId, SimDuration, SimTime};
+use vbundle_trade::{HalfLease, Lease, LeaseId, LeaseRole, ResourceSpec, TradeBook};
 
-use crate::message::{BootQuery, CtrlMsg, LoadQuery};
-use crate::{shaper, ResourceVector, VBundleConfig, VmId, VmRecord};
+use crate::message::{BootQuery, BorrowRequest, CtrlMsg, LoadQuery};
+use crate::{shaper, CustomerId, ResourceVector, VBundleConfig, VmId, VmRecord};
 
 /// Client timer tag for the status-update tick.
 pub const UPDATE_TAG: u64 = 0x101;
@@ -31,11 +32,22 @@ pub const REBALANCE_TAG: u64 = 0x102;
 /// Timer-tag space for per-migration ack timeouts (`base | query id`);
 /// sits below the Scribe-reserved space, above the small client tags.
 pub const MIGRATE_RETRY_TAG_BASE: u64 = 1 << 61;
+/// Timer-tag space for per-lease grant-ack timeouts (`base | lease id`);
+/// below the migration space. Lease ids are
+/// `(lender server index << 32) | counter`, far under `1 << 60`.
+pub const TRADE_RETRY_TAG_BASE: u64 = 1 << 60;
 /// Total transmission attempts per migration (first send included) before
 /// it is declared failed and the VM is reinstalled on the shedder.
 const MIGRATION_ATTEMPTS: u32 = 3;
+/// Total transmission attempts per lease grant before the lender stops
+/// chasing the ack and leaves its debit to expire.
+const TRADE_ATTEMPTS: u32 = 3;
 /// Jitter salt for the migration courier ("MIGR").
 const MIGRATION_COURIER_SALT: u64 = 0x4d49_4752;
+/// Jitter salt for the trade courier ("TRAD").
+const TRADE_COURIER_SALT: u64 = 0x5452_4144;
+/// Smallest lease worth the protocol traffic, in Mbps.
+const MIN_LEASE_MBPS: f64 = 1.0;
 
 /// The aggregation topic carrying every server's NIC capacity.
 pub fn bw_capacity_topic() -> GroupId {
@@ -50,6 +62,14 @@ pub fn bw_demand_topic() -> GroupId {
 /// The anycast tree of servers advertising spare bandwidth.
 pub fn less_loaded_group() -> GroupId {
     group_id("Less-Loaded")
+}
+
+/// The per-customer trade tree: every server hosting one of the
+/// customer's VMs joins, and starved VMs anycast
+/// [`BorrowRequest`]s into it — the same Less-Loaded discipline as load
+/// shedding, scoped to one tenant's bundle.
+pub fn trade_group(customer: CustomerId) -> GroupId {
+    group_id(&format!("Trade-{}", customer.0))
 }
 
 /// Aggregation topics carrying capacity for one resource dimension
@@ -185,6 +205,25 @@ pub struct Controller {
     /// [`Controller::effective_mean_for`]; iteration always follows the
     /// fixed `active_kinds()` order, so the map never affects determinism.
     mean_gates: HashMap<crate::ResourceKind, MeanGate>,
+    /// This server's halves of committed entitlement leases.
+    trade: TradeBook,
+    /// Retransmission state for unacked lease grants, keyed by lease id.
+    trade_courier: Courier,
+    /// Lease id → the server hosting the opposite half (grants, renewals
+    /// and release notices go here; [`HalfLease::peer`] only stores the
+    /// `ActorId`, but sends need the full handle).
+    lease_peers: BTreeMap<u64, NodeHandle>,
+    /// Trade trees this server currently belongs to.
+    in_trade_groups: BTreeSet<CustomerId>,
+    /// VMs whose last borrow request went unanswered, with retry-after
+    /// times.
+    trade_cooldown: BTreeMap<VmId, SimTime>,
+    /// Local counter minting unique lease ids.
+    next_lease: u64,
+    /// The last simulation instant this controller processed an event at.
+    /// Ledger queries from outside a Scribe upcall (harness metrics,
+    /// admission checks) use it to time-filter live leases.
+    clock: SimTime,
     /// Observable counters.
     pub stats: ControllerStats,
 }
@@ -207,6 +246,17 @@ impl Controller {
             jitter_pct: 10,
             salt: MIGRATION_COURIER_SALT,
         });
+        // A grant's ack round trip is just network latency, so the first
+        // timeout can be much tighter than a migration's; retries stay
+        // well inside the lease lifetime or they would chase an expired
+        // debit.
+        let trade_courier = Courier::new(CourierConfig {
+            base_timeout: config.update_interval / 8,
+            max_timeout: (config.lease_duration / 4).max(config.update_interval / 4),
+            max_attempts: TRADE_ATTEMPTS,
+            jitter_pct: 10,
+            salt: TRADE_COURIER_SALT,
+        });
         Controller {
             capacity,
             config,
@@ -221,6 +271,13 @@ impl Controller {
             shed_cooldown: HashMap::new(),
             next_query: 0,
             mean_gates: HashMap::new(),
+            trade: TradeBook::new(),
+            trade_courier,
+            lease_peers: BTreeMap::new(),
+            in_trade_groups: BTreeSet::new(),
+            trade_cooldown: BTreeMap::new(),
+            next_lease: 0,
+            clock: SimTime::ZERO,
             stats: ControllerStats::default(),
         }
     }
@@ -271,11 +328,34 @@ impl Controller {
     }
 
     /// Sum of hosted reservations plus held reservations — what admission
-    /// control checks new reservations against.
+    /// control checks new reservations against. With bundle trading on,
+    /// hosted VMs count at their *live* entitlement: a server whose VMs
+    /// borrowed heavily really has less room for newcomers, and a lender's
+    /// freed reservation is usable immediately.
     pub fn reserved(&self) -> ResourceVector {
-        let hosted: ResourceVector = self.vms.iter().map(|vm| vm.spec.reservation).sum();
+        let hosted: ResourceVector = self
+            .vms
+            .iter()
+            .map(|vm| self.entitled_spec(vm).reservation)
+            .sum();
         let held: ResourceVector = self.holds.iter().map(|h| h.vm.spec.reservation).sum();
         hosted + held
+    }
+
+    /// `vm`'s effective rate/ceil contract right now: the static spec
+    /// shifted by its live leases. With trading off (or an empty book)
+    /// this is exactly `vm.spec`.
+    pub fn entitled_spec(&self, vm: &VmRecord) -> ResourceSpec {
+        if self.config.bundle_trading && !self.trade.is_empty() {
+            self.trade.live_spec(vm.id, vm.spec, self.clock)
+        } else {
+            vm.spec
+        }
+    }
+
+    /// This server's lease halves (read-only; benches and chaos checks).
+    pub fn trade_book(&self) -> &TradeBook {
+        &self.trade
     }
 
     /// The cluster-wide mean bandwidth utilization, once the aggregation
@@ -411,7 +491,7 @@ impl Controller {
             .iter()
             .map(|vm| {
                 let d = vm.demand.get(kind);
-                let l = vm.spec.limit.get(kind);
+                let l = self.entitled_spec(vm).limit.get(kind);
                 if l > 0.0 {
                     d.min(l)
                 } else {
@@ -440,9 +520,13 @@ impl Controller {
         }
     }
 
-    /// Per-VM bandwidth allocations under the HTB shaper right now.
+    /// Per-VM bandwidth allocations under the HTB shaper right now. With
+    /// bundle trading on, every VM's rate/ceil is its live entitlement —
+    /// this is the enforcement point where a lease becomes bandwidth.
     pub fn allocations(&self) -> Vec<shaper::Allocation> {
-        shaper::allocate(self.capacity.bandwidth, &self.vms)
+        shaper::allocate_entitled(self.capacity.bandwidth, &self.vms, |vm| {
+            self.entitled_spec(vm)
+        })
     }
 
     /// Shuts a hosted VM down, releasing its reservation. Returns its
@@ -453,7 +537,31 @@ impl Controller {
         // outstanding query bookkeeping for it.
         self.pending_sheds.retain(|_, planned| *planned != vm);
         self.shed_cooldown.remove(&vm);
+        // Backstop: drop its lease halves without notifying peers (no ctx
+        // here). Callers that can send should use
+        // [`Controller::release_vm_leases`] first so the opposite halves
+        // do not linger until expiry.
+        for id in self.trade.ids_involving(vm) {
+            self.trade.revert(id);
+            self.lease_peers.remove(&id.0);
+            self.trade_courier.forget(id.0);
+        }
+        self.trade_cooldown.remove(&vm);
         Some(self.vms.remove(pos))
+    }
+
+    /// Unwinds every lease a hosted VM is party to, notifying each peer
+    /// with [`CtrlMsg::LeaseRelease`] so the opposite half drops too.
+    /// Called before a planned shutdown; crashes rely on expiry instead.
+    pub fn release_vm_leases(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>, vm: VmId) {
+        self.clock = ctx.now();
+        for id in self.trade.ids_involving(vm) {
+            self.trade.revert(id);
+            self.trade_courier.forget(id.0);
+            if let Some(peer) = self.lease_peers.remove(&id.0) {
+                ctx.send_client(peer, CtrlMsg::LeaseRelease { id });
+            }
+        }
     }
 
     /// Updates a hosted VM's demand. Returns `true` if the VM lives here.
@@ -572,7 +680,85 @@ impl Controller {
                 self.in_less_loaded = false;
             }
         }
+        if self.config.bundle_trading {
+            self.trade_tick(ctx);
+        }
         ctx.schedule(self.config.update_interval, UPDATE_TAG);
+    }
+
+    /// The per-update-tick trading pass: sweep expired halves, sync trade
+    /// tree membership, renew live borrowings, and anycast borrow requests
+    /// for starved VMs.
+    fn trade_tick(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>) {
+        let now = ctx.now();
+        // 1. Expiry is the partition-safe backstop: both halves carry the
+        // same expiry, so the sweep needs no coordination.
+        for half in self.trade.expire(now) {
+            self.lease_peers.remove(&half.lease.id.0);
+            self.trade_courier.forget(half.lease.id.0);
+        }
+        // 2. Membership: one trade tree per hosted customer.
+        let desired: BTreeSet<CustomerId> = self.vms.iter().map(|vm| vm.customer).collect();
+        for &c in desired.difference(&self.in_trade_groups.clone()) {
+            ctx.join(trade_group(c));
+        }
+        for &c in self.in_trade_groups.clone().difference(&desired) {
+            ctx.leave(trade_group(c));
+        }
+        self.in_trade_groups = desired;
+        // 3. Renew each borrowing: the probe's delivery failure is the
+        // borrower's early signal that the lender's host is gone.
+        let renewals: Vec<(u64, NodeHandle)> = self
+            .trade
+            .halves()
+            .filter(|h| h.role == LeaseRole::Borrower)
+            .filter_map(|h| {
+                self.lease_peers
+                    .get(&h.lease.id.0)
+                    .map(|p| (h.lease.id.0, *p))
+            })
+            .collect();
+        for (id, peer) in renewals {
+            ctx.send_client(peer, CtrlMsg::LeaseRenew { id: LeaseId(id) });
+        }
+        // 4. Borrow scan: a VM is starved when its clamped demand exceeds
+        // its live limit. Ask for the gap; lenders answer with what they
+        // can actually spare.
+        self.trade_cooldown
+            .retain(|_, &mut retry_at| retry_at > now);
+        let me = ctx.self_handle();
+        let mut asks: Vec<(VmId, f64)> = Vec::new();
+        for vm in &self.vms {
+            if asks.len() >= self.config.max_trades_per_round {
+                break;
+            }
+            if self.trade_cooldown.contains_key(&vm.id) {
+                continue;
+            }
+            let limit = self.entitled_spec(vm).limit.bandwidth;
+            let short = vm.demand.bandwidth.saturating_sub(limit).as_mbps();
+            if short >= MIN_LEASE_MBPS {
+                asks.push((vm.id, short));
+            }
+        }
+        for (vm_id, short) in asks {
+            let customer = match self.vms.iter().find(|v| v.id == vm_id) {
+                Some(vm) => vm.customer,
+                None => continue,
+            };
+            self.trade_cooldown
+                .insert(vm_id, now + self.config.update_interval * 2);
+            self.trade.stats.requests_sent += 1;
+            ctx.anycast(
+                trade_group(customer),
+                CtrlMsg::Borrow(BorrowRequest {
+                    customer,
+                    borrower: vm_id,
+                    amount: ResourceVector::bandwidth_only(Bandwidth::from_mbps(short)),
+                    origin: me,
+                }),
+            );
+        }
     }
 
     fn rebalance_tick(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>) {
@@ -638,6 +824,14 @@ impl Controller {
             .filter(|vm| !pending.contains(&vm.id) && !self.shed_cooldown.contains_key(&vm.id))
             .copied()
             .collect();
+        // A VM party to a live lease stays put: migrating it would strand
+        // the lease's opposite half on a peer that keeps renewing into the
+        // wrong host.
+        if self.config.bundle_trading {
+            let before = candidates.len();
+            candidates.retain(|vm| !self.trade.vm_involved(vm.id));
+            self.trade.stats.sheds_lease_blocked += (before - candidates.len()) as u64;
+        }
         candidates.sort_by(|a, b| vm_demand(b).total_cmp(&vm_demand(a)));
         let stop_line = mean + self.config.threshold;
         let mut issued = 0;
@@ -792,6 +986,12 @@ impl Controller {
         let Some(pos) = self.vms.iter().position(|v| v.id == vm_id) else {
             return; // VM already moved; the receiver's hold will expire
         };
+        // A lease may have been committed after this shed was planned;
+        // re-check so the migration never strands a live half.
+        if self.config.bundle_trading && self.trade.vm_involved(vm_id) {
+            self.trade.stats.sheds_lease_blocked += 1;
+            return;
+        }
         if self.config.cost_benefit && !self.migration_worthwhile(&self.vms[pos]) {
             self.stats.migrations_gated += 1;
             return;
@@ -890,6 +1090,135 @@ impl Controller {
         }
         ctx.send_client(from, CtrlMsg::MigrateAck { query });
     }
+
+    /// A [`BorrowRequest`] walked the customer's trade tree to this
+    /// server. Accepting means committing as lender on the spot: pick the
+    /// hosted sibling with the most room, debit it, and chase the
+    /// borrower's ack via the trade courier.
+    fn try_lend(
+        &mut self,
+        ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>,
+        q: &BorrowRequest,
+    ) -> bool {
+        let me = ctx.self_handle();
+        if q.origin.actor == me.actor {
+            return false; // intra-server imbalance is the shaper's job
+        }
+        let now = ctx.now();
+        let ask = q.amount.bandwidth.as_mbps();
+        // A lender's offer is bounded by two different ceilings:
+        //  - `spare`: live entitlement its VM is not using (minus the
+        //    self-insurance margin), so lending never starves the lender;
+        //  - `lendable`: base reservation minus what the VM already lent
+        //    out. Borrowed entitlement is deliberately NOT re-lendable —
+        //    re-lending would let a released upstream lease drive the
+        //    middle row negative and mint phantom credit.
+        let margin = (1.0 - self.config.trade_margin).max(0.0);
+        let best = self
+            .vms
+            .iter()
+            .filter(|vm| vm.customer == q.customer && vm.id != q.borrower)
+            .filter(|vm| !self.pending_sheds.values().any(|&p| p == vm.id))
+            .map(|vm| {
+                let spec = self.entitled_spec(vm);
+                let used = vm.demand.bandwidth.min(spec.limit.bandwidth).as_mbps();
+                let spare = (spec.reservation.bandwidth.as_mbps() - used).max(0.0) * margin;
+                let (_, outflow) = self.trade.delta(vm.id, now);
+                let lendable = (vm.spec.reservation.bandwidth - outflow.bandwidth)
+                    .as_mbps()
+                    .max(0.0);
+                (vm.id, spare.min(lendable))
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)));
+        let Some((lender, room)) = best else {
+            return false;
+        };
+        let give = room.min(ask);
+        if give < MIN_LEASE_MBPS {
+            return false;
+        }
+        let raw = ((me.actor.index() as u64) << 32) | self.next_lease;
+        self.next_lease += 1;
+        debug_assert!(raw < TRADE_RETRY_TAG_BASE);
+        let lease = Lease {
+            id: LeaseId(raw),
+            customer: q.customer,
+            lender,
+            borrower: q.borrower,
+            amount: ResourceVector::bandwidth_only(Bandwidth::from_mbps(give)),
+            expires: now + self.config.lease_duration,
+        };
+        self.trade.record(lease, LeaseRole::Lender, q.origin.actor);
+        self.lease_peers.insert(raw, q.origin);
+        self.trade.stats.grants_sent += 1;
+        let timeout = self.trade_courier.register(raw);
+        ctx.send_client(q.origin, CtrlMsg::BorrowGrant { lease });
+        ctx.schedule(timeout, TRADE_RETRY_TAG_BASE | raw);
+        true
+    }
+
+    /// A lender's committed offer arrived at the borrower's host.
+    fn handle_borrow_grant(
+        &mut self,
+        ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>,
+        from: NodeHandle,
+        lease: Lease,
+    ) {
+        let now = ctx.now();
+        let id = lease.id;
+        // Retried grants re-ack: the earlier ack may have been lost.
+        if self.trade.contains(id) {
+            ctx.send_client(from, CtrlMsg::LeaseAck { id, accepted: true });
+            return;
+        }
+        // Admission: the borrowed reservation must still fit next to the
+        // server's other live entitlements, or the shaper could not honor
+        // it. Stale terms (expired in flight) are refused too.
+        let hosted = self.vms.iter().any(|v| v.id == lease.borrower);
+        let accepted = self.config.bundle_trading
+            && hosted
+            && lease.expires > now
+            && lease.amount.is_sane()
+            && (self.reserved() + lease.amount).fits_within(&self.capacity);
+        if accepted {
+            self.trade.record(lease, LeaseRole::Borrower, from.actor);
+            self.lease_peers.insert(id.0, from);
+            self.trade.stats.leases_borrowed += 1;
+        }
+        ctx.send_client(from, CtrlMsg::LeaseAck { id, accepted });
+    }
+
+    /// The grant-ack timeout for lease `raw` fired on the lender.
+    fn trade_retry_tick(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>, raw: u64) {
+        match self.trade_courier.on_timeout(raw) {
+            RetryDecision::Settled => {}
+            RetryDecision::GiveUp => {
+                // The ack may have been lost AFTER the borrower recorded
+                // its half, so reclaiming the debit here could mint credit
+                // out of thin air. Keep the half; expiry reconciles.
+                self.trade.stats.lender_losses += 1;
+                self.lease_peers.remove(&raw);
+            }
+            RetryDecision::Retry { timeout } => {
+                let half = self.trade.get(LeaseId(raw)).copied();
+                let peer = self.lease_peers.get(&raw).copied();
+                match (half, peer) {
+                    (Some(h), Some(p)) if h.role == LeaseRole::Lender => {
+                        ctx.send_client(p, CtrlMsg::BorrowGrant { lease: h.lease });
+                        ctx.schedule(timeout, TRADE_RETRY_TAG_BASE | raw);
+                    }
+                    _ => self.trade_courier.forget(raw),
+                }
+            }
+        }
+    }
+
+    /// Drops a lease half and all bookkeeping attached to it.
+    fn drop_lease_half(&mut self, id: LeaseId) -> Option<HalfLease> {
+        self.lease_peers.remove(&id.0);
+        self.trade_courier.forget(id.0);
+        self.trade.revert(id)
+    }
 }
 
 impl ScribeClient for Controller {
@@ -926,9 +1255,16 @@ impl ScribeClient for Controller {
             let timeout = self.courier.arm(query);
             ctx.schedule(timeout, MIGRATE_RETRY_TAG_BASE | query);
         }
+        // Lease halves survive the crash (client state persists); re-arm
+        // the ack chase for every grant still awaiting its LeaseAck.
+        for raw in self.trade_courier.outstanding_keys() {
+            let timeout = self.trade_courier.arm(raw);
+            ctx.schedule(timeout, TRADE_RETRY_TAG_BASE | raw);
+        }
     }
 
     fn on_timer(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>, tag: u64) {
+        self.clock = ctx.now();
         match tag {
             AGG_TICK_TAG => self.agg.on_tick(ctx),
             UPDATE_TAG => self.update_tick(ctx),
@@ -936,6 +1272,7 @@ impl ScribeClient for Controller {
             t if t >= MIGRATE_RETRY_TAG_BASE => {
                 self.migrate_retry_tick(ctx, t & !MIGRATE_RETRY_TAG_BASE)
             }
+            t if t >= TRADE_RETRY_TAG_BASE => self.trade_retry_tick(ctx, t & !TRADE_RETRY_TAG_BASE),
             _ => {}
         }
     }
@@ -946,6 +1283,19 @@ impl ScribeClient for Controller {
     /// of entering the combine. Under `TrustAll` everything passes — that
     /// is the ablation the poison bench measures against.
     fn validate_payload(&mut self, msg: &CtrlMsg) -> bool {
+        // Trade payloads get an unconditional (cheap, deterministic)
+        // sanity screen: an insane amount could only corrupt the ledger.
+        match msg {
+            CtrlMsg::Borrow(q) if !q.amount.is_sane() => {
+                self.stats.invalid_payloads += 1;
+                return false;
+            }
+            CtrlMsg::BorrowGrant { lease } if !lease.amount.is_sane() => {
+                self.stats.invalid_payloads += 1;
+                return false;
+            }
+            _ => {}
+        }
         let CtrlMsg::Agg(agg) = msg else { return true };
         let Robustness::Defensive(params) = &self.agg.config().robustness else {
             return true;
@@ -984,6 +1334,7 @@ impl ScribeClient for Controller {
         from: NodeHandle,
         msg: CtrlMsg,
     ) {
+        self.clock = ctx.now();
         match msg {
             CtrlMsg::Agg(AggMsg::Update { topic, value }) => {
                 self.agg.on_update(ctx, from, topic, value);
@@ -1008,7 +1359,28 @@ impl ScribeClient for Controller {
                 self.courier.ack(query);
                 self.in_flight.remove(&query);
             }
-            CtrlMsg::Load(_) => {} // load queries only arrive via anycast
+            CtrlMsg::BorrowGrant { lease } => self.handle_borrow_grant(ctx, from, lease),
+            CtrlMsg::LeaseAck { id, accepted } => {
+                self.trade_courier.ack(id.0);
+                if !accepted {
+                    // The borrower refused, so it never recorded a half:
+                    // reclaiming the debit is safe here (unlike GiveUp).
+                    self.drop_lease_half(id);
+                    self.trade.stats.grants_rejected += 1;
+                }
+            }
+            CtrlMsg::LeaseRenew { id } => {
+                // A renewal for a lease this lender no longer carries
+                // (expired, released): tell the borrower to drop its half.
+                if !self.trade.contains(id) {
+                    ctx.send_client(from, CtrlMsg::LeaseRelease { id });
+                }
+            }
+            CtrlMsg::LeaseRelease { id } => {
+                self.drop_lease_half(id);
+            }
+            CtrlMsg::Borrow(_) => {} // borrow requests only arrive via anycast
+            CtrlMsg::Load(_) => {}   // load queries only arrive via anycast
         }
     }
 
@@ -1031,6 +1403,13 @@ impl ScribeClient for Controller {
         msg: &CtrlMsg,
         _origin: NodeHandle,
     ) -> bool {
+        self.clock = ctx.now();
+        if let CtrlMsg::Borrow(q) = msg {
+            if self.config.bundle_trading && group == trade_group(q.customer) {
+                return self.try_lend(ctx, &q.clone());
+            }
+            return false;
+        }
         if group != less_loaded_group() {
             return false;
         }
@@ -1115,7 +1494,40 @@ impl ScribeClient for Controller {
             CtrlMsg::LoadAccept { query, .. } => {
                 self.holds.retain(|h| h.query != query);
             }
+            // The borrower's host is gone before the grant even arrived:
+            // nobody recorded credit, so the lender reclaims its debit.
+            CtrlMsg::BorrowGrant { lease } => {
+                self.drop_lease_half(lease.id);
+                self.trade.stats.grants_rejected += 1;
+            }
+            // The renewal bounced: the lender's host is dead, so the
+            // borrowed credit has no backing debit. Drop it now rather
+            // than ride it to expiry.
+            CtrlMsg::LeaseRenew { id } => {
+                self.drop_lease_half(id);
+            }
             _ => {}
+        }
+    }
+
+    fn on_node_failed(
+        &mut self,
+        _ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>,
+        failed: NodeHandle,
+    ) {
+        // A detected peer failure reverts *borrower* halves whose lender
+        // lived there — credit without a backing debit is the unsafe
+        // direction. Lender halves stay: the borrower may be alive behind
+        // a partition, and a kept debit only under-uses the bundle until
+        // expiry.
+        for id in self.trade.ids_with_peer(failed.actor) {
+            if self
+                .trade
+                .get(id)
+                .is_some_and(|h| h.role == LeaseRole::Borrower)
+            {
+                self.drop_lease_half(id);
+            }
         }
     }
 }
@@ -1381,6 +1793,113 @@ mod tests {
         let mut t = controller(0.15);
         assert!(t.validate_payload(&poisoned));
         assert_eq!(t.stats.invalid_payloads, 0);
+    }
+
+    #[test]
+    fn entitled_spec_follows_the_book() {
+        let mut c = Controller::new(
+            ResourceVector::bandwidth_only(Bandwidth::from_gbps(1.0)),
+            AggregationConfig::default(),
+            VBundleConfig::default().with_bundle_trading(true),
+        );
+        c.install_vm(vm(1, 300.0, 300.0, 100.0));
+        c.install_vm(vm(2, 300.0, 300.0, 400.0));
+        // Empty book: entitlements are the static contracts.
+        assert_eq!(c.reserved().bandwidth.as_mbps(), 600.0);
+        let lease = Lease {
+            id: LeaseId(7),
+            customer: CustomerId(0),
+            lender: VmId(1),
+            borrower: VmId(2),
+            amount: ResourceVector::bandwidth_only(Bandwidth::from_mbps(100.0)),
+            expires: SimTime::from_secs(1000),
+        };
+        // This server hosts both parties only in this test; real clusters
+        // hold one half each, but the arithmetic is identical.
+        c.trade.record(lease, LeaseRole::Lender, ActorId::new(9));
+        let lease2 = Lease {
+            id: LeaseId(8),
+            ..lease
+        };
+        c.trade.record(lease2, LeaseRole::Borrower, ActorId::new(9));
+        c.clock = SimTime::from_secs(10);
+        // Lender's row shrank, borrower's grew; the sum is unchanged.
+        let lender = *c.vms().iter().find(|v| v.id == VmId(1)).unwrap();
+        let borrower = *c.vms().iter().find(|v| v.id == VmId(2)).unwrap();
+        assert_eq!(
+            c.entitled_spec(&lender).reservation.bandwidth.as_mbps(),
+            200.0
+        );
+        assert_eq!(c.entitled_spec(&borrower).limit.bandwidth.as_mbps(), 400.0);
+        assert_eq!(c.reserved().bandwidth.as_mbps(), 600.0);
+        // The shaper now grants the borrower up to its live ceiling.
+        let allocs = c.allocations();
+        assert_eq!(allocs[1].granted.as_mbps(), 400.0);
+        // demand_for clamps against the live limit too.
+        assert_eq!(c.demand_for(crate::ResourceKind::Bandwidth), 500.0);
+        // Past expiry the contracts revert without any sweep running.
+        c.clock = SimTime::from_secs(1000);
+        assert_eq!(
+            c.entitled_spec(&lender).reservation.bandwidth.as_mbps(),
+            300.0
+        );
+        assert_eq!(c.demand_for(crate::ResourceKind::Bandwidth), 400.0);
+    }
+
+    #[test]
+    fn remove_vm_drops_lease_halves() {
+        let mut c = Controller::new(
+            ResourceVector::bandwidth_only(Bandwidth::from_gbps(1.0)),
+            AggregationConfig::default(),
+            VBundleConfig::default().with_bundle_trading(true),
+        );
+        c.install_vm(vm(1, 300.0, 300.0, 100.0));
+        let lease = Lease {
+            id: LeaseId(3),
+            customer: CustomerId(0),
+            lender: VmId(1),
+            borrower: VmId(99),
+            amount: ResourceVector::bandwidth_only(Bandwidth::from_mbps(50.0)),
+            expires: SimTime::from_secs(1000),
+        };
+        c.trade.record(lease, LeaseRole::Lender, ActorId::new(9));
+        c.lease_peers.insert(
+            3,
+            NodeHandle::new(vbundle_pastry::Id::from_u128(9), ActorId::new(9)),
+        );
+        assert!(c.trade.vm_involved(VmId(1)));
+        c.remove_vm(VmId(1));
+        assert!(c.trade.is_empty());
+        assert!(c.lease_peers.is_empty());
+        assert_eq!(c.trade.stats.leases_reverted, 1);
+    }
+
+    #[test]
+    fn validate_payload_screens_insane_trade_amounts() {
+        let mut c = controller(0.15);
+        let mut insane = ResourceVector::ZERO;
+        insane.cpu = f64::NAN; // Bandwidth's constructor rejects NaN itself
+        let bad = CtrlMsg::Borrow(BorrowRequest {
+            customer: CustomerId(0),
+            borrower: VmId(1),
+            amount: insane,
+            origin: NodeHandle::new(vbundle_pastry::Id::from_u128(1), ActorId::new(1)),
+        });
+        assert!(!c.validate_payload(&bad));
+        let good = CtrlMsg::Borrow(BorrowRequest {
+            customer: CustomerId(0),
+            borrower: VmId(1),
+            amount: ResourceVector::bandwidth_only(Bandwidth::from_mbps(25.0)),
+            origin: NodeHandle::new(vbundle_pastry::Id::from_u128(1), ActorId::new(1)),
+        });
+        assert!(c.validate_payload(&good));
+        assert_eq!(c.stats.invalid_payloads, 1);
+    }
+
+    #[test]
+    fn trade_group_is_per_customer() {
+        assert_ne!(trade_group(CustomerId(0)), trade_group(CustomerId(1)));
+        assert_ne!(trade_group(CustomerId(0)), less_loaded_group());
     }
 
     #[test]

@@ -62,7 +62,6 @@ mod message;
 pub mod metrics;
 mod placement;
 pub mod report;
-mod resources;
 pub mod shaper;
 mod vm;
 
@@ -76,5 +75,8 @@ pub use message::{BootQuery, CtrlMsg, LoadQuery};
 pub use metrics::{CustomerLocality, SatisfactionTotals};
 pub use placement::{ClusterModel, PlacementPolicy};
 pub use report::ClusterReport;
-pub use resources::{ResourceKind, ResourceSpec, ResourceVector};
-pub use vm::{Customer, CustomerId, VmId, VmRecord};
+// Resource-space types and party identities live in `vbundle-trade` (the
+// economic layer below this crate); re-exported here so downstream code
+// keeps importing them from `vbundle_core`.
+pub use vbundle_trade::{CustomerId, ResourceKind, ResourceSpec, ResourceVector, VmId};
+pub use vm::{Customer, VmRecord};

@@ -3,8 +3,9 @@
 use vbundle_aggregation::AggMsg;
 use vbundle_pastry::NodeHandle;
 use vbundle_sim::{ActorId, CorruptionMode, Message, MsgCategory};
+use vbundle_trade::{Lease, LeaseId};
 
-use crate::{VmId, VmRecord};
+use crate::{CustomerId, ResourceVector, VmId, VmRecord};
 
 /// A VM boot query walking the datacenter (§II.B): routed to
 /// `hash(customer)` first, then forwarded across neighbor sets until a
@@ -36,6 +37,21 @@ pub struct LoadQuery {
     pub vm: VmRecord,
     /// The shedding server.
     pub shedder: NodeHandle,
+}
+
+/// A starved VM's plea into its customer's trade tree (§III): "which
+/// sibling can lend me this much entitlement?" Carried by Scribe anycast
+/// under the same Less-Loaded discipline as load shedding.
+#[derive(Debug, Clone)]
+pub struct BorrowRequest {
+    /// The customer whose bundle the entitlement moves within.
+    pub customer: CustomerId,
+    /// The starved VM that wants to borrow.
+    pub borrower: VmId,
+    /// How much it is short (demand beyond its live limit).
+    pub amount: ResourceVector,
+    /// The server hosting the borrower (receives the grant).
+    pub origin: NodeHandle,
 }
 
 /// Everything v-Bundle controllers exchange. Aggregation traffic is
@@ -84,10 +100,45 @@ pub enum CtrlMsg {
         /// Echo of the originating query id.
         query: u64,
     },
+    /// A starved VM's borrow request, anycast into the customer's trade
+    /// tree.
+    Borrow(BorrowRequest),
+    /// A lender's committed offer: the full lease terms, sent directly to
+    /// the borrower's host and resent (Courier-backed) until a
+    /// [`CtrlMsg::LeaseAck`] arrives.
+    BorrowGrant {
+        /// The lease, already debited on the lender's book.
+        lease: Lease,
+    },
+    /// The borrower host's verdict on a grant. `accepted: false` means the
+    /// borrower did not record the credit (stale terms, no room), so the
+    /// lender may safely reclaim its debit.
+    LeaseAck {
+        /// The lease being answered.
+        id: LeaseId,
+        /// Whether the borrower recorded its half.
+        accepted: bool,
+    },
+    /// The borrower's per-tick liveness probe to the lender. Its delivery
+    /// failure (lender host dead) is the borrower's signal to revert
+    /// early; a lender that no longer knows the lease answers with
+    /// [`CtrlMsg::LeaseRelease`].
+    LeaseRenew {
+        /// The lease being renewed.
+        id: LeaseId,
+    },
+    /// "Drop your half of this lease" — sent when a party reverts early
+    /// (VM shutdown, unknown renewal) so the opposite half does not
+    /// linger.
+    LeaseRelease {
+        /// The lease to drop.
+        id: LeaseId,
+    },
 }
 
 const HANDLE_BYTES: usize = 20;
 const VM_BYTES: usize = 8 + 4 + 6 * 8 + 3 * 8; // id+customer+spec+demand
+const LEASE_BYTES: usize = 8 + 4 + 8 + 8 + 3 * 8 + 8; // id+customer+parties+amount+expiry
 
 impl Message for CtrlMsg {
     fn wire_size(&self) -> usize {
@@ -99,6 +150,11 @@ impl Message for CtrlMsg {
             CtrlMsg::LoadAccept { .. } => 8 + 8 + HANDLE_BYTES,
             CtrlMsg::Migrate { .. } => 8 + VM_BYTES + HANDLE_BYTES,
             CtrlMsg::MigrateAck { .. } => 8,
+            CtrlMsg::Borrow(_) => 4 + 8 + 3 * 8 + HANDLE_BYTES,
+            CtrlMsg::BorrowGrant { .. } => LEASE_BYTES,
+            CtrlMsg::LeaseAck { .. } => 8 + 1,
+            CtrlMsg::LeaseRenew { .. } => 8,
+            CtrlMsg::LeaseRelease { .. } => 8,
         }
     }
 

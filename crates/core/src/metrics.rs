@@ -152,9 +152,14 @@ pub struct SatisfactionTotals {
 impl SatisfactionTotals {
     /// Accumulates one server's VMs.
     pub fn add_server(&mut self, capacity: Bandwidth, vms: &[VmRecord]) {
-        let allocs = shaper::allocate(capacity, vms);
-        self.demand += shaper::total_demand(&allocs);
-        self.satisfied += shaper::total_granted(&allocs);
+        self.add_allocations(&shaper::allocate(capacity, vms));
+    }
+
+    /// Accumulates pre-computed allocations — the entitlement-aware path:
+    /// controllers hand over their live-ledger shaper output directly.
+    pub fn add_allocations(&mut self, allocs: &[shaper::Allocation]) {
+        self.demand += shaper::total_demand(allocs);
+        self.satisfied += shaper::total_granted(allocs);
     }
 
     /// Demand left unsatisfied.

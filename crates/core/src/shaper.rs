@@ -9,7 +9,7 @@
 
 use vbundle_dcn::Bandwidth;
 
-use crate::VmRecord;
+use crate::{ResourceSpec, VmRecord};
 
 /// One VM's share of the server NIC.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,13 +60,28 @@ impl Allocation {
 /// assert_eq!(alloc[1].granted.as_mbps(), 200.0); // borrowed up to ceil
 /// ```
 pub fn allocate(capacity: Bandwidth, vms: &[VmRecord]) -> Vec<Allocation> {
+    allocate_entitled(capacity, vms, |vm| vm.spec)
+}
+
+/// [`allocate`] with the rate/ceil contract resolved per VM through
+/// `spec_of` instead of read from the record. This is how bundle trading
+/// reaches the shaper: the controller passes each VM's *live* entitlement
+/// (base spec shifted by its leases), so a borrowed 50 Mbps raises the
+/// VM's rate and ceil for exactly as long as the lease lives.
+pub fn allocate_entitled(
+    capacity: Bandwidth,
+    vms: &[VmRecord],
+    spec_of: impl Fn(&VmRecord) -> ResourceSpec,
+) -> Vec<Allocation> {
+    let specs: Vec<ResourceSpec> = vms.iter().map(&spec_of).collect();
     let mut allocs: Vec<Allocation> = vms
         .iter()
-        .map(|vm| {
+        .zip(&specs)
+        .map(|(vm, spec)| {
             let demand = vm.demand.bandwidth;
             Allocation {
                 demand,
-                granted: demand.min(vm.spec.reservation.bandwidth),
+                granted: demand.min(spec.reservation.bandwidth),
             }
         })
         .collect();
@@ -87,11 +102,11 @@ pub fn allocate(capacity: Bandwidth, vms: &[VmRecord]) -> Vec<Allocation> {
         if spare.as_mbps() <= 1e-9 {
             break;
         }
-        let hungry: Vec<usize> = vms
+        let hungry: Vec<usize> = specs
             .iter()
             .enumerate()
-            .filter(|(i, vm)| {
-                let cap = allocs[*i].demand.min(vm.spec.limit.bandwidth);
+            .filter(|(i, spec)| {
+                let cap = allocs[*i].demand.min(spec.limit.bandwidth);
                 allocs[*i].granted.as_mbps() < cap.as_mbps() - 1e-9
             })
             .map(|(i, _)| i)
@@ -102,7 +117,7 @@ pub fn allocate(capacity: Bandwidth, vms: &[VmRecord]) -> Vec<Allocation> {
         let share = spare / hungry.len() as f64;
         let mut progressed = false;
         for i in hungry {
-            let cap = allocs[i].demand.min(vms[i].spec.limit.bandwidth);
+            let cap = allocs[i].demand.min(specs[i].limit.bandwidth);
             let headroom = cap.saturating_sub(allocs[i].granted);
             let grant = share.min(headroom);
             if grant.as_mbps() > 1e-12 {
@@ -213,6 +228,32 @@ mod tests {
         let a = allocate(cap(400.0), &vms);
         assert_eq!(a[0].granted, Bandwidth::ZERO);
         assert_eq!(a[0].demand, Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn entitled_spec_overrides_record() {
+        // Two fixed 100 Mbps siblings, one starved at 300, one idle at 10.
+        let vms = vec![vm(1, 100.0, 100.0, 300.0), vm(2, 100.0, 100.0, 10.0)];
+        let static_alloc = allocate(cap(400.0), &vms);
+        assert_eq!(static_alloc[0].granted.as_mbps(), 100.0);
+        // A 60 Mbps lease from VM2 to VM1 shifts both contracts.
+        let leased = |vm: &VmRecord| {
+            let delta = Bandwidth::from_mbps(60.0);
+            if vm.id == VmId(1) {
+                ResourceSpec::bandwidth(
+                    vm.spec.reservation.bandwidth + delta,
+                    vm.spec.limit.bandwidth + delta,
+                )
+            } else {
+                ResourceSpec::bandwidth(
+                    vm.spec.reservation.bandwidth.saturating_sub(delta),
+                    vm.spec.limit.bandwidth.saturating_sub(delta),
+                )
+            }
+        };
+        let traded = allocate_entitled(cap(400.0), &vms, leased);
+        assert_eq!(traded[0].granted.as_mbps(), 160.0);
+        assert_eq!(traded[1].granted.as_mbps(), 10.0);
     }
 
     #[test]

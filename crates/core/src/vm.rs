@@ -1,31 +1,14 @@
 //! Virtual machine instances and customers.
 
-use std::fmt;
-
 use vbundle_dcn::Bandwidth;
 use vbundle_pastry::{Id, Key};
 
+// VM and customer identities moved into the economic layer so the
+// bundle ledger can name its parties without depending on this crate;
+// re-imported (and re-exported from lib.rs) for compatibility.
+use vbundle_trade::{CustomerId, VmId};
+
 use crate::{ResourceSpec, ResourceVector};
-
-/// Identifies a VM instance across the cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct VmId(pub u64);
-
-impl fmt::Display for VmId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "vm{}", self.0)
-    }
-}
-
-/// Identifies a cloud customer (tenant).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct CustomerId(pub u32);
-
-impl fmt::Display for CustomerId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "customer{}", self.0)
-    }
-}
 
 /// A cloud customer: all of her VMs are tagged with `key = hash(name)`,
 /// which is where their boot queries are routed (§II.B).
@@ -117,11 +100,5 @@ mod tests {
         assert_eq!(vm.effective_bw_demand(), Bandwidth::from_mbps(200.0));
         vm.demand = ResourceVector::bandwidth_only(Bandwidth::from_mbps(50.0));
         assert_eq!(vm.effective_bw_demand(), Bandwidth::from_mbps(50.0));
-    }
-
-    #[test]
-    fn display_forms() {
-        assert_eq!(format!("{}", VmId(3)), "vm3");
-        assert_eq!(format!("{}", CustomerId(2)), "customer2");
     }
 }

@@ -109,6 +109,50 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 
+    /// Growing the NIC never shrinks any VM's grant — the water level only
+    /// rises with capacity.
+    #[test]
+    fn granted_monotone_in_capacity(
+        vms in arb_vms(),
+        cap in 0.0f64..1500.0,
+        extra in 0.0f64..500.0,
+    ) {
+        let small = shaper::allocate(Bandwidth::from_mbps(cap), &vms);
+        let large = shaper::allocate(Bandwidth::from_mbps(cap + extra), &vms);
+        for ((vm, s), l) in vms.iter().zip(&small).zip(&large) {
+            prop_assert!(
+                l.granted.as_mbps() >= s.granted.as_mbps() - EPS,
+                "{}: grant fell from {} to {} when capacity grew",
+                vm.id, s.granted, l.granted
+            );
+        }
+    }
+
+    /// The allocation a VM receives does not depend on its position in the
+    /// input: rotating the population rotates the grants with it.
+    #[test]
+    fn grants_follow_vms_under_permutation(
+        vms in arb_vms(),
+        cap in 0.0f64..2000.0,
+        shift in 0usize..12,
+    ) {
+        prop_assume!(!vms.is_empty());
+        let k = shift % vms.len();
+        let mut rotated = vms.clone();
+        rotated.rotate_left(k);
+        let capacity = Bandwidth::from_mbps(cap);
+        let base = shaper::allocate(capacity, &vms);
+        let perm = shaper::allocate(capacity, &rotated);
+        for (i, vm) in vms.iter().enumerate() {
+            let j = (i + vms.len() - k) % vms.len();
+            prop_assert!(
+                (base[i].granted.as_mbps() - perm[j].granted.as_mbps()).abs() < 1e-6,
+                "{}: granted {} in place, {} after rotation",
+                vm.id, base[i].granted, perm[j].granted
+            );
+        }
+    }
+
     /// Equal VMs receive equal grants (fairness of the water-fill).
     #[test]
     fn symmetric_vms_get_equal_shares(

@@ -514,6 +514,126 @@ fn shutdown_releases_reservations() {
     assert_eq!(cluster.num_vms(), 4);
 }
 
+/// Seeds a trading scenario: one customer, a starved fixed-size VM on
+/// server 0 and idle same-spec siblings on the remaining servers.
+fn seed_trading(cluster: &mut Cluster, hot_demand: f64) -> vbundle_core::VmId {
+    let n = cluster.num_servers();
+    let spec = ResourceSpec::bandwidth(bw(100.0), bw(100.0));
+    let hot = cluster.alloc_vm_id();
+    let mut vm = VmRecord::new(hot, CustomerId(0), spec);
+    vm.demand = ResourceVector::bandwidth_only(bw(hot_demand));
+    let sid = cluster.topo.server(0);
+    cluster.install_vm(sid, vm);
+    for server in 1..n {
+        let id = cluster.alloc_vm_id();
+        let mut vm = VmRecord::new(id, CustomerId(0), spec);
+        vm.demand = ResourceVector::bandwidth_only(bw(5.0));
+        let sid = cluster.topo.server(server);
+        cluster.install_vm(sid, vm);
+    }
+    cluster.reindex();
+    hot
+}
+
+/// Bundle trading end to end: a starved fixed-size VM borrows entitlement
+/// from idle same-customer siblings over the trade tree, the shaper's
+/// grant follows the live ledger, the customer's total entitlement is
+/// conserved, and leases auto-expire once demand subsides.
+#[test]
+fn bundle_trading_lends_and_reverts() {
+    let topo = Arc::new(
+        Topology::builder()
+            .pods(1)
+            .racks_per_pod(2)
+            .servers_per_rack(2)
+            .build(),
+    );
+    let config = fast_config()
+        .with_bundle_trading(true)
+        .with_lease_duration(SimDuration::from_secs(60));
+    let mut cluster = Cluster::builder(Arc::clone(&topo))
+        .vbundle(config)
+        .seed(47)
+        .build();
+    let hot = seed_trading(&mut cluster, 400.0);
+    // Static contract: the fixed-size VM is stuck at 100 Mbps.
+    let before = cluster.satisfaction();
+    assert_eq!(before.satisfied.as_mbps(), 100.0 + 3.0 * 5.0);
+
+    cluster.run_until(SimTime::from_mins(5));
+    assert!(cluster.active_leases() > 0, "no lease committed");
+    let after = cluster.satisfaction();
+    assert!(
+        after.satisfied.as_mbps() > before.satisfied.as_mbps() + 50.0,
+        "trading did not raise satisfied bandwidth: {} -> {}",
+        before.satisfied.as_mbps(),
+        after.satisfied.as_mbps()
+    );
+    // Conservation: the customer's cluster-wide entitled reservation is
+    // exactly the purchased bundle (lender debits mirror borrower
+    // credits).
+    let entitled: f64 = (0..cluster.num_servers())
+        .map(|i| {
+            let c = cluster.controller(i);
+            c.vms()
+                .iter()
+                .map(|vm| c.entitled_spec(vm).reservation.bandwidth.as_mbps())
+                .sum::<f64>()
+        })
+        .sum();
+    assert!(
+        (entitled - 400.0).abs() < 1e-6,
+        "entitlement not conserved: {entitled}"
+    );
+    // No migrations: the trade was pure entitlement movement.
+    assert_eq!(cluster.total_migrations(), 0);
+
+    // Demand subsides; committed leases lapse and everything reverts.
+    assert!(cluster.set_vm_demand(hot, ResourceVector::bandwidth_only(bw(10.0))));
+    cluster.run_until(SimTime::from_mins(12));
+    assert_eq!(cluster.active_leases(), 0, "leases did not expire");
+    for i in 0..cluster.num_servers() {
+        let c = cluster.controller(i);
+        for vm in c.vms() {
+            assert_eq!(
+                c.entitled_spec(vm).reservation.bandwidth.as_mbps(),
+                100.0,
+                "entitlement did not revert on server {i}"
+            );
+        }
+    }
+}
+
+/// With `bundle_trading` off (the default), the marketplace is inert: no
+/// trade traffic, no leases, static contracts everywhere.
+#[test]
+fn trading_off_is_inert() {
+    let topo = Arc::new(
+        Topology::builder()
+            .pods(1)
+            .racks_per_pod(2)
+            .servers_per_rack(2)
+            .build(),
+    );
+    let mut cluster = Cluster::builder(topo)
+        .vbundle(fast_config())
+        .seed(47)
+        .build();
+    seed_trading(&mut cluster, 400.0);
+    cluster.run_until(SimTime::from_mins(5));
+    assert_eq!(cluster.active_leases(), 0);
+    for i in 0..cluster.num_servers() {
+        let book = cluster.controller(i).trade_book();
+        assert!(book.is_empty());
+        assert_eq!(book.stats.requests_sent, 0);
+    }
+    // The fixed-size VM stays pinned at its static ceiling.
+    assert_eq!(
+        cluster.satisfaction().satisfied.as_mbps(),
+        100.0 + 3.0 * 5.0
+    );
+}
+
 /// Heterogeneous hardware: big and small servers shuffle correctly — the
 /// admission and acceptance checks use each server's own capacity.
 #[test]

@@ -11,7 +11,7 @@
 //!   and an oversubscription ratio (the paper's testbed uses 8:1);
 //! - [`ProximityLevel`] / [`Topology::proximity`] — the physical distance
 //!   metric Pastry's neighbor set and the placement algorithm rely on;
-//! - [`TopologyLatency`] — a [`LatencyModel`] where cross-rack hops cost
+//! - [`TopologyLatency`] — a `vbundle_sim::LatencyModel` where cross-rack hops cost
 //!   more than intra-rack hops;
 //! - [`TrafficMatrix`] / [`BisectionReport`] — accounting of how much
 //!   inter-VM traffic crosses rack and pod boundaries, the headline metric

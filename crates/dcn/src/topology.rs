@@ -95,7 +95,7 @@ impl Topology {
     }
 
     /// A `k`-ary fat-tree (Al-Fares et al., the topology the paper's
-    /// related work [11][18] targets): `k` pods, each with `k/2` edge
+    /// related work \[11\]\[18\] targets): `k` pods, each with `k/2` edge
     /// switches (racks) of `k/2` servers — `k³/4` servers total.
     ///
     /// # Panics

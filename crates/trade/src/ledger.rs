@@ -1,0 +1,468 @@
+//! The customer-scoped bundle ledger: purchased capacity, per-VM
+//! entitlement rows, and time-bounded leases between sibling VMs.
+//!
+//! This is the *pure* model — no actors, no messages. The distributed
+//! runtime keeps one [`crate::TradeBook`] half per server and relies on
+//! the chaos invariant to certify that the halves reassemble into a
+//! ledger that satisfies [`BundleLedger::check_conservation`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use vbundle_sim::SimTime;
+
+use crate::ids::{CustomerId, VmId};
+use crate::resources::{ResourceKind, ResourceSpec, ResourceVector};
+
+/// Identifies a lease cluster-wide. The distributed matcher mints ids as
+/// `(lender server index << 32) | local counter`, so ids are unique
+/// without coordination; the pure ledger only requires uniqueness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LeaseId(pub u64);
+
+impl fmt::Display for LeaseId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lease{:#x}", self.0)
+    }
+}
+
+/// A time-bounded transfer of entitlement between two VMs of the same
+/// customer: `lender` gives up `amount` (subtracted from both its
+/// reservation and its limit) and `borrower` gains the same amount, until
+/// `expires`. A lease is *live* while `expires > now`; at the boundary it
+/// has already reverted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lease {
+    /// Unique id, also used as the Courier retry key in the runtime.
+    pub id: LeaseId,
+    /// The customer whose bundle both parties draw from.
+    pub customer: CustomerId,
+    /// VM giving up entitlement.
+    pub lender: VmId,
+    /// VM receiving entitlement.
+    pub borrower: VmId,
+    /// The transferred quantity, per dimension.
+    pub amount: ResourceVector,
+    /// Exclusive end of validity: live while `expires > now`.
+    pub expires: SimTime,
+}
+
+/// Why a ledger mutation was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LedgerError {
+    /// The referenced VM has no entitlement row.
+    UnknownVm,
+    /// Granting this entitlement would exceed the purchased bundle.
+    OverCommitted,
+    /// A lease with this id already exists.
+    DuplicateLease,
+    /// The referenced lease does not exist.
+    UnknownLease,
+    /// Lender and borrower are the same VM.
+    SelfLease,
+    /// The amount is non-finite, negative, or exceeds what the lender can
+    /// spare from its live reservation.
+    BadAmount,
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LedgerError::UnknownVm => "unknown VM",
+            LedgerError::OverCommitted => "entitlement exceeds purchased bundle",
+            LedgerError::DuplicateLease => "duplicate lease id",
+            LedgerError::UnknownLease => "unknown lease id",
+            LedgerError::SelfLease => "lender and borrower are the same VM",
+            LedgerError::BadAmount => "bad lease amount",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Double-entry ledger for one customer's purchased bundle.
+///
+/// Conservation invariant (the paper's provider-side obligation): per
+/// resource dimension,
+///
+/// ```text
+/// Σ live entitlement reservations + unleased slack == purchased bundle
+/// ```
+///
+/// Base entitlement rows consume slack when granted; leases move
+/// entitlement between rows and therefore never change the sum — the
+/// invariant reduces to "lease deltas cancel pairwise", which
+/// [`check_conservation`](Self::check_conservation) verifies numerically
+/// along with per-row non-negativity and spec validity.
+#[derive(Debug, Clone)]
+pub struct BundleLedger {
+    customer: CustomerId,
+    purchased: ResourceVector,
+    base: BTreeMap<VmId, ResourceSpec>,
+    leases: BTreeMap<LeaseId, Lease>,
+}
+
+impl BundleLedger {
+    /// A ledger for `customer` who purchased `bundle`.
+    pub fn new(customer: CustomerId, bundle: ResourceVector) -> Self {
+        BundleLedger {
+            customer,
+            purchased: bundle,
+            base: BTreeMap::new(),
+            leases: BTreeMap::new(),
+        }
+    }
+
+    /// The customer this ledger belongs to.
+    pub fn customer(&self) -> CustomerId {
+        self.customer
+    }
+
+    /// The purchased bundle.
+    pub fn purchased(&self) -> ResourceVector {
+        self.purchased
+    }
+
+    /// Buys additional capacity into the bundle.
+    pub fn purchase(&mut self, extra: ResourceVector) {
+        self.purchased += extra;
+    }
+
+    /// Unallocated headroom: purchased minus the sum of base entitlement
+    /// reservations. Leases do not affect slack — they only move
+    /// entitlement between rows.
+    pub fn slack(&self) -> ResourceVector {
+        let granted: ResourceVector = self.base.values().map(|s| s.reservation).sum();
+        self.purchased.saturating_sub(&granted)
+    }
+
+    /// Grants a base entitlement row to `vm`, consuming slack. Replaces
+    /// an existing row for the same VM (its old reservation is returned
+    /// to slack first).
+    pub fn grant(&mut self, vm: VmId, spec: ResourceSpec) -> Result<(), LedgerError> {
+        let prior = self.base.remove(&vm);
+        if spec.reservation.fits_within(&self.slack()) {
+            self.base.insert(vm, spec);
+            Ok(())
+        } else {
+            if let Some(p) = prior {
+                self.base.insert(vm, p);
+            }
+            Err(LedgerError::OverCommitted)
+        }
+    }
+
+    /// Removes `vm`'s entitlement row, reverting any leases it is party
+    /// to. Returns the ids of the reverted leases.
+    pub fn revoke(&mut self, vm: VmId) -> Vec<LeaseId> {
+        let reverted: Vec<LeaseId> = self
+            .leases
+            .values()
+            .filter(|l| l.lender == vm || l.borrower == vm)
+            .map(|l| l.id)
+            .collect();
+        for id in &reverted {
+            self.leases.remove(id);
+        }
+        self.base.remove(&vm);
+        reverted
+    }
+
+    /// What `vm` may still lend at `now`: its *base* reservation minus its
+    /// live out-leases. Borrowed entitlement is deliberately not lendable —
+    /// if a VM could sublet inflow, releasing the upstream lease first
+    /// would drive the middle row negative and the zero-clamp would mint
+    /// phantom credit, breaking conservation.
+    pub fn lendable(&self, vm: VmId, now: SimTime) -> ResourceVector {
+        let base = match self.base.get(&vm) {
+            Some(s) => s.reservation,
+            None => return ResourceVector::ZERO,
+        };
+        let outflow: ResourceVector = self
+            .live_leases(now)
+            .filter(|l| l.lender == vm)
+            .map(|l| l.amount)
+            .sum();
+        base.saturating_sub(&outflow)
+    }
+
+    /// Opens a lease: `lender` transfers `amount` to `borrower` until
+    /// `expires`. The amount must fit within the lender's
+    /// [`lendable`](Self::lendable) capacity, so no sequence of releases
+    /// or expiries can ever drive a row negative.
+    pub fn lease(
+        &mut self,
+        id: LeaseId,
+        lender: VmId,
+        borrower: VmId,
+        amount: ResourceVector,
+        expires: SimTime,
+        now: SimTime,
+    ) -> Result<(), LedgerError> {
+        if lender == borrower {
+            return Err(LedgerError::SelfLease);
+        }
+        if !self.base.contains_key(&lender) || !self.base.contains_key(&borrower) {
+            return Err(LedgerError::UnknownVm);
+        }
+        if self.leases.contains_key(&id) {
+            return Err(LedgerError::DuplicateLease);
+        }
+        if !amount.is_sane() || !amount.fits_within(&self.lendable(lender, now)) {
+            return Err(LedgerError::BadAmount);
+        }
+        self.leases.insert(
+            id,
+            Lease {
+                id,
+                customer: self.customer,
+                lender,
+                borrower,
+                amount,
+                expires,
+            },
+        );
+        Ok(())
+    }
+
+    /// Closes a lease early (mutual release or lender crash), reverting
+    /// its transfer.
+    pub fn release(&mut self, id: LeaseId) -> Result<Lease, LedgerError> {
+        self.leases.remove(&id).ok_or(LedgerError::UnknownLease)
+    }
+
+    /// Drops every lease whose validity has ended (`expires <= now`) and
+    /// returns them.
+    pub fn expire(&mut self, now: SimTime) -> Vec<Lease> {
+        let dead: Vec<LeaseId> = self
+            .leases
+            .values()
+            .filter(|l| l.expires <= now)
+            .map(|l| l.id)
+            .collect();
+        dead.iter()
+            .filter_map(|id| self.leases.remove(id))
+            .collect()
+    }
+
+    /// Leases live at `now`, in id order.
+    pub fn live_leases(&self, now: SimTime) -> impl Iterator<Item = &Lease> {
+        self.leases.values().filter(move |l| l.expires > now)
+    }
+
+    /// The VM's effective contract at `now`: base spec shifted by the
+    /// net of its live leases. The same delta applies to reservation and
+    /// limit, so `limit >= reservation` is preserved.
+    pub fn live_spec(&self, vm: VmId, now: SimTime) -> ResourceSpec {
+        let base = match self.base.get(&vm) {
+            Some(s) => *s,
+            None => return ResourceSpec::fixed(ResourceVector::ZERO),
+        };
+        let mut inflow = ResourceVector::ZERO;
+        let mut outflow = ResourceVector::ZERO;
+        for l in self.live_leases(now) {
+            if l.borrower == vm {
+                inflow += l.amount;
+            } else if l.lender == vm {
+                outflow += l.amount;
+            }
+        }
+        ResourceSpec {
+            reservation: (base.reservation + inflow).saturating_sub(&outflow),
+            limit: (base.limit + inflow).saturating_sub(&outflow),
+        }
+    }
+
+    /// Verifies the conservation invariant at `now`. Returns one message
+    /// per violation; empty means the ledger is consistent.
+    pub fn check_conservation(&self, now: SimTime) -> Vec<String> {
+        const EPS: f64 = 1e-6;
+        let mut violations = Vec::new();
+        let slack = self.slack();
+        for kind in ResourceKind::ALL {
+            let live_sum: f64 = self
+                .base
+                .keys()
+                .map(|&vm| self.live_spec(vm, now).reservation.get(kind))
+                .sum();
+            let total = live_sum + slack.get(kind);
+            let bought = self.purchased.get(kind);
+            if total > bought + EPS {
+                violations.push(format!(
+                    "{}: {kind:?} live entitlements + slack = {total:.6} exceeds purchased {bought:.6}",
+                    self.customer
+                ));
+            }
+        }
+        for &vm in self.base.keys() {
+            let spec = self.live_spec(vm, now);
+            if !spec.reservation.is_sane() || !spec.limit.is_sane() {
+                violations.push(format!(
+                    "{}: {vm} live spec has insane dimensions",
+                    self.customer
+                ));
+            }
+            if !spec.reservation.fits_within(&spec.limit) {
+                violations.push(format!(
+                    "{}: {vm} live reservation exceeds live limit",
+                    self.customer
+                ));
+            }
+        }
+        for l in self.live_leases(now) {
+            if l.lender == l.borrower {
+                violations.push(format!("{}: {} is a self-lease", self.customer, l.id));
+            }
+            if !l.amount.is_sane() {
+                violations.push(format!("{}: {} has insane amount", self.customer, l.id));
+            }
+            if !self.base.contains_key(&l.lender) || !self.base.contains_key(&l.borrower) {
+                violations.push(format!(
+                    "{}: {} references a VM with no entitlement row",
+                    self.customer, l.id
+                ));
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbundle_dcn::Bandwidth;
+
+    fn bw(mbps: f64) -> ResourceVector {
+        ResourceVector::bandwidth_only(Bandwidth::from_mbps(mbps))
+    }
+
+    fn spec(res: f64, lim: f64) -> ResourceSpec {
+        ResourceSpec::bandwidth(Bandwidth::from_mbps(res), Bandwidth::from_mbps(lim))
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn ledger() -> BundleLedger {
+        let mut led = BundleLedger::new(CustomerId(0), bw(300.0));
+        led.grant(VmId(1), spec(100.0, 150.0)).unwrap();
+        led.grant(VmId(2), spec(100.0, 150.0)).unwrap();
+        led
+    }
+
+    #[test]
+    fn grant_consumes_slack_and_overcommit_is_rejected() {
+        let mut led = ledger();
+        assert_eq!(led.slack(), bw(100.0));
+        assert_eq!(
+            led.grant(VmId(3), spec(150.0, 150.0)),
+            Err(LedgerError::OverCommitted)
+        );
+        // The failed grant must not have eaten slack.
+        assert_eq!(led.slack(), bw(100.0));
+        led.grant(VmId(3), spec(100.0, 100.0)).unwrap();
+        assert_eq!(led.slack(), bw(0.0));
+        // Re-granting a VM returns its old reservation to slack first.
+        led.grant(VmId(3), spec(50.0, 80.0)).unwrap();
+        assert_eq!(led.slack(), bw(50.0));
+    }
+
+    #[test]
+    fn lease_shifts_both_sides_and_expires() {
+        let mut led = ledger();
+        led.lease(LeaseId(7), VmId(1), VmId(2), bw(40.0), t(100), t(0))
+            .unwrap();
+        let lender = led.live_spec(VmId(1), t(50));
+        let borrower = led.live_spec(VmId(2), t(50));
+        assert_eq!(lender.reservation, bw(60.0));
+        assert_eq!(lender.limit, bw(110.0));
+        assert_eq!(borrower.reservation, bw(140.0));
+        assert_eq!(borrower.limit, bw(190.0));
+        // Exclusive boundary: dead exactly at `expires`.
+        assert_eq!(led.live_spec(VmId(1), t(100)).reservation, bw(100.0));
+        let dead = led.expire(t(100));
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].id, LeaseId(7));
+        assert!(led.live_leases(t(100)).next().is_none());
+    }
+
+    #[test]
+    fn lease_validation() {
+        let mut led = ledger();
+        assert_eq!(
+            led.lease(LeaseId(1), VmId(1), VmId(1), bw(10.0), t(10), t(0)),
+            Err(LedgerError::SelfLease)
+        );
+        assert_eq!(
+            led.lease(LeaseId(1), VmId(1), VmId(9), bw(10.0), t(10), t(0)),
+            Err(LedgerError::UnknownVm)
+        );
+        assert_eq!(
+            led.lease(LeaseId(1), VmId(1), VmId(2), bw(150.0), t(10), t(0)),
+            Err(LedgerError::BadAmount)
+        );
+        led.lease(LeaseId(1), VmId(1), VmId(2), bw(80.0), t(10), t(0))
+            .unwrap();
+        assert_eq!(
+            led.lease(LeaseId(1), VmId(2), VmId(1), bw(5.0), t(10), t(0)),
+            Err(LedgerError::DuplicateLease)
+        );
+        // Lender has only 20 live Mbps left; a second 30 Mbps lease is
+        // refused, so rows can never go negative.
+        assert_eq!(
+            led.lease(LeaseId(2), VmId(1), VmId(2), bw(30.0), t(10), t(0)),
+            Err(LedgerError::BadAmount)
+        );
+        assert!(led.check_conservation(t(0)).is_empty());
+    }
+
+    #[test]
+    fn release_and_revoke_revert_transfers() {
+        let mut led = ledger();
+        led.lease(LeaseId(1), VmId(1), VmId(2), bw(40.0), t(100), t(0))
+            .unwrap();
+        led.release(LeaseId(1)).unwrap();
+        assert_eq!(led.live_spec(VmId(2), t(1)).reservation, bw(100.0));
+        assert_eq!(led.release(LeaseId(1)), Err(LedgerError::UnknownLease));
+
+        led.lease(LeaseId(2), VmId(1), VmId(2), bw(40.0), t(100), t(0))
+            .unwrap();
+        let reverted = led.revoke(VmId(1));
+        assert_eq!(reverted, vec![LeaseId(2)]);
+        assert_eq!(led.live_spec(VmId(2), t(1)).reservation, bw(100.0));
+        // Revoking frees the row's slack.
+        assert_eq!(led.slack(), bw(200.0));
+    }
+
+    #[test]
+    fn conservation_holds_through_lease_lifecycle() {
+        let mut led = ledger();
+        for now in [0u64, 10, 50, 99, 100, 101] {
+            assert!(led.check_conservation(t(now)).is_empty(), "at t={now}");
+        }
+        led.lease(LeaseId(1), VmId(1), VmId(2), bw(60.0), t(100), t(0))
+            .unwrap();
+        for now in [0u64, 99, 100, 200] {
+            assert!(led.check_conservation(t(now)).is_empty(), "at t={now}");
+        }
+    }
+
+    #[test]
+    fn conservation_catches_phantom_credit() {
+        let mut led = ledger();
+        // Bypass validation by purchasing less after granting — simulates
+        // a corrupted ledger where entitlements exceed the bundle.
+        led.purchased = bw(150.0);
+        let v = led.check_conservation(t(0));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("exceeds purchased"));
+    }
+
+    #[test]
+    fn purchase_grows_slack() {
+        let mut led = ledger();
+        led.purchase(bw(100.0));
+        assert_eq!(led.slack(), bw(200.0));
+        assert_eq!(led.purchased(), bw(400.0));
+    }
+}

@@ -32,7 +32,7 @@ impl ResourceKind {
 /// capacity.
 ///
 /// ```
-/// use vbundle_core::ResourceVector;
+/// use vbundle_trade::ResourceVector;
 /// use vbundle_dcn::Bandwidth;
 /// let small = ResourceVector::new(1.0, 1024.0, Bandwidth::from_mbps(100.0));
 /// let host = ResourceVector::new(4.0, 16384.0, Bandwidth::from_gbps(1.0));
@@ -119,6 +119,16 @@ impl ResourceVector {
             }
         }
         max
+    }
+
+    /// True when every dimension is finite and non-negative — the wire
+    /// screen applied before a quantity may enter a ledger. Anything else
+    /// (NaN from a corrupted message, a negative "amount") would silently
+    /// mint or destroy entitlement.
+    pub fn is_sane(&self) -> bool {
+        ResourceKind::ALL
+            .iter()
+            .all(|&k| self.get(k).is_finite() && self.get(k) >= 0.0)
     }
 }
 
@@ -260,6 +270,22 @@ mod tests {
         let bw_only = ResourceVector::bandwidth_only(Bandwidth::from_mbps(80.0));
         let bw_cap = ResourceVector::bandwidth_only(Bandwidth::from_mbps(100.0));
         assert!((bw_only.max_utilization(&bw_cap) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sanity_screen() {
+        assert!(v(1.0, 2.0, 3.0).is_sane());
+        assert!(ResourceVector::ZERO.is_sane());
+        let nan = ResourceVector {
+            cpu: f64::NAN,
+            ..ResourceVector::ZERO
+        };
+        assert!(!nan.is_sane());
+        let neg = ResourceVector {
+            memory_mb: -1.0,
+            ..ResourceVector::ZERO
+        };
+        assert!(!neg.is_sane());
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Property tests for the bundle ledger: conservation survives arbitrary
+//! operation sequences, and the book halves mirror the pure model.
+
+use proptest::prelude::*;
+use vbundle_dcn::Bandwidth;
+use vbundle_sim::SimTime;
+use vbundle_trade::{
+    BundleLedger, CustomerId, LeaseId, ResourceKind, ResourceSpec, ResourceVector, VmId,
+};
+
+const EPS: f64 = 1e-6;
+
+/// One step of ledger traffic: which operation, which parties, how much,
+/// how long. Indices are mapped onto the ledger's VM population modulo
+/// its size, so every drawn op is applicable to some pair.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Lease {
+        lender: usize,
+        borrower: usize,
+        mbps: f64,
+        ttl: u64,
+    },
+    Release {
+        which: usize,
+    },
+    Advance {
+        secs: u64,
+    },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (
+        0u8..6,
+        0usize..8,
+        0usize..8,
+        0.0f64..120.0,
+        1u64..200,
+        0u64..50,
+    )
+        .prop_map(|(kind, a, b, mbps, ttl, secs)| match kind {
+            0..=2 => Op::Lease {
+                lender: a,
+                borrower: b,
+                mbps,
+                ttl,
+            },
+            3 => Op::Release { which: a },
+            _ => Op::Advance { secs },
+        })
+}
+
+fn seeded_ledger(n_vms: usize) -> BundleLedger {
+    let mut led = BundleLedger::new(
+        CustomerId(0),
+        ResourceVector::bandwidth_only(Bandwidth::from_mbps(150.0 * n_vms as f64)),
+    );
+    for i in 0..n_vms {
+        led.grant(
+            VmId(i as u64),
+            ResourceSpec::bandwidth(Bandwidth::from_mbps(100.0), Bandwidth::from_mbps(150.0)),
+        )
+        .expect("seed grants fit the bundle");
+    }
+    led
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever sequence of leases, releases and clock advances is applied
+    /// — including ops the ledger rejects — conservation holds at every
+    /// step, and the live sum of reservations never exceeds the purchase.
+    #[test]
+    fn conservation_survives_random_traffic(
+        n_vms in 2usize..6,
+        ops in proptest::collection::vec(arb_op(), 0..40),
+    ) {
+        let mut led = seeded_ledger(n_vms);
+        let purchased = led.purchased();
+        let mut now = 0u64;
+        let mut next_id = 0u64;
+        let mut open: Vec<LeaseId> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Lease { lender, borrower, mbps, ttl } => {
+                    let id = LeaseId(next_id);
+                    next_id += 1;
+                    let ok = led.lease(
+                        id,
+                        VmId((lender % n_vms) as u64),
+                        VmId((borrower % n_vms) as u64),
+                        ResourceVector::bandwidth_only(Bandwidth::from_mbps(mbps)),
+                        SimTime::from_secs(now + ttl),
+                        SimTime::from_secs(now),
+                    );
+                    if ok.is_ok() {
+                        open.push(id);
+                    }
+                }
+                Op::Release { which } => {
+                    if !open.is_empty() {
+                        let id = open.remove(which % open.len());
+                        // May already be gone via expire(); both fine.
+                        let _ = led.release(id);
+                    }
+                }
+                Op::Advance { secs } => {
+                    now += secs;
+                    let dead = led.expire(SimTime::from_secs(now));
+                    open.retain(|id| !dead.iter().any(|l| l.id == *id));
+                }
+            }
+            let t = SimTime::from_secs(now);
+            let violations = led.check_conservation(t);
+            prop_assert!(violations.is_empty(), "at t={now}: {violations:?}");
+            for kind in ResourceKind::ALL {
+                let live: f64 = (0..n_vms)
+                    .map(|i| led.live_spec(VmId(i as u64), t).reservation.get(kind))
+                    .sum();
+                prop_assert!(
+                    live <= purchased.get(kind) + EPS,
+                    "{kind:?}: live reservations {live} exceed purchase"
+                );
+            }
+        }
+    }
+
+    /// A lease moves exactly `amount` from lender to borrower and nothing
+    /// else: every other VM's live spec is untouched, and the pairwise sum
+    /// is preserved.
+    #[test]
+    fn lease_is_a_pure_transfer(
+        n_vms in 3usize..6,
+        lender in 0usize..6,
+        borrower in 0usize..6,
+        mbps in 0.0f64..100.0,
+    ) {
+        let mut led = seeded_ledger(n_vms);
+        let lender = VmId((lender % n_vms) as u64);
+        let borrower = VmId((borrower % n_vms) as u64);
+        prop_assume!(lender != borrower);
+        let t0 = SimTime::from_secs(0);
+        let before: Vec<ResourceSpec> =
+            (0..n_vms).map(|i| led.live_spec(VmId(i as u64), t0)).collect();
+        led.lease(
+            LeaseId(1),
+            lender,
+            borrower,
+            ResourceVector::bandwidth_only(Bandwidth::from_mbps(mbps)),
+            SimTime::from_secs(100),
+            t0,
+        )
+        .expect("amount fits the lender's reservation");
+        for (i, prior) in before.iter().enumerate() {
+            let vm = VmId(i as u64);
+            let after = led.live_spec(vm, t0);
+            let delta = after.reservation.bandwidth.as_mbps()
+                - prior.reservation.bandwidth.as_mbps();
+            let expected = if vm == lender {
+                -mbps
+            } else if vm == borrower {
+                mbps
+            } else {
+                0.0
+            };
+            prop_assert!((delta - expected).abs() < EPS, "{vm}: moved {delta}, expected {expected}");
+            prop_assert!(after.reservation.fits_within(&after.limit));
+        }
+    }
+}

@@ -9,6 +9,7 @@
 //! | [`pastry`] | `vbundle-pastry` | Pastry DHT overlay |
 //! | [`scribe`] | `vbundle-scribe` | Scribe multicast/anycast trees |
 //! | [`aggregation`] | `vbundle-aggregation` | cross-hypervisor aggregation |
+//! | [`trade`] | `vbundle-trade` | bundle ledger, entitlement leases, trade books |
 //! | [`core`] | `vbundle-core` | placement, shaping, resource shuffling |
 //! | [`workloads`] | `vbundle-workloads` | traces, SIPp/Iperf models, CDFs |
 //! | [`chaos`] | `vbundle-chaos` | fault injection, invariants, recovery metrics |
@@ -26,10 +27,12 @@ pub use vbundle_dcn as dcn;
 pub use vbundle_pastry as pastry;
 pub use vbundle_scribe as scribe;
 pub use vbundle_sim as sim;
+pub use vbundle_trade as trade;
 pub use vbundle_workloads as workloads;
 
 pub mod harness {
-    //! Glue between [`workloads`] traces and a running [`core`] cluster:
+    //! Glue between [`crate::workloads`] traces and a running
+    //! [`crate::core`] cluster:
     //! drives time-varying per-VM demands through the simulation, the way
     //! the paper's experiments play out demand peaks and lulls.
 
