@@ -16,21 +16,23 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> cargo build --release"
 cargo build --workspace --release
 
+echo "==> cargo bench --no-run (Criterion benches must keep compiling)"
+cargo bench --workspace --no-run --quiet
+
 echo "==> cargo test"
 cargo test --workspace
 
-echo "==> chaos smoke (deterministic golden)"
-cargo run --release -q -p vbundle-bench --bin chaos_sweep -- --smoke
-
-echo "==> poison smoke (deterministic golden)"
-cargo run --release -q -p vbundle-bench --bin poison_sweep -- --smoke
-
-echo "==> bundle market smoke (deterministic golden)"
-cargo run --release -q -p vbundle-bench --bin bundle_market -- --smoke
+# Each sweep binary's --smoke mode replays a fixed seeded subset and
+# byte-compares its report against results/<name>_smoke.golden. Any
+# drift prints a unified diff of the blessed golden vs the fresh run.
+for sweep in chaos_sweep poison_sweep bundle_market scale_sweep; do
+    echo "==> ${sweep} smoke (deterministic golden)"
+    cargo run --release -q -p vbundle-bench --bin "${sweep}" -- --smoke
+done
 
 echo "==> golden files unchanged"
 if ! git diff --quiet -- results/*.golden; then
-    git --no-pager diff --stat -- results/*.golden
+    git --no-pager diff -- results/*.golden
     echo "golden drift: inspect the diff, then regen with" \
          "'cargo run --release -p vbundle-bench --bin <sweep> -- --smoke --bless'" >&2
     exit 1

@@ -20,7 +20,7 @@
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-use vbundle_bench::{golden_gate, write_csv, BenchArgs};
+use vbundle_bench::{golden_gate, write_csv, BenchArgs, CliSpec};
 use vbundle_core::{Cluster, CustomerId, ResourceSpec, ResourceVector, VBundleConfig, VmRecord};
 use vbundle_dcn::{Bandwidth, Topology};
 use vbundle_pastry::PastryConfig;
@@ -106,8 +106,15 @@ fn report(cell: &Cell, trading: bool) -> String {
     out
 }
 
+const CLI: CliSpec = CliSpec {
+    bin: "bundle_market",
+    about: "bundle-trading marketplace vs static caps under demand skew",
+    flags: &[],
+    options: &[],
+};
+
 fn main() {
-    let args = BenchArgs::parse();
+    let args = BenchArgs::parse_with(&CLI);
     if args.smoke() {
         // Fast deterministic gate: the most-skewed point, both modes, run
         // twice and byte-compared, then diffed against the golden.

@@ -19,10 +19,16 @@
 //! `--smoke` runs one scenario and diffs the report against the
 //! checked-in golden at `results/chaos_smoke.golden` (CI's fast
 //! determinism gate); `--smoke --bless` rewrites the golden.
+//!
+//! `--obs` runs the same sweep with every observability plane enabled
+//! (flight recorder, hot-path profiler). Reports must not change —
+//! `--smoke --obs` passes the same golden gate — which makes wall-clock
+//! deltas between the two modes the obs overhead measurement.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use vbundle_bench::{golden_gate, write_csv, BenchArgs};
+use vbundle_bench::{golden_gate, write_csv, BenchArgs, CliSpec};
 use vbundle_chaos::{
     check_aggregation, check_capacity, check_entitlement_conservation, check_leaf_sets,
     check_scribe_trees, check_vm_conservation, run_scenario, FaultPlan, LinkFault, RecoveryReport,
@@ -38,6 +44,17 @@ use vbundle_scribe::ScribeConfig;
 use vbundle_sim::{ActorId, SimDuration, SimTime};
 
 const SEED: u64 = 20120618; // ICDCS'12
+
+/// Set by `--obs`: build every cluster with the flight recorder and
+/// profiler on. The goldens must still pass — obs observes, never steers.
+static OBS: AtomicBool = AtomicBool::new(false);
+
+/// Applies the `--obs` planes to a freshly built cluster.
+fn apply_obs(cluster: &mut Cluster) {
+    if OBS.load(Ordering::Relaxed) {
+        cluster.engine.enable_profiling();
+    }
+}
 
 fn topology() -> Arc<Topology> {
     Arc::new(
@@ -61,7 +78,7 @@ fn build_cluster_with(detection: FailureDetection) -> (Cluster, Vec<VmId>) {
     };
     let mut scribe = ScribeConfig::default().with_probe_interval(SimDuration::from_secs(5));
     scribe.child_detection = detection;
-    let mut cluster = Cluster::builder(topology())
+    let mut builder = Cluster::builder(topology())
         .pastry(pastry)
         .scribe(scribe)
         .vbundle(
@@ -69,8 +86,12 @@ fn build_cluster_with(detection: FailureDetection) -> (Cluster, Vec<VmId>) {
                 .with_update_interval(SimDuration::from_secs(10))
                 .with_rebalance_interval(SimDuration::from_secs(20)),
         )
-        .seed(SEED)
-        .build();
+        .seed(SEED);
+    if OBS.load(Ordering::Relaxed) {
+        builder = builder.flight_recorder(8192);
+    }
+    let mut cluster = builder.build();
+    apply_obs(&mut cluster);
     let mut vms = Vec::new();
     let demand = Bandwidth::from_mbps(100.0);
     for server in 0..cluster.num_servers() {
@@ -162,7 +183,7 @@ fn build_trading_cluster() -> (Cluster, Vec<VmId>) {
         maintenance: Some(SimDuration::from_secs(10)),
         ..PastryConfig::default()
     };
-    let mut cluster = Cluster::builder(topology())
+    let mut builder = Cluster::builder(topology())
         .pastry(pastry)
         .scribe(ScribeConfig::default().with_probe_interval(SimDuration::from_secs(5)))
         .vbundle(
@@ -171,8 +192,12 @@ fn build_trading_cluster() -> (Cluster, Vec<VmId>) {
                 .with_rebalance_interval(SimDuration::from_secs(1000))
                 .with_bundle_trading(true),
         )
-        .seed(SEED)
-        .build();
+        .seed(SEED);
+    if OBS.load(Ordering::Relaxed) {
+        builder = builder.flight_recorder(8192);
+    }
+    let mut cluster = builder.build();
+    apply_obs(&mut cluster);
     let mut vms = Vec::new();
     let hot = cluster.alloc_vm_id();
     let mut vm = VmRecord::new(
@@ -365,8 +390,19 @@ fn detector_comparison() -> Vec<String> {
     rows
 }
 
+const CLI: CliSpec = CliSpec {
+    bin: "chaos_sweep",
+    about: "recovery metrics for the full stack under deterministic fault scenarios",
+    flags: &[(
+        "obs",
+        "enable flight recorder + profiler (reports must not change)",
+    )],
+    options: &[],
+};
+
 fn main() {
-    let args = BenchArgs::parse();
+    let args = BenchArgs::parse_with(&CLI);
+    OBS.store(args.flag("obs"), Ordering::Relaxed);
     if args.smoke() {
         // Fast deterministic gate for CI: one scenario, byte-compared
         // against the checked-in golden report.

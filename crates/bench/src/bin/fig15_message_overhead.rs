@@ -106,8 +106,18 @@ fn print_overhead(o: &Overhead) {
     );
 }
 
+const CLI: vbundle_bench::CliSpec = vbundle_bench::CliSpec {
+    bin: "fig15_message_overhead",
+    about: "per-host message overhead per round (Figure 15)",
+    flags: &[],
+    options: &[(
+        "fault-rate",
+        "fraction of sends hit by injected faults, in [0, 1)",
+    )],
+};
+
 fn main() {
-    let fault_rate: f64 = vbundle_bench::BenchArgs::parse().value_or("fault-rate", 0.0);
+    let fault_rate: f64 = vbundle_bench::BenchArgs::parse_with(&CLI).value_or("fault-rate", 0.0);
     assert!(
         (0.0..1.0).contains(&fault_rate),
         "--fault-rate must be in [0, 1)"

@@ -33,7 +33,7 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use vbundle_aggregation::{AggregationConfig, Robustness};
-use vbundle_bench::{golden_gate, write_csv, BenchArgs};
+use vbundle_bench::{golden_gate, write_csv, BenchArgs, CliSpec};
 use vbundle_chaos::{check_global_mean, ChaosDriver, FaultPlan};
 use vbundle_core::{
     Cluster, CustomerId, ResourceKind, ResourceSpec, ResourceVector, VBundleConfig, VmRecord,
@@ -297,7 +297,7 @@ fn run_cell(policy: Policy, mode_name: &'static str, mode: CorruptionMode, f: us
         let ctrl = cluster.controller(i);
         rejected_reports += ctrl.aggregator().rejected_contributions();
         screened_payloads += ctrl.stats.invalid_payloads;
-        gate_rejections += ctrl.stats.rejected_aggregates;
+        gate_rejections += ctrl.stats.rejected_aggregates.get();
         conservative += ctrl.stats.conservative_intervals;
     }
 
@@ -377,8 +377,15 @@ fn smoke(bless: bool) {
     golden_gate("poison", "poison_smoke.golden", &first, bless);
 }
 
+const CLI: CliSpec = CliSpec {
+    bin: "poison_sweep",
+    about: "TrustAll vs Defensive aggregation under corrupted reporters",
+    flags: &[],
+    options: &[],
+};
+
 fn main() {
-    let args = BenchArgs::parse();
+    let args = BenchArgs::parse_with(&CLI);
     if args.smoke() {
         smoke(args.bless());
         return;

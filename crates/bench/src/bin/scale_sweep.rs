@@ -1,0 +1,257 @@
+//! Scale sweep — the ROADMAP-mandated perf trajectory of the engine
+//! core: events/sec, wall-clock and peak event-queue depth at 1k and 10k
+//! servers (100k behind `--full`), written to `BENCH_scale.json` and
+//! `results/scale_sweep.csv` so every later engine PR has numbers to
+//! defend.
+//!
+//! The workload is engine-core synthetic — a gossip tick on every actor
+//! fanning messages to pseudo-random peers — because the full v-Bundle
+//! stack bootstraps its overlay in O(n²) (`overlay::build_states`) and
+//! would measure setup, not the event loop. The sweep exercises all
+//! three obs planes: the registry (engine tallies + a queue-depth
+//! histogram sampled during the run), the profiler (hot-path report per
+//! size) and the determinism contract (the `--smoke` golden contains
+//! only sim-deterministic fields — events, deliveries, queue peak,
+//! histogram cells — never wall-clock).
+//!
+//! Run: `cargo run --release -p vbundle-bench --bin scale_sweep`
+//!
+//! `--smoke` runs a small fixed size twice, asserts byte-identical
+//! reports and diffs against `results/scale_smoke.golden`;
+//! `--smoke --bless` rewrites the golden. `--full` adds the 100k-server
+//! point (minutes, not seconds).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rand::Rng;
+use vbundle_bench::{golden_gate, write_csv, BenchArgs, CliSpec};
+use vbundle_obs::Histogram;
+use vbundle_sim::{Actor, ActorId, Context, Engine, Message, SimDuration, SimTime};
+
+/// One seed for the whole sweep: the paper's publication date.
+const SEED: u64 = 20120618;
+/// Messages each actor fans out per gossip tick.
+const FANOUT: usize = 4;
+/// Gossip tick interval.
+const TICK_MS: u64 = 100;
+/// Simulated span per size point.
+const RUN_SECS: u64 = 10;
+/// Gossip timer tag.
+const TICK_TAG: u64 = 1;
+/// Queue depth is sampled into the histogram every this many events.
+const SAMPLE_EVERY: u64 = 1024;
+/// Queue-depth histogram bucket upper bounds.
+const DEPTH_BOUNDS: [f64; 6] = [
+    100.0,
+    1_000.0,
+    10_000.0,
+    100_000.0,
+    1_000_000.0,
+    10_000_000.0,
+];
+
+const CLI: CliSpec = CliSpec {
+    bin: "scale_sweep",
+    about: "engine-core perf trajectory: events/sec, wall-clock, peak queue depth",
+    flags: &[("full", "also run the 100k-server point (minutes)")],
+    options: &[],
+};
+
+#[derive(Debug, Clone)]
+struct Gossip(u64);
+impl Message for Gossip {}
+
+/// A synthetic server: every tick, fan `FANOUT` messages to
+/// pseudo-random peers (drawn from the engine's seeded RNG, so the run
+/// replays byte-identically) and re-arm the tick.
+struct Worker {
+    cluster: u32,
+    received: u64,
+}
+
+impl Actor<Gossip> for Worker {
+    fn on_start(&mut self, ctx: &mut Context<'_, Gossip>) {
+        // Stagger first ticks across one interval so 100k timers do not
+        // land on a single instant.
+        let jitter = ctx.rng().gen_range(0..TICK_MS * 1_000);
+        ctx.schedule(SimDuration::from_micros(jitter), TICK_TAG);
+    }
+
+    fn on_message(&mut self, _ctx: &mut Context<'_, Gossip>, _from: ActorId, msg: Gossip) {
+        self.received = self.received.wrapping_add(1 + msg.0 % 7);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Gossip>, _tag: u64) {
+        for round in 0..FANOUT {
+            let peer = ctx.rng().gen_range(0..self.cluster);
+            ctx.send(ActorId::new(peer), Gossip(round as u64));
+        }
+        ctx.schedule(SimDuration::from_millis(TICK_MS), TICK_TAG);
+    }
+}
+
+/// One size point's measurements. Only `wall_ms` / `events_per_sec` are
+/// nondeterministic; everything else must replay byte-identically.
+struct Point {
+    servers: usize,
+    events: u64,
+    deliveries: u64,
+    queue_peak: usize,
+    sim_end: SimTime,
+    depth_hist: Histogram,
+    wall_ms: f64,
+    events_per_sec: f64,
+    profile: String,
+}
+
+fn run_point(servers: usize, sim_secs: u64) -> Point {
+    let mut engine: Engine<Gossip, Worker> = Engine::with_seed(SEED ^ servers as u64);
+    engine.enable_profiling();
+    let depth_hist = engine
+        .metrics()
+        .scope("scale")
+        .histogram("queue_depth", &DEPTH_BOUNDS);
+    for _ in 0..servers {
+        engine.add_actor(Worker {
+            cluster: servers as u32,
+            received: 0,
+        });
+    }
+    let deadline = SimTime::ZERO + SimDuration::from_secs(sim_secs);
+    let wall = Instant::now();
+    engine.start();
+    // Manual step loop instead of run_until: sample queue depth into the
+    // histogram on an event-count cadence (deterministic, unlike time).
+    loop {
+        match engine.queue_depth() {
+            0 => break,
+            _ => {
+                if engine.now() > deadline {
+                    break;
+                }
+            }
+        }
+        if !engine.step() {
+            break;
+        }
+        if engine.events_processed().is_multiple_of(SAMPLE_EVERY) {
+            depth_hist.record(engine.queue_depth() as f64);
+        }
+    }
+    let wall_ms = wall.elapsed().as_secs_f64() * 1_000.0;
+    let events = engine.events_processed();
+    Point {
+        servers,
+        events,
+        deliveries: engine
+            .metrics()
+            .counter_value("engine/deliveries")
+            .unwrap_or(0),
+        queue_peak: engine.queue_peak(),
+        sim_end: engine.now(),
+        depth_hist,
+        wall_ms,
+        events_per_sec: events as f64 / (wall_ms / 1_000.0).max(1e-9),
+        profile: engine.profile_report().expect("profiling enabled"),
+    }
+}
+
+/// The deterministic half of a point's report — everything the smoke
+/// golden is allowed to contain.
+fn deterministic_report(p: &Point) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## {} servers", p.servers);
+    let _ = writeln!(out, "  events: {}", p.events);
+    let _ = writeln!(out, "  deliveries: {}", p.deliveries);
+    let _ = writeln!(out, "  queue peak: {}", p.queue_peak);
+    let _ = writeln!(out, "  sim end: {}us", p.sim_end.as_micros());
+    let _ = writeln!(
+        out,
+        "  queue-depth samples: {} (sum {})",
+        p.depth_hist.count(),
+        p.depth_hist.sum()
+    );
+    let cells: Vec<String> = DEPTH_BOUNDS
+        .iter()
+        .zip(p.depth_hist.bucket_counts())
+        .map(|(le, n)| format!("le{le}:{n}"))
+        .collect();
+    let _ = writeln!(
+        out,
+        "  depth buckets: {} overflow:{}",
+        cells.join(" "),
+        p.depth_hist
+            .bucket_counts()
+            .last()
+            .copied()
+            .unwrap_or_default()
+    );
+    out
+}
+
+fn main() {
+    let args = BenchArgs::parse_with(&CLI);
+    if args.smoke() {
+        // Fast deterministic gate: one small size, run twice from
+        // scratch, byte-compared, then diffed against the golden. No
+        // wall-clock numbers anywhere near the report.
+        let render = || deterministic_report(&run_point(256, 2));
+        let first = render();
+        let second = render();
+        assert_eq!(first, second, "scale smoke is not deterministic");
+        golden_gate("scale", "scale_smoke.golden", &first, args.bless());
+        return;
+    }
+
+    println!("# Scale sweep: engine-core events/sec trajectory (seed {SEED})");
+    let mut sizes = vec![1_000usize, 10_000];
+    if args.flag("full") {
+        sizes.push(100_000);
+    } else {
+        println!("# (100k-server point skipped; pass --full to include it)");
+    }
+    let mut points = Vec::new();
+    for &servers in &sizes {
+        let p = run_point(servers, RUN_SECS);
+        print!("{}", deterministic_report(&p));
+        println!("  wall: {:.1} ms", p.wall_ms);
+        println!("  throughput: {:.0} events/sec", p.events_per_sec);
+        println!("{}", p.profile);
+        points.push(p);
+    }
+
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{},{},{},{:.1},{:.0}",
+                p.servers, p.events, p.queue_peak, p.wall_ms, p.events_per_sec
+            )
+        })
+        .collect();
+    write_csv(
+        "scale_sweep.csv",
+        "servers,events,queue_peak,wall_ms,events_per_sec",
+        &rows,
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"scale_sweep\",\n");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"sim_secs\": {RUN_SECS},");
+    let _ = writeln!(json, "  \"fanout\": {FANOUT},");
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"servers\": {}, \"events\": {}, \"queue_peak\": {}, \"wall_ms\": {:.1}, \"events_per_sec\": {:.0}}}",
+            p.servers, p.events, p.queue_peak, p.wall_ms, p.events_per_sec
+        );
+        json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_scale.json", &json) {
+        Ok(()) => eprintln!("[wrote BENCH_scale.json]"),
+        Err(e) => eprintln!("[could not write BENCH_scale.json: {e}]"),
+    }
+}

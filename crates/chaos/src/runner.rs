@@ -11,6 +11,10 @@ use crate::injector::{ChaosInjector, SharedNet};
 use crate::invariants::Violation;
 use crate::plan::{FaultKind, FaultPlan, Scope};
 
+/// How many flight-recorder events [`run_scenario`] dumps to stderr when
+/// invariants are still open at the deadline (and a recorder is enabled).
+const FLIGHT_DUMP_TAIL: usize = 64;
+
 /// Plays a [`FaultPlan`]'s events at their scheduled times while the
 /// engine runs.
 ///
@@ -230,6 +234,19 @@ pub fn run_scenario<W: Message, A: Actor<W>>(
         open = invariants(engine);
     }
 
+    if !open.is_empty() && engine.flight().is_enabled() {
+        // Invariants still open at the deadline: dump the tail of the
+        // flight recorder to stderr so the failure comes with the recent
+        // event history instead of just a violation list. Stderr only —
+        // the golden-gated report stays on stdout.
+        eprintln!(
+            "[{}] {} invariant(s) open at deadline; last {} recorded events:",
+            spec.name,
+            open.len(),
+            FLIGHT_DUMP_TAIL
+        );
+        eprint!("{}", engine.flight().dump_tail(FLIGHT_DUMP_TAIL));
+    }
     let failed = failed_migrations(engine);
     let faults = engine.fault_stats();
     engine.take_injector();

@@ -7,6 +7,7 @@ use std::sync::Arc;
 
 use vbundle_aggregation::{AggregationConfig, UpdateMode};
 use vbundle_dcn::{ServerId, Topology, TopologyLatency};
+use vbundle_obs::{Gauge, Registry};
 use vbundle_pastry::{
     overlay, IdAssignment, NodeHandle, NodeId, PastryConfig, PastryMsg, PastryNode,
 };
@@ -34,6 +35,7 @@ pub struct ClusterBuilder {
     latency: Option<Box<dyn LatencyModel>>,
     capacity_fn: Option<Box<dyn Fn(usize) -> ResourceVector>>,
     seed: u64,
+    flight_capacity: Option<usize>,
 }
 
 impl ClusterBuilder {
@@ -50,7 +52,15 @@ impl ClusterBuilder {
             latency: None,
             capacity_fn: None,
             seed: 42,
+            flight_capacity: None,
         }
+    }
+
+    /// Enables sim-time flight recording with a bounded ring of
+    /// `capacity` events, shared by the engine and every subsystem.
+    pub fn flight_recorder(mut self, capacity: usize) -> Self {
+        self.flight_capacity = Some(capacity);
+        self
     }
 
     /// Sets the node-id assignment policy (ablation: random vs topology).
@@ -131,17 +141,24 @@ impl ClusterBuilder {
         let handles = overlay::handles_for(&ids);
         let states = overlay::build_states(&self.topo, &handles, &self.pastry);
         let mut engine: VbEngine = Engine::new(latency, self.seed);
+        if let Some(capacity) = self.flight_capacity {
+            engine.enable_flight_recorder(capacity);
+        }
+        let registry = engine.metrics().clone();
+        let flight = engine.flight().clone();
+        let mirror = StatMirror::register(&registry);
         for (i, state) in states.into_iter().enumerate() {
             let capacity = match &self.capacity_fn {
                 Some(f) => f(i),
                 None => default_capacity,
             };
-            let controller = Controller::new(capacity, agg_config.clone(), vb.clone());
-            engine.add_actor(PastryNode::with_state(
-                state,
-                Scribe::with_config(controller, scribe_config.clone()),
-                self.pastry.clone(),
-            ));
+            let mut controller = Controller::new(capacity, agg_config.clone(), vb.clone());
+            controller.attach_obs(i as u32, &registry, &flight);
+            let mut scribe = Scribe::with_config(controller, scribe_config.clone());
+            scribe.attach_obs(&registry, &flight);
+            let mut node = PastryNode::with_state(state, scribe, self.pastry.clone());
+            node.attach_obs(&registry, &flight);
+            engine.add_actor(node);
         }
         engine.start();
         Cluster {
@@ -152,6 +169,61 @@ impl ClusterBuilder {
             vm_index: HashMap::new(),
             next_request: 0,
             next_vm: 0,
+            mirror,
+        }
+    }
+}
+
+/// Gauges mirroring the stack's remaining ad-hoc stat structs (trade
+/// ledger tallies, controller u64 counters, cluster-level totals) into
+/// the obs registry. Registered once at build time — gauges shard per
+/// registration, so re-registering on every export would double-count —
+/// and refreshed by [`Cluster::refresh_metrics`].
+struct StatMirror {
+    trade_requests_sent: Gauge,
+    trade_grants_sent: Gauge,
+    trade_leases_borrowed: Gauge,
+    trade_grants_rejected: Gauge,
+    trade_leases_expired: Gauge,
+    trade_leases_reverted: Gauge,
+    trade_lender_losses: Gauge,
+    ctrl_migrations_out: Gauge,
+    ctrl_migrations_in: Gauge,
+    ctrl_migrations_failed: Gauge,
+    ctrl_migrations_gated: Gauge,
+    ctrl_queries_sent: Gauge,
+    ctrl_accepts_sent: Gauge,
+    ctrl_anycast_failures: Gauge,
+    ctrl_conservative_intervals: Gauge,
+    ctrl_invalid_payloads: Gauge,
+    cluster_vms: Gauge,
+    cluster_active_leases: Gauge,
+}
+
+impl StatMirror {
+    fn register(registry: &Registry) -> Self {
+        let trade = registry.scope("trade");
+        let ctrl = registry.scope("controller");
+        let cluster = registry.scope("cluster");
+        StatMirror {
+            trade_requests_sent: trade.gauge("requests_sent"),
+            trade_grants_sent: trade.gauge("grants_sent"),
+            trade_leases_borrowed: trade.gauge("leases_borrowed"),
+            trade_grants_rejected: trade.gauge("grants_rejected"),
+            trade_leases_expired: trade.gauge("leases_expired"),
+            trade_leases_reverted: trade.gauge("leases_reverted"),
+            trade_lender_losses: trade.gauge("lender_losses"),
+            ctrl_migrations_out: ctrl.gauge("migrations_out"),
+            ctrl_migrations_in: ctrl.gauge("migrations_in"),
+            ctrl_migrations_failed: ctrl.gauge("migrations_failed"),
+            ctrl_migrations_gated: ctrl.gauge("migrations_gated"),
+            ctrl_queries_sent: ctrl.gauge("queries_sent"),
+            ctrl_accepts_sent: ctrl.gauge("accepts_sent"),
+            ctrl_anycast_failures: ctrl.gauge("anycast_failures"),
+            ctrl_conservative_intervals: ctrl.gauge("conservative_intervals"),
+            ctrl_invalid_payloads: ctrl.gauge("invalid_payloads"),
+            cluster_vms: cluster.gauge("vms"),
+            cluster_active_leases: cluster.gauge("active_leases"),
         }
     }
 }
@@ -169,6 +241,7 @@ pub struct Cluster {
     vm_index: HashMap<u64, usize>,
     next_request: u64,
     next_vm: u64,
+    mirror: StatMirror,
 }
 
 impl Cluster {
@@ -398,6 +471,71 @@ impl Cluster {
         (0..self.num_servers())
             .map(|i| self.controller(i).stats.migrations_in)
             .sum()
+    }
+
+    /// Refreshes the mirror gauges from the stack's stat structs so the
+    /// registry export reflects the cluster's current totals. Counters
+    /// migrated onto registry handles (engine events/faults, pastry
+    /// evictions, scribe expiries, controller gate/lease-block tallies)
+    /// need no mirroring; this covers the remaining ad-hoc structs.
+    pub fn refresh_metrics(&self) {
+        let mut trade = vbundle_trade::TradeStats::default();
+        let (mut out, mut inc, mut failed, mut gated) = (0u64, 0u64, 0u64, 0u64);
+        let (mut queries, mut accepts, mut anycast) = (0u64, 0u64, 0u64);
+        let (mut conservative, mut invalid) = (0u64, 0u64);
+        for i in 0..self.num_servers() {
+            let c = self.controller(i);
+            let t = c.trade_book().stats;
+            trade.requests_sent += t.requests_sent;
+            trade.grants_sent += t.grants_sent;
+            trade.leases_borrowed += t.leases_borrowed;
+            trade.grants_rejected += t.grants_rejected;
+            trade.leases_expired += t.leases_expired;
+            trade.leases_reverted += t.leases_reverted;
+            trade.lender_losses += t.lender_losses;
+            out += c.stats.migrations_out;
+            inc += c.stats.migrations_in;
+            failed += c.stats.migrations_failed;
+            gated += c.stats.migrations_gated;
+            queries += c.stats.queries_sent;
+            accepts += c.stats.accepts_sent;
+            anycast += c.stats.anycast_failures;
+            conservative += c.stats.conservative_intervals;
+            invalid += c.stats.invalid_payloads;
+        }
+        let m = &self.mirror;
+        m.trade_requests_sent.set(trade.requests_sent as f64);
+        m.trade_grants_sent.set(trade.grants_sent as f64);
+        m.trade_leases_borrowed.set(trade.leases_borrowed as f64);
+        m.trade_grants_rejected.set(trade.grants_rejected as f64);
+        m.trade_leases_expired.set(trade.leases_expired as f64);
+        m.trade_leases_reverted.set(trade.leases_reverted as f64);
+        m.trade_lender_losses.set(trade.lender_losses as f64);
+        m.ctrl_migrations_out.set(out as f64);
+        m.ctrl_migrations_in.set(inc as f64);
+        m.ctrl_migrations_failed.set(failed as f64);
+        m.ctrl_migrations_gated.set(gated as f64);
+        m.ctrl_queries_sent.set(queries as f64);
+        m.ctrl_accepts_sent.set(accepts as f64);
+        m.ctrl_anycast_failures.set(anycast as f64);
+        m.ctrl_conservative_intervals.set(conservative as f64);
+        m.ctrl_invalid_payloads.set(invalid as f64);
+        m.cluster_vms.set(self.num_vms() as f64);
+        m.cluster_active_leases.set(self.active_leases() as f64);
+    }
+
+    /// The full metrics export as deterministic JSON (after a
+    /// [`Cluster::refresh_metrics`]).
+    pub fn metrics_json(&self) -> String {
+        self.refresh_metrics();
+        self.engine.metrics().to_json()
+    }
+
+    /// The full metrics export as deterministic CSV (after a
+    /// [`Cluster::refresh_metrics`]).
+    pub fn metrics_csv(&self) -> String {
+        self.refresh_metrics();
+        self.engine.metrics().to_csv()
     }
 }
 

@@ -17,6 +17,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use vbundle_aggregation::{AggMsg, AggregationConfig, Aggregator, Robustness, AGG_TICK_TAG};
 use vbundle_dcn::Bandwidth;
 use vbundle_fdetect::{Courier, CourierConfig, RetryDecision};
+use vbundle_obs::{Counter, FlightRecorder, Registry, Subsystem};
 use vbundle_pastry::NodeHandle;
 use vbundle_scribe::{group_id, GroupId, ScribeClient, ScribeCtx};
 use vbundle_sim::{ActorId, SimDuration, SimTime};
@@ -151,7 +152,16 @@ pub struct ControllerStats {
     pub migrations_failed: u64,
     /// Cluster-mean readings rejected by the sanity gate (implausible
     /// range or jump); the controller kept steering on the last-good mean.
-    pub rejected_aggregates: u64,
+    /// An obs shard: detached by default, summed across controllers under
+    /// `controller/rejected_aggregates` once [`Controller::attach_obs`] is
+    /// called. Read this controller's own share with
+    /// [`Counter::get`].
+    pub rejected_aggregates: Counter,
+    /// Sheds skipped because the candidate VM was party to a live lease
+    /// (migrating a leased VM would strand the entitlement's other half).
+    /// An obs shard like `rejected_aggregates`, exported under
+    /// `controller/sheds_lease_blocked`.
+    pub sheds_lease_blocked: Counter,
     /// Update intervals this controller spent in conservative mode (mean
     /// gate suspicious: no new sheds, in-flight holds honored).
     pub conservative_intervals: u64,
@@ -224,6 +234,12 @@ pub struct Controller {
     /// Ledger queries from outside a Scribe upcall (harness metrics,
     /// admission checks) use it to time-filter live leases.
     clock: SimTime,
+    /// Flight-recorder handle for migration/lease/mean-gate events
+    /// (disabled by default; shared via [`Controller::attach_obs`]).
+    flight: FlightRecorder,
+    /// This server's actor index, for tagging flight events. Set by
+    /// [`Controller::attach_obs`]; purely observational.
+    obs_node: u32,
     /// Observable counters.
     pub stats: ControllerStats,
 }
@@ -278,8 +294,25 @@ impl Controller {
             trade_cooldown: BTreeMap::new(),
             next_lease: 0,
             clock: SimTime::ZERO,
+            flight: FlightRecorder::disabled(),
+            obs_node: 0,
             stats: ControllerStats::default(),
         }
+    }
+
+    /// Attaches this controller to the shared observability planes: the
+    /// mean-gate and lease-block tallies become shards of
+    /// `controller/rejected_aggregates` / `controller/sheds_lease_blocked`
+    /// in `registry` (summed across servers on export; per-server tests
+    /// still read their own shard) and migration/lease/mean-gate events
+    /// are recorded on `flight`, tagged with this server's actor index
+    /// `node`.
+    pub fn attach_obs(&mut self, node: u32, registry: &Registry, flight: &FlightRecorder) {
+        let scope = registry.scope("controller");
+        self.stats.rejected_aggregates = scope.counter("rejected_aggregates");
+        self.stats.sheds_lease_blocked = scope.counter("sheds_lease_blocked");
+        self.flight = flight.clone();
+        self.obs_node = node;
     }
 
     /// The server's physical capacity.
@@ -441,7 +474,14 @@ impl Controller {
                 gate.streak = 0;
                 continue;
             }
-            self.stats.rejected_aggregates += 1;
+            self.stats.rejected_aggregates.inc();
+            self.flight.event_with(
+                self.clock.as_micros(),
+                self.obs_node,
+                Subsystem::Controller,
+                "mean-gate-reject",
+                || format!("{kind:?} reading {reading}"),
+            );
             // Suspect. Readings agreeing with the current candidate level
             // extend the streak; a genuine load change repeats itself and
             // re-anchors after `mean_recovery_rounds`, while flapping
@@ -830,7 +870,17 @@ impl Controller {
         if self.config.bundle_trading {
             let before = candidates.len();
             candidates.retain(|vm| !self.trade.vm_involved(vm.id));
-            self.trade.stats.sheds_lease_blocked += (before - candidates.len()) as u64;
+            let blocked = (before - candidates.len()) as u64;
+            if blocked > 0 {
+                self.stats.sheds_lease_blocked.add(blocked);
+                self.flight.event_with(
+                    self.clock.as_micros(),
+                    self.obs_node,
+                    Subsystem::Controller,
+                    "shed-lease-blocked",
+                    || format!("{blocked} candidate VMs held by live leases"),
+                );
+            }
         }
         candidates.sort_by(|a, b| vm_demand(b).total_cmp(&vm_demand(a)));
         let stop_line = mean + self.config.threshold;
@@ -989,7 +1039,14 @@ impl Controller {
         // A lease may have been committed after this shed was planned;
         // re-check so the migration never strands a live half.
         if self.config.bundle_trading && self.trade.vm_involved(vm_id) {
-            self.trade.stats.sheds_lease_blocked += 1;
+            self.stats.sheds_lease_blocked.inc();
+            self.flight.event_with(
+                self.clock.as_micros(),
+                self.obs_node,
+                Subsystem::Controller,
+                "shed-lease-blocked",
+                || format!("vm {vm_id:?} re-leased while query was in flight"),
+            );
             return;
         }
         if self.config.cost_benefit && !self.migration_worthwhile(&self.vms[pos]) {
@@ -998,6 +1055,13 @@ impl Controller {
         }
         let vm = self.vms.remove(pos);
         self.stats.migrations_out += 1;
+        self.flight.event_with(
+            ctx.now().as_micros(),
+            self.obs_node,
+            Subsystem::Controller,
+            "migrate-out",
+            || format!("vm {:?} to node#{}", vm.id, receiver.actor.index()),
+        );
         self.stats.migration_times.push(ctx.now());
         self.in_flight.insert(query, InFlight { vm, receiver });
         let timeout = self.courier.register(query);
@@ -1151,6 +1215,18 @@ impl Controller {
         self.trade.record(lease, LeaseRole::Lender, q.origin.actor);
         self.lease_peers.insert(raw, q.origin);
         self.trade.stats.grants_sent += 1;
+        self.flight.event_with(
+            now.as_micros(),
+            self.obs_node,
+            Subsystem::Controller,
+            "lease-grant",
+            || {
+                format!(
+                    "lease {raw:#x}: {give} Mbps to node#{}",
+                    q.origin.actor.index()
+                )
+            },
+        );
         let timeout = self.trade_courier.register(raw);
         ctx.send_client(q.origin, CtrlMsg::BorrowGrant { lease });
         ctx.schedule(timeout, TRADE_RETRY_TAG_BASE | raw);
@@ -1184,6 +1260,13 @@ impl Controller {
             self.trade.record(lease, LeaseRole::Borrower, from.actor);
             self.lease_peers.insert(id.0, from);
             self.trade.stats.leases_borrowed += 1;
+            self.flight.event_with(
+                now.as_micros(),
+                self.obs_node,
+                Subsystem::Controller,
+                "lease-borrowed",
+                || format!("lease {:#x} from node#{}", id.0, from.actor.index()),
+            );
         }
         ctx.send_client(from, CtrlMsg::LeaseAck { id, accepted });
     }
@@ -1714,7 +1797,7 @@ mod tests {
         c.gate_means();
         assert_eq!(c.effective_mean_for(bw), Some(0.5));
         assert!(c.conservative_mode());
-        assert_eq!(c.stats.rejected_aggregates, 1);
+        assert_eq!(c.stats.rejected_aggregates.get(), 1);
 
         // The same level repeating looks like a genuine cluster-wide load
         // change: after `mean_recovery_rounds` consistent readings the gate
@@ -1722,7 +1805,7 @@ mod tests {
         c.gate_means();
         assert_eq!(c.effective_mean_for(bw), Some(5.0));
         assert!(!c.conservative_mode());
-        assert_eq!(c.stats.rejected_aggregates, 2);
+        assert_eq!(c.stats.rejected_aggregates.get(), 2);
     }
 
     #[test]
@@ -1745,7 +1828,7 @@ mod tests {
             assert_eq!(c.effective_mean_for(bw), Some(0.5));
             assert!(c.conservative_mode());
         }
-        assert_eq!(c.stats.rejected_aggregates, 5);
+        assert_eq!(c.stats.rejected_aggregates.get(), 5);
     }
 
     #[test]
@@ -1761,7 +1844,7 @@ mod tests {
         // No gate: the implausible reading steers classification directly.
         assert_eq!(c.effective_mean_for(bw), Some(7.5));
         assert!(!c.conservative_mode());
-        assert_eq!(c.stats.rejected_aggregates, 0);
+        assert_eq!(c.stats.rejected_aggregates.get(), 0);
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! The sim-time tracing plane: a bounded ring of structured events keyed
+//! by `(tick, node, subsystem)` — the flight recorder that turns "a chaos
+//! invariant failed at minute 60" into a readable last-N-events story.
+//!
+//! The recorder is a shared handle (`Clone` shares the ring), so the
+//! engine and every subsystem can append to one ring without plumbing
+//! mutable references through the actor stack. Disabled recorders
+//! ([`FlightRecorder::disabled`], also the `Default`) ignore appends for
+//! nearly zero cost; the closure-taking [`FlightRecorder::event_with`]
+//! keeps even the detail-string formatting off the disabled path.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+/// Which layer of the stack recorded an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Subsystem {
+    /// The discrete-event engine itself (deliveries, faults, bounces).
+    Engine,
+    /// The Pastry overlay (routing repair, evictions).
+    Pastry,
+    /// The Scribe trees (membership, child expiry).
+    Scribe,
+    /// The aggregation service.
+    Aggregation,
+    /// The v-Bundle controller (placement, shuffling, mean gate).
+    Controller,
+    /// The bundle-trading marketplace.
+    Trade,
+    /// The chaos driver (fault plan events).
+    Chaos,
+}
+
+impl fmt::Display for Subsystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Subsystem::Engine => "engine",
+            Subsystem::Pastry => "pastry",
+            Subsystem::Scribe => "scribe",
+            Subsystem::Aggregation => "aggregation",
+            Subsystem::Controller => "controller",
+            Subsystem::Trade => "trade",
+            Subsystem::Chaos => "chaos",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded event (or span, when `span_us > 0`).
+#[derive(Debug, Clone)]
+pub struct ObsEvent {
+    /// Simulated time of the event in microseconds (a span's *end*).
+    pub at_us: u64,
+    /// The node (actor index) the event happened on.
+    pub node: u32,
+    /// The recording subsystem.
+    pub subsystem: Subsystem,
+    /// A static label naming the event kind (`"deliver"`, `"evict"`, …).
+    pub label: &'static str,
+    /// Free-form detail, already rendered.
+    pub detail: String,
+    /// Span length in simulated microseconds; `0` marks an instant event.
+    pub span_us: u64,
+}
+
+impl fmt::Display for ObsEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}us] node#{} {}/{}",
+            self.at_us, self.node, self.subsystem, self.label
+        )?;
+        if self.span_us > 0 {
+            write!(f, " (span {}us)", self.span_us)?;
+        }
+        if !self.detail.is_empty() {
+            write!(f, ": {}", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+struct Ring {
+    events: VecDeque<ObsEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// The bounded event ring. `Clone` shares the underlying ring; `Default`
+/// is a disabled recorder.
+#[derive(Debug, Clone, Default)]
+pub struct FlightRecorder {
+    inner: Option<Rc<RefCell<Ring>>>,
+}
+
+impl FlightRecorder {
+    /// A live recorder retaining the most recent `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder capacity must be positive");
+        FlightRecorder {
+            inner: Some(Rc::new(RefCell::new(Ring {
+                events: VecDeque::with_capacity(capacity),
+                capacity,
+                dropped: 0,
+            }))),
+        }
+    }
+
+    /// A recorder that ignores every append.
+    pub fn disabled() -> Self {
+        FlightRecorder::default()
+    }
+
+    /// Whether appends are retained.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records an instant event.
+    pub fn event(
+        &self,
+        at_us: u64,
+        node: u32,
+        subsystem: Subsystem,
+        label: &'static str,
+        detail: String,
+    ) {
+        self.push(ObsEvent {
+            at_us,
+            node,
+            subsystem,
+            label,
+            detail,
+            span_us: 0,
+        });
+    }
+
+    /// Records an instant event, rendering the detail only when the
+    /// recorder is enabled — use this on hot paths.
+    #[inline]
+    pub fn event_with(
+        &self,
+        at_us: u64,
+        node: u32,
+        subsystem: Subsystem,
+        label: &'static str,
+        detail: impl FnOnce() -> String,
+    ) {
+        if self.is_enabled() {
+            self.event(at_us, node, subsystem, label, detail());
+        }
+    }
+
+    /// Records a span `[start_us, end_us]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end_us < start_us`.
+    pub fn span(
+        &self,
+        start_us: u64,
+        end_us: u64,
+        node: u32,
+        subsystem: Subsystem,
+        label: &'static str,
+        detail: String,
+    ) {
+        assert!(end_us >= start_us, "span must not end before it starts");
+        self.push(ObsEvent {
+            at_us: end_us,
+            node,
+            subsystem,
+            label,
+            detail,
+            span_us: end_us - start_us,
+        });
+    }
+
+    fn push(&self, ev: ObsEvent) {
+        if let Some(inner) = &self.inner {
+            let mut ring = inner.borrow_mut();
+            if ring.events.len() == ring.capacity {
+                ring.events.pop_front();
+                ring.dropped += 1;
+            }
+            ring.events.push_back(ev);
+        }
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            Some(inner) => inner.borrow().events.len(),
+            None => 0,
+        }
+    }
+
+    /// True when nothing is retained (always true when disabled).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted by the ring so far.
+    pub fn dropped(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.borrow().dropped,
+            None => 0,
+        }
+    }
+
+    /// All retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<ObsEvent> {
+        match &self.inner {
+            Some(inner) => inner.borrow().events.iter().cloned().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Retained events matching `keep`, oldest first.
+    pub fn filtered(&self, keep: impl Fn(&ObsEvent) -> bool) -> Vec<ObsEvent> {
+        match &self.inner {
+            Some(inner) => inner
+                .borrow()
+                .events
+                .iter()
+                .filter(|e| keep(e))
+                .cloned()
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Retained events for one node, oldest first.
+    pub fn for_node(&self, node: u32) -> Vec<ObsEvent> {
+        self.filtered(|e| e.node == node)
+    }
+
+    /// Retained events for one subsystem, oldest first.
+    pub fn for_subsystem(&self, subsystem: Subsystem) -> Vec<ObsEvent> {
+        self.filtered(|e| e.subsystem == subsystem)
+    }
+
+    /// Renders the most recent `n` events as lines, oldest first —
+    /// the post-mortem dump printed when an invariant fails.
+    pub fn dump_tail(&self, n: usize) -> String {
+        let events = self.snapshot();
+        let skip = events.len().saturating_sub(n);
+        events
+            .iter()
+            .skip(skip)
+            .map(ObsEvent::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(rec: &FlightRecorder, at: u64, node: u32, label: &'static str) {
+        rec.event(at, node, Subsystem::Engine, label, format!("d{at}"));
+    }
+
+    #[test]
+    fn ring_bounds_and_drop_count() {
+        let rec = FlightRecorder::new(2);
+        ev(&rec, 1, 0, "a");
+        ev(&rec, 2, 0, "b");
+        ev(&rec, 3, 0, "c");
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.dropped(), 1);
+        let labels: Vec<_> = rec.snapshot().iter().map(|e| e.label).collect();
+        assert_eq!(labels, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn clone_shares_the_ring() {
+        let rec = FlightRecorder::new(8);
+        let other = rec.clone();
+        ev(&other, 5, 1, "shared");
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec.snapshot()[0].label, "shared");
+    }
+
+    #[test]
+    fn disabled_recorder_ignores_everything() {
+        let rec = FlightRecorder::disabled();
+        ev(&rec, 1, 0, "a");
+        let mut rendered = false;
+        rec.event_with(2, 0, Subsystem::Chaos, "b", || {
+            rendered = true;
+            String::new()
+        });
+        assert!(!rendered, "detail must not render when disabled");
+        assert!(rec.is_empty());
+        assert!(!rec.is_enabled());
+        assert_eq!(rec.dump_tail(10), "");
+    }
+
+    #[test]
+    fn filters_by_node_and_subsystem() {
+        let rec = FlightRecorder::new(16);
+        ev(&rec, 1, 0, "a");
+        ev(&rec, 2, 1, "b");
+        rec.event(3, 1, Subsystem::Controller, "c", String::new());
+        assert_eq!(rec.for_node(1).len(), 2);
+        assert_eq!(rec.for_subsystem(Subsystem::Controller).len(), 1);
+        assert_eq!(rec.filtered(|e| e.at_us >= 2).len(), 2);
+    }
+
+    #[test]
+    fn spans_render_their_length() {
+        let rec = FlightRecorder::new(4);
+        rec.span(10, 35, 2, Subsystem::Trade, "lease", "id=7".into());
+        let dump = rec.dump_tail(1);
+        assert!(
+            dump.contains("[35us] node#2 trade/lease (span 25us): id=7"),
+            "{dump}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = FlightRecorder::new(0);
+    }
+}

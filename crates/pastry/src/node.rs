@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use vbundle_fdetect::{backoff_rounds, FailureDetection, FailureDetector, Verdict};
+use vbundle_obs::{Counter, FlightRecorder, Registry, Subsystem};
 use vbundle_sim::{Actor, ActorId, Context as SimContext, Message, SimDuration, SimTime};
 
 use crate::message::{PastryMsg, RouteEnvelope};
@@ -205,8 +206,12 @@ pub struct PastryNode<A: PastryApp> {
     /// Peers evicted by this node's own failure detector (either mode).
     /// Bounced-send evictions are not counted: under a lossy or partitioned
     /// network every detector eviction is a false positive, which is what
-    /// the chaos harness measures.
-    evictions: u64,
+    /// the chaos harness measures. An obs shard: detached by default,
+    /// summed across nodes under `pastry/evictions` once
+    /// [`PastryNode::attach_obs`] is called.
+    evictions: Counter,
+    /// Flight-recorder handle for eviction events (disabled by default).
+    flight: FlightRecorder,
     /// Recently-forgotten nodes as `(handle, probes_sent, rounds_to_next)`.
     /// A node declared dead because a partition swallowed its traffic is
     /// still running; maintenance rounds keep sending it leaf-set requests
@@ -229,7 +234,8 @@ impl<A: PastryApp> PastryNode<A> {
             bootstrap: None,
             last_ack: HashMap::new(),
             detector,
-            evictions: 0,
+            evictions: Counter::default(),
+            flight: FlightRecorder::disabled(),
             departed: Vec::new(),
         }
     }
@@ -246,9 +252,20 @@ impl<A: PastryApp> PastryNode<A> {
             bootstrap: Some(bootstrap),
             last_ack: HashMap::new(),
             detector,
-            evictions: 0,
+            evictions: Counter::default(),
+            flight: FlightRecorder::disabled(),
             departed: Vec::new(),
         }
+    }
+
+    /// Attaches this node to the shared observability planes: the eviction
+    /// tally becomes a shard of `pastry/evictions` in `registry` (summed
+    /// across nodes on export; [`PastryNode::detector_evictions`] still
+    /// reads this node's own share) and eviction events are recorded on
+    /// `flight`.
+    pub fn attach_obs(&mut self, registry: &Registry, flight: &FlightRecorder) {
+        self.evictions = registry.scope("pastry").counter("evictions");
+        self.flight = flight.clone();
     }
 
     fn make_detector(config: &PastryConfig) -> Option<FailureDetector<u128>> {
@@ -263,7 +280,7 @@ impl<A: PastryApp> PastryNode<A> {
     /// not count: under lossy links or partitions, where no actor has
     /// actually crashed, this is exactly the false-positive eviction count.
     pub fn detector_evictions(&self) -> u64 {
-        self.evictions
+        self.evictions.get()
     }
 
     /// The node's routing state.
@@ -562,7 +579,14 @@ impl<A: PastryApp> PastryNode<A> {
             }
         }
         for d in dead {
-            self.evictions += 1;
+            self.evictions.inc();
+            self.flight.event_with(
+                ctx.now().as_micros(),
+                ctx.self_id().index() as u32,
+                Subsystem::Pastry,
+                "evict",
+                || format!("peer {}", d.id),
+            );
             self.fail_node(ctx, d);
         }
         ctx.schedule(interval, HEARTBEAT_TAG);

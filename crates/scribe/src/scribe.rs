@@ -12,6 +12,7 @@
 use std::collections::BTreeMap;
 
 use vbundle_fdetect::{DedupWindow, FailureDetection, FailureDetector, Verdict};
+use vbundle_obs::{Counter, FlightRecorder, Registry, Subsystem};
 use vbundle_pastry::{AppCtx, Key, NodeHandle, PastryApp, RouteDecision};
 use vbundle_sim::{ActorId, Message, SimDuration, SimTime};
 
@@ -345,6 +346,12 @@ pub struct Scribe<C: ScribeClient> {
     pub_seen: DedupWindow<(u128, u64)>,
     /// Nonce for the next Publish this node sends toward a root.
     next_pub_nonce: u64,
+    /// Tree links dropped by parent-side expiry. An obs shard: detached by
+    /// default, summed across nodes under `scribe/children_expired` once
+    /// [`Scribe::attach_obs`] is called.
+    children_expired: Counter,
+    /// Flight-recorder handle for expiry events (disabled by default).
+    flight: FlightRecorder,
     client: C,
     config: ScribeConfig,
 }
@@ -370,9 +377,25 @@ impl<C: ScribeClient> Scribe<C> {
             child_detector,
             pub_seen: DedupWindow::new(PUB_DEDUP_WINDOW),
             next_pub_nonce: 0,
+            children_expired: Counter::default(),
+            flight: FlightRecorder::disabled(),
             client,
             config,
         }
+    }
+
+    /// Attaches this layer to the shared observability planes: the expiry
+    /// tally becomes a shard of `scribe/children_expired` in `registry`
+    /// (summed across nodes on export) and expiry events are recorded on
+    /// `flight`.
+    pub fn attach_obs(&mut self, registry: &Registry, flight: &FlightRecorder) {
+        self.children_expired = registry.scope("scribe").counter("children_expired");
+        self.flight = flight.clone();
+    }
+
+    /// Tree links this node has dropped by parent-side expiry so far.
+    pub fn children_expired(&self) -> u64 {
+        self.children_expired.get()
     }
 
     /// Records proof of life for a `(group, child)` tree link.
@@ -1176,6 +1199,14 @@ impl<C: ScribeClient> PastryApp for Scribe<C> {
                         .get_mut(&g.as_u128())
                         .is_some_and(|st| st.remove_child(child.id));
                     if removed {
+                        self.children_expired.inc();
+                        self.flight.event_with(
+                            ctx.now().as_micros(),
+                            ctx.self_handle().actor.index() as u32,
+                            Subsystem::Scribe,
+                            "child-expired",
+                            || format!("group {g} child {}", child.id),
+                        );
                         self.child_gone(g.as_u128(), child.id.as_u128());
                         self.with_client(ctx, |c, sctx| c.on_child_removed(sctx, g, child));
                         self.prune(ctx, g);

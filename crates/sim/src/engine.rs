@@ -2,9 +2,12 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+use vbundle_obs::{Counter, FlightRecorder, Gauge, HotSection, Profiler, Registry, Subsystem};
 
 use crate::actor::{Actor, ActorId, Context, Effect, Message};
 use crate::counters::CounterSet;
@@ -12,6 +15,44 @@ use crate::fault::{FaultAction, FaultInjector, FaultStats};
 use crate::latency::{ConstantLatency, LatencyModel};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{summarize, TraceBuffer, TraceKind, TraceRecord};
+
+/// The engine's own registry handles. Event and fault tallies live *on*
+/// these obs counters — `events_processed()` / `fault_stats()` read them
+/// back — so one export surface (the registry) covers the engine without
+/// a parallel stat struct to keep in sync.
+#[derive(Debug)]
+struct EngineMetrics {
+    /// Events dispatched (messages + timers + bounces).
+    events: Counter,
+    /// Messages delivered into `Actor::on_message`.
+    deliveries: Counter,
+    /// Sends silently discarded by the fault injector.
+    dropped: Counter,
+    /// Sends delivered late by the fault injector.
+    delayed: Counter,
+    /// Sends delivered twice by the fault injector.
+    duplicated: Counter,
+    /// Sends delivered with a mutated payload.
+    corrupted: Counter,
+    /// High-water mark of the event queue, mirrored for export.
+    queue_peak: Gauge,
+}
+
+impl EngineMetrics {
+    fn register(registry: &Registry) -> Self {
+        let scope = registry.scope("engine");
+        let faults = scope.scope("faults");
+        EngineMetrics {
+            events: scope.counter("events"),
+            deliveries: scope.counter("deliveries"),
+            dropped: faults.counter("dropped"),
+            delayed: faults.counter("delayed"),
+            duplicated: faults.counter("duplicated"),
+            corrupted: faults.counter("corrupted"),
+            queue_peak: scope.gauge("queue_peak"),
+        }
+    }
+}
 
 #[derive(Debug)]
 enum EventKind<W> {
@@ -71,15 +112,20 @@ pub struct Engine<W: Message, A: Actor<W>> {
     rng: StdRng,
     latency: Box<dyn LatencyModel>,
     counters: CounterSet,
-    events_processed: u64,
     trace: Option<TraceBuffer>,
     injector: Option<Box<dyn FaultInjector>>,
-    fault_stats: FaultStats,
+    metrics: Registry,
+    engine_metrics: EngineMetrics,
+    flight: FlightRecorder,
+    profiler: Option<Profiler>,
+    queue_peak: usize,
 }
 
 impl<W: Message, A: Actor<W>> Engine<W, A> {
     /// Creates an engine with the given latency model and RNG seed.
     pub fn new(latency: Box<dyn LatencyModel>, seed: u64) -> Self {
+        let metrics = Registry::new();
+        let engine_metrics = EngineMetrics::register(&metrics);
         Engine {
             actors: Vec::new(),
             alive: Vec::new(),
@@ -89,10 +135,13 @@ impl<W: Message, A: Actor<W>> Engine<W, A> {
             rng: StdRng::seed_from_u64(seed),
             latency,
             counters: CounterSet::new(),
-            events_processed: 0,
             trace: None,
             injector: None,
-            fault_stats: FaultStats::default(),
+            metrics,
+            engine_metrics,
+            flight: FlightRecorder::disabled(),
+            profiler: None,
+            queue_peak: 0,
         }
     }
 
@@ -124,7 +173,7 @@ impl<W: Message, A: Actor<W>> Engine<W, A> {
 
     /// Total events dispatched so far.
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.engine_metrics.events.get()
     }
 
     /// Immutable access to an actor's state.
@@ -183,6 +232,13 @@ impl<W: Message, A: Actor<W>> Engine<W, A> {
     /// Panics if `id` was not returned by [`Engine::add_actor`].
     pub fn fail(&mut self, id: ActorId) {
         self.alive[id.index()] = false;
+        self.flight.event_with(
+            self.now.as_micros(),
+            id.index() as u32,
+            Subsystem::Engine,
+            "fail",
+            String::new,
+        );
     }
 
     /// Revives a failed actor in place (a *warm* restart: its state
@@ -210,6 +266,13 @@ impl<W: Message, A: Actor<W>> Engine<W, A> {
             .filter(|ev| !(ev.to == id && matches!(ev.kind, EventKind::Timer { .. })))
             .collect();
         self.alive[id.index()] = true;
+        self.flight.event_with(
+            self.now.as_micros(),
+            id.index() as u32,
+            Subsystem::Engine,
+            "restart",
+            String::new,
+        );
         self.with_ctx(id, |actor, ctx| actor.on_restart(ctx));
     }
 
@@ -229,9 +292,63 @@ impl<W: Message, A: Actor<W>> Engine<W, A> {
         self.injector.take()
     }
 
-    /// Tally of faults applied so far.
+    /// Tally of faults applied so far, read back off the obs registry.
     pub fn fault_stats(&self) -> FaultStats {
-        self.fault_stats
+        FaultStats {
+            dropped: self.engine_metrics.dropped.get(),
+            delayed: self.engine_metrics.delayed.get(),
+            duplicated: self.engine_metrics.duplicated.get(),
+            corrupted: self.engine_metrics.corrupted.get(),
+        }
+    }
+
+    /// The metrics registry shared by the whole stack. Subsystems clone
+    /// [`vbundle_obs::Scope`]s and handles off this at construction time;
+    /// exporting it (`to_json`/`to_csv`) covers engine and protocol
+    /// metrics in one surface.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// The flight-recorder handle (disabled until
+    /// [`Engine::enable_flight_recorder`] is called). Cloning shares the
+    /// ring, so subsystems can hold their own handle.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Enables sim-time flight recording with a bounded ring of
+    /// `capacity` events. Call *before* cloning the handle into
+    /// subsystems — enabling replaces the handle, it does not upgrade
+    /// clones taken earlier.
+    pub fn enable_flight_recorder(&mut self, capacity: usize) {
+        self.flight = FlightRecorder::new(capacity);
+    }
+
+    /// Enables wall-clock profiling of the engine hot path. Readings stay
+    /// outside deterministic state: enabling this cannot change a run.
+    pub fn enable_profiling(&mut self) {
+        self.profiler = Some(Profiler::new());
+    }
+
+    /// The hot-path profiler, when profiling is enabled.
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
+    }
+
+    /// The rendered hot-path profile, when profiling is enabled.
+    pub fn profile_report(&self) -> Option<String> {
+        self.profiler.as_ref().map(Profiler::report)
+    }
+
+    /// High-water mark of the event queue across the whole run.
+    pub fn queue_peak(&self) -> usize {
+        self.queue_peak
+    }
+
+    /// Number of events currently queued.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
     }
 
     /// Invokes `on_start` on every actor, in id order. Call once after all
@@ -279,12 +396,17 @@ impl<W: Message, A: Actor<W>> Engine<W, A> {
     /// Processes the next event, if any. Returns `false` when the queue is
     /// empty.
     pub fn step(&mut self) -> bool {
-        let Some(ev) = self.queue.pop() else {
+        let pop_timer = self.profiler.as_ref().map(|_| Instant::now());
+        let popped = self.queue.pop();
+        if let (Some(profiler), Some(t)) = (self.profiler.as_mut(), pop_timer) {
+            profiler.record(HotSection::QueuePop, t.elapsed());
+        }
+        let Some(ev) = popped else {
             return false;
         };
         debug_assert!(ev.at >= self.now, "event queue went backwards");
         self.now = ev.at;
-        self.events_processed += 1;
+        self.engine_metrics.events.inc();
         if !self.alive[ev.to.index()] {
             // A message to a dead host bounces: the sender gets a
             // connection-failure notification after one more network delay
@@ -319,8 +441,26 @@ impl<W: Message, A: Actor<W>> Engine<W, A> {
                 summary,
             });
         }
+        if self.flight.is_enabled() {
+            let (label, detail) = match &ev.kind {
+                EventKind::Message { msg, .. } => ("deliver", summarize(msg)),
+                EventKind::Timer { tag } => ("timer", format!("tag={tag:#x}")),
+                EventKind::Bounce { target, msg } => {
+                    ("bounce", format!("to {target}: {}", summarize(msg)))
+                }
+            };
+            self.flight.event(
+                self.now.as_micros(),
+                ev.to.index() as u32,
+                Subsystem::Engine,
+                label,
+                detail,
+            );
+        }
+        let dispatch_timer = self.profiler.as_ref().map(|_| Instant::now());
         match ev.kind {
             EventKind::Message { from, msg } => {
+                self.engine_metrics.deliveries.inc();
                 self.with_ctx(ev.to, |actor, ctx| actor.on_message(ctx, from, msg));
             }
             EventKind::Timer { tag } => {
@@ -331,6 +471,9 @@ impl<W: Message, A: Actor<W>> Engine<W, A> {
                     actor.on_delivery_failure(ctx, target, msg)
                 });
             }
+        }
+        if let (Some(profiler), Some(t)) = (self.profiler.as_mut(), dispatch_timer) {
+            profiler.record(HotSection::Dispatch, t.elapsed());
         }
         true
     }
@@ -368,18 +511,40 @@ impl<W: Message, A: Actor<W>> Engine<W, A> {
 
     /// Enqueues one send, applying the installed fault injector's verdict.
     fn enqueue_send(&mut self, from: ActorId, to: ActorId, at: SimTime, mut msg: W) {
+        let consult_timer = self
+            .injector
+            .is_some()
+            .then(|| self.profiler.as_ref().map(|_| Instant::now()))
+            .flatten();
         let action = match self.injector.as_mut() {
             Some(injector) => injector.on_send(self.now, from, to),
             None => FaultAction::Deliver,
         };
+        if let (Some(profiler), Some(t)) = (self.profiler.as_mut(), consult_timer) {
+            profiler.record(HotSection::InjectorConsult, t.elapsed());
+        }
         match action {
             FaultAction::Deliver => {}
             FaultAction::Drop => {
-                self.fault_stats.dropped += 1;
+                self.engine_metrics.dropped.inc();
+                self.flight.event_with(
+                    self.now.as_micros(),
+                    to.index() as u32,
+                    Subsystem::Engine,
+                    "fault-drop",
+                    || format!("from {from}: {}", summarize(&msg)),
+                );
                 return;
             }
             FaultAction::Delay(extra) => {
-                self.fault_stats.delayed += 1;
+                self.engine_metrics.delayed.inc();
+                self.flight.event_with(
+                    self.now.as_micros(),
+                    to.index() as u32,
+                    Subsystem::Engine,
+                    "fault-delay",
+                    || format!("from {from} +{extra}: {}", summarize(&msg)),
+                );
                 let seq = self.next_seq();
                 self.push(QueuedEvent {
                     at: at + extra,
@@ -390,21 +555,37 @@ impl<W: Message, A: Actor<W>> Engine<W, A> {
                 return;
             }
             FaultAction::Duplicate(gap) => {
-                self.fault_stats.duplicated += 1;
+                self.engine_metrics.duplicated.inc();
+                self.flight.event_with(
+                    self.now.as_micros(),
+                    to.index() as u32,
+                    Subsystem::Engine,
+                    "fault-duplicate",
+                    || format!("from {from} +{gap}: {}", summarize(&msg)),
+                );
+                let clone_timer = self.profiler.as_ref().map(|_| Instant::now());
+                let dup = msg.clone();
+                if let (Some(profiler), Some(t)) = (self.profiler.as_mut(), clone_timer) {
+                    profiler.record(HotSection::MessageClone, t.elapsed());
+                }
                 let seq = self.next_seq();
                 self.push(QueuedEvent {
                     at: at + gap,
                     seq,
                     to,
-                    kind: EventKind::Message {
-                        from,
-                        msg: msg.clone(),
-                    },
+                    kind: EventKind::Message { from, msg: dup },
                 });
             }
             FaultAction::Corrupt(mode) => {
                 if msg.corrupt(mode) {
-                    self.fault_stats.corrupted += 1;
+                    self.engine_metrics.corrupted.inc();
+                    self.flight.event_with(
+                        self.now.as_micros(),
+                        to.index() as u32,
+                        Subsystem::Engine,
+                        "fault-corrupt",
+                        || format!("from {from}: {}", summarize(&msg)),
+                    );
                 }
             }
         }
@@ -419,6 +600,10 @@ impl<W: Message, A: Actor<W>> Engine<W, A> {
 
     fn push(&mut self, ev: QueuedEvent<W>) {
         self.queue.push(ev);
+        if self.queue.len() > self.queue_peak {
+            self.queue_peak = self.queue.len();
+            self.engine_metrics.queue_peak.set(self.queue_peak as f64);
+        }
     }
 
     fn with_ctx<R>(&mut self, id: ActorId, f: impl FnOnce(&mut A, &mut Context<'_, W>) -> R) -> R {
@@ -457,7 +642,7 @@ impl<W: Message, A: Actor<W>> std::fmt::Debug for Engine<W, A> {
             .field("actors", &self.actors.len())
             .field("now", &self.now)
             .field("queued", &self.queue.len())
-            .field("events_processed", &self.events_processed)
+            .field("events_processed", &self.events_processed())
             .finish()
     }
 }
@@ -800,6 +985,69 @@ mod tests {
         assert_eq!(e.actor(b).pings, vec![(10_000, 0)]);
         assert_eq!(e.fault_stats().corrupted, 0);
         assert_eq!(e.fault_stats().total(), 0);
+    }
+
+    #[test]
+    fn metrics_registry_mirrors_engine_tallies() {
+        let (mut e, a, b) = two_actor_engine(1);
+        e.post(b, a, TestMsg::Ping(2), SimDuration::ZERO);
+        e.run_to_quiescence();
+        assert_eq!(e.metrics().counter_value("engine/events"), Some(3));
+        assert_eq!(e.metrics().counter_value("engine/deliveries"), Some(3));
+        assert_eq!(e.metrics().counter_value("engine/faults/dropped"), Some(0));
+        assert!(e.queue_peak() >= 1);
+        assert_eq!(e.queue_depth(), 0);
+        assert_eq!(
+            e.metrics().gauge_value("engine/queue_peak"),
+            Some(e.queue_peak() as f64)
+        );
+        let json = e.metrics().to_json();
+        assert!(json.contains("\"engine/events\": 3"), "{json}");
+    }
+
+    #[test]
+    fn flight_recorder_captures_deliveries_and_faults() {
+        let (mut e, a, b) = two_actor_engine(1);
+        e.enable_flight_recorder(64);
+        e.set_injector(Box::new(DelayOrDup(FaultAction::Duplicate(
+            SimDuration::from_millis(5),
+        ))));
+        e.post(b, a, TestMsg::Ping(0), SimDuration::ZERO);
+        e.run_to_quiescence();
+        let events = e.flight().for_subsystem(Subsystem::Engine);
+        assert!(events.iter().any(|ev| ev.label == "deliver"), "{events:?}");
+        assert!(
+            events.iter().any(|ev| ev.label == "fault-duplicate"),
+            "{events:?}"
+        );
+        e.fail(b);
+        assert!(e.flight().snapshot().iter().any(|ev| ev.label == "fail"));
+        e.restart(b);
+        assert!(e.flight().snapshot().iter().any(|ev| ev.label == "restart"));
+    }
+
+    #[test]
+    fn profiler_observes_hot_path_without_changing_the_run() {
+        let baseline = {
+            let (mut e, a, b) = two_actor_engine(7);
+            e.post(b, a, TestMsg::Ping(4), SimDuration::ZERO);
+            e.run_to_quiescence();
+            (e.actor(a).pings.clone(), e.events_processed())
+        };
+        let (mut e, a, b) = two_actor_engine(7);
+        e.enable_profiling();
+        e.set_injector(Box::new(DelayOrDup(FaultAction::Duplicate(
+            SimDuration::from_millis(1),
+        ))));
+        e.take_injector();
+        e.post(b, a, TestMsg::Ping(4), SimDuration::ZERO);
+        e.run_to_quiescence();
+        assert_eq!((e.actor(a).pings.clone(), e.events_processed()), baseline);
+        let profiler = e.profiler().expect("enabled");
+        assert!(profiler.stats(HotSection::QueuePop).count > 0);
+        assert!(profiler.stats(HotSection::Dispatch).count > 0);
+        let report = e.profile_report().expect("enabled");
+        assert!(report.contains("dispatch"), "{report}");
     }
 
     #[test]

@@ -64,8 +64,6 @@ pub struct TradeStats {
     pub leases_expired: u64,
     /// Halves reverted early (peer crash, VM migration or shutdown).
     pub leases_reverted: u64,
-    /// Sheds skipped because the candidate VM was party to a live lease.
-    pub sheds_lease_blocked: u64,
     /// Grants whose ack never arrived within the retry budget; the lender
     /// kept its debit (the safe direction) and let it expire.
     pub lender_losses: u64,

@@ -5,6 +5,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`sim`] | `vbundle-sim` | deterministic discrete-event engine |
+//! | [`obs`] | `vbundle-obs` | metrics registry, flight recorder, profiler |
 //! | [`dcn`] | `vbundle-dcn` | datacenter topology + bisection accounting |
 //! | [`pastry`] | `vbundle-pastry` | Pastry DHT overlay |
 //! | [`scribe`] | `vbundle-scribe` | Scribe multicast/anycast trees |
@@ -24,6 +25,7 @@ pub use vbundle_aggregation as aggregation;
 pub use vbundle_chaos as chaos;
 pub use vbundle_core as core;
 pub use vbundle_dcn as dcn;
+pub use vbundle_obs as obs;
 pub use vbundle_pastry as pastry;
 pub use vbundle_scribe as scribe;
 pub use vbundle_sim as sim;
