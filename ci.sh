@@ -25,14 +25,20 @@ cargo test --workspace
 # Each sweep binary's --smoke mode replays a fixed seeded subset and
 # byte-compares its report against results/<name>_smoke.golden. Any
 # drift prints a unified diff of the blessed golden vs the fresh run.
-for sweep in chaos_sweep poison_sweep bundle_market scale_sweep; do
+for sweep in chaos_sweep poison_sweep bundle_market scale_sweep survivability_sweep; do
     echo "==> ${sweep} smoke (deterministic golden)"
     cargo run --release -q -p vbundle-bench --bin "${sweep}" -- --smoke
 done
 
+# The failure-recovery walkthrough doubles as a smoke: pinned seed, hard
+# asserts inside, and a known final line that must survive refactors.
+echo "==> failure_recovery example smoke (pinned seed)"
+cargo run --release -q --example failure_recovery \
+    | grep -q "no central manager, nothing to restart: the overlay repaired itself."
+
 echo "==> golden files unchanged"
-if ! git diff --quiet -- results/*.golden; then
-    git --no-pager diff -- results/*.golden
+if ! git diff --quiet -- results/*.golden BENCH_surv.json; then
+    git --no-pager diff -- results/*.golden BENCH_surv.json
     echo "golden drift: inspect the diff, then regen with" \
          "'cargo run --release -p vbundle-bench --bin <sweep> -- --smoke --bless'" >&2
     exit 1

@@ -1,0 +1,438 @@
+//! Survivability sweep — the robustness trajectory of survivable
+//! placement: crash failure domains of increasing size (single racks,
+//! then whole pods) under `Survivable` vs the paper's locality-first
+//! `VBundle` walk, and record how far each tenant's satisfied demand
+//! falls, how many ticks the staggered restart takes to bring it back,
+//! and what the backup carve-outs cost.
+//!
+//! The headline contract, asserted in full mode: under every single-rack
+//! crash the survivable policy keeps *every* tenant at or above the
+//! degradation floor, while plain v-Bundle — which packs a tenant around
+//! its Pastry root — zeroes at least one tenant outright. Results go to
+//! `results/survivability_sweep.csv` and `BENCH_surv.json`.
+//!
+//! Run: `cargo run --release -p vbundle-bench --bin survivability_sweep`
+//!
+//! `--smoke` runs a small fixed fabric twice (plus once with every obs
+//! plane enabled — observability must not move a byte), asserts the
+//! reports byte-identical and diffs against `results/surv_smoke.golden`;
+//! `--smoke --bless` rewrites the golden.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use vbundle_bench::{golden_gate, write_csv, BenchArgs, CliSpec};
+use vbundle_chaos::{check_bounded_degradation, customer_satisfaction, ChaosDriver, FaultPlan};
+use vbundle_core::{
+    Cluster, ClusterModel, Customer, CustomerId, PlacementPolicy, ResourceSpec, ResourceVector,
+    VBundleConfig, VmRecord,
+};
+use vbundle_dcn::{Bandwidth, DomainKind, Topology};
+use vbundle_pastry::overlay::topology_aware_ids;
+use vbundle_pastry::PastryConfig;
+use vbundle_scribe::ScribeConfig;
+use vbundle_sim::{ActorId, SimDuration, SimTime};
+
+/// One seed for the whole sweep: the paper's publication date.
+const SEED: u64 = 20120618;
+/// Per-VM reservation and demand (Mbps) — demand equals reservation, so
+/// pre-fault satisfaction is exactly the reserved bandwidth.
+const VM_MBPS: f64 = 100.0;
+/// Per-server NIC (Mbps).
+const NIC_MBPS: f64 = 1000.0;
+/// The survivability knobs under test.
+const MAX_FRAC_PER_DOMAIN: f64 = 0.5;
+const BACKUP: f64 = 0.25;
+/// Per-tenant floor on post-fault satisfied demand, as a fraction of the
+/// pre-fault baseline.
+const DEGRADATION_FLOOR: f64 = 0.45;
+/// Recovery target: every tenant back to this fraction of baseline.
+const RECOVERY_FRAC: f64 = 0.9;
+/// Recovery must land within this many check ticks after the crash.
+const MAX_RECOVERY_TICKS: u64 = 20;
+/// One recovery check tick (simulated seconds).
+const TICK_SECS: u64 = 5;
+/// Warm-up before the fault, and the crash instant.
+const SETTLE_SECS: u64 = 60;
+const FAULT_SECS: u64 = 70;
+
+const CLI: CliSpec = CliSpec {
+    bin: "survivability_sweep",
+    about: "rack/pod crash sweep: survivable vs plain placement, degradation + recovery",
+    flags: &[],
+    options: &[],
+};
+
+/// The fabric and workload one sweep point runs against.
+#[derive(Debug, Clone, Copy)]
+struct Fabric {
+    pods: u32,
+    racks_per_pod: u32,
+    servers_per_rack: u32,
+    tenants: u32,
+    vms_per_tenant: usize,
+}
+
+impl Fabric {
+    fn smoke() -> Fabric {
+        Fabric {
+            pods: 2,
+            racks_per_pod: 2,
+            servers_per_rack: 2,
+            tenants: 3,
+            vms_per_tenant: 4,
+        }
+    }
+
+    fn full() -> Fabric {
+        Fabric {
+            pods: 3,
+            racks_per_pod: 3,
+            servers_per_rack: 3,
+            tenants: 6,
+            vms_per_tenant: 8,
+        }
+    }
+
+    fn topology(&self) -> Arc<Topology> {
+        Arc::new(
+            Topology::builder()
+                .pods(self.pods)
+                .racks_per_pod(self.racks_per_pod)
+                .servers_per_rack(self.servers_per_rack)
+                .build(),
+        )
+    }
+}
+
+/// What one (policy, fault) run measured. Every field is
+/// sim-deterministic: satisfaction comes from the shaper's water-fill,
+/// recovery from the staggered restart schedule.
+struct Outcome {
+    policy: &'static str,
+    fault: String,
+    servers_lost: usize,
+    /// Worst tenant's post-fault satisfaction, % of its baseline.
+    min_sat_pct: f64,
+    /// Tenants whose satisfied demand dropped to zero.
+    zeroed: usize,
+    /// Whether `check_bounded_degradation` held at the floor.
+    floor_ok: bool,
+    /// Ticks until every tenant was back to `RECOVERY_FRAC` of baseline.
+    recover_ticks: Option<u64>,
+    /// Cluster-wide backup carve-out, % of total NIC capacity.
+    backup_pct: f64,
+}
+
+/// Offline-places the fabric's workload with `policy`, seeds a protocol
+/// cluster with the assignment (backup carve-outs included), crashes one
+/// failure domain, then restarts its servers staggered and watches the
+/// per-tenant satisfaction recover.
+fn run_case(
+    fabric: Fabric,
+    policy: PlacementPolicy,
+    policy_name: &'static str,
+    kind: DomainKind,
+    domain: usize,
+    obs: bool,
+) -> Outcome {
+    let topo = fabric.topology();
+    let ids = topology_aware_ids(&topo);
+    let mut model = ClusterModel::new(
+        Arc::clone(&topo),
+        ids,
+        ResourceVector::bandwidth_only(Bandwidth::from_mbps(NIC_MBPS)),
+    );
+    let pastry = PastryConfig {
+        heartbeat: Some(SimDuration::from_secs(1)),
+        maintenance: Some(SimDuration::from_secs(10)),
+        ..PastryConfig::default()
+    };
+    let mut builder = Cluster::builder(Arc::clone(&topo))
+        .pastry(pastry)
+        .scribe(ScribeConfig::default().with_probe_interval(SimDuration::from_secs(3)))
+        .vbundle(
+            VBundleConfig::default()
+                .with_update_interval(SimDuration::from_secs(5))
+                .with_rebalance_interval(SimDuration::from_secs(1000)),
+        )
+        .seed(SEED);
+    if obs {
+        builder = builder.flight_recorder(4096);
+    }
+    let mut cluster = builder.build();
+    if obs {
+        cluster.engine.enable_profiling();
+    }
+
+    for c in 0..fabric.tenants {
+        let customer = Customer::new(CustomerId(c), format!("tenant-{c}"));
+        for _ in 0..fabric.vms_per_tenant {
+            let id = cluster.alloc_vm_id();
+            let mut vm = VmRecord::new(
+                id,
+                customer.id,
+                ResourceSpec::fixed(ResourceVector::bandwidth_only(Bandwidth::from_mbps(
+                    VM_MBPS,
+                ))),
+            );
+            vm.demand = ResourceVector::bandwidth_only(Bandwidth::from_mbps(VM_MBPS));
+            let host = match policy {
+                PlacementPolicy::Survivable {
+                    max_frac_per_domain,
+                    backup,
+                } => model.place_survivable(customer.key, vm, max_frac_per_domain, backup),
+                _ => model.place_vbundle(customer.key, vm),
+            }
+            .expect("fabric has room for every VM");
+            cluster.install_vm(host, vm);
+        }
+    }
+    let mut backup_total = 0.0;
+    for s in 0..topo.num_servers() {
+        let server = topo.server(s);
+        let backup = model.backup_reserved(server);
+        if backup.bandwidth.as_mbps() > 0.0 {
+            backup_total += backup.bandwidth.as_mbps();
+            cluster.install_backup(server, backup);
+        }
+    }
+    cluster.reindex();
+    cluster.run_until(SimTime::from_secs(SETTLE_SECS));
+
+    let baseline = customer_satisfaction(&cluster.engine);
+    let lost = topo.domain_servers(kind, domain);
+    let t = SimTime::from_secs;
+    let mut plan = match kind {
+        DomainKind::Rack => FaultPlan::new(SEED).crash_rack(t(FAULT_SECS), domain),
+        DomainKind::Pod => FaultPlan::new(SEED).crash_pod(t(FAULT_SECS), domain),
+    };
+    for (i, s) in lost.iter().enumerate() {
+        let at = t(FAULT_SECS + TICK_SECS * (i as u64 + 1));
+        plan = plan.restart(at, ActorId::new(s.index() as u32));
+    }
+    let mut driver = ChaosDriver::install(&mut cluster.engine, Arc::clone(&topo), plan);
+
+    // Mid-fault: measure the damage before the first restart fires.
+    driver.run_until(&mut cluster.engine, t(FAULT_SECS + 1));
+    let floor_ok =
+        check_bounded_degradation(&cluster.engine, &baseline, DEGRADATION_FLOOR).is_empty();
+    let mid = customer_satisfaction(&cluster.engine);
+    let mut min_frac = f64::INFINITY;
+    let mut zeroed = 0;
+    for (customer, &base) in &baseline {
+        if base <= 1e-9 {
+            continue;
+        }
+        let cur = mid.get(customer).copied().unwrap_or(0.0);
+        min_frac = min_frac.min(cur / base);
+        if cur <= 1e-9 {
+            zeroed += 1;
+        }
+    }
+
+    // Staggered restarts: count ticks until every tenant is back.
+    let mut recover_ticks = None;
+    for tick in 1..=MAX_RECOVERY_TICKS {
+        driver.run_until(&mut cluster.engine, t(FAULT_SECS + 1 + TICK_SECS * tick));
+        let sat = customer_satisfaction(&cluster.engine);
+        let ok = baseline.iter().all(|(c, &b)| {
+            b <= 1e-9 || sat.get(c).copied().unwrap_or(0.0) + 1e-6 >= RECOVERY_FRAC * b
+        });
+        if ok {
+            recover_ticks = Some(tick);
+            break;
+        }
+    }
+    cluster.engine.take_injector();
+
+    Outcome {
+        policy: policy_name,
+        fault: format!("{kind}{domain}"),
+        servers_lost: lost.len(),
+        min_sat_pct: 100.0 * min_frac,
+        zeroed,
+        floor_ok,
+        recover_ticks,
+        backup_pct: 100.0 * backup_total / (NIC_MBPS * topo.num_servers() as f64),
+    }
+}
+
+fn policies() -> [(PlacementPolicy, &'static str); 2] {
+    [
+        (
+            PlacementPolicy::Survivable {
+                max_frac_per_domain: MAX_FRAC_PER_DOMAIN,
+                backup: BACKUP,
+            },
+            "survivable",
+        ),
+        (PlacementPolicy::VBundle, "vbundle"),
+    ]
+}
+
+/// Every failure domain of the fabric, racks first (smallest blast
+/// radius), then pods.
+fn faults(fabric: Fabric) -> Vec<(DomainKind, usize)> {
+    let topo = fabric.topology();
+    let mut out = Vec::new();
+    for r in 0..topo.num_racks() {
+        out.push((DomainKind::Rack, r));
+    }
+    for p in 0..topo.pods().count() {
+        out.push((DomainKind::Pod, p));
+    }
+    out
+}
+
+fn render_line(o: &Outcome) -> String {
+    let recover = match o.recover_ticks {
+        Some(n) => format!("{n}"),
+        None => "DNR".into(),
+    };
+    format!(
+        "{} {} lost={} min_sat={:.1}% zeroed={} floor={} recover_ticks={} backup={:.2}%",
+        o.policy,
+        o.fault,
+        o.servers_lost,
+        o.min_sat_pct,
+        o.zeroed,
+        if o.floor_ok { "ok" } else { "BROKEN" },
+        recover,
+        o.backup_pct
+    )
+}
+
+/// The smoke report: both policies over one rack and one pod crash on
+/// the small fabric. Deterministic by construction — nothing in an
+/// [`Outcome`] reads the wall clock.
+fn smoke_report(obs: bool) -> String {
+    let fabric = Fabric::smoke();
+    let mut out = String::new();
+    let _ = writeln!(out, "# survivability smoke (seed {SEED})");
+    for (policy, name) in policies() {
+        for (kind, domain) in faults(fabric) {
+            let o = run_case(fabric, policy, name, kind, domain, obs);
+            let _ = writeln!(out, "{}", render_line(&o));
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = BenchArgs::parse_with(&CLI);
+    if args.smoke() {
+        let first = smoke_report(false);
+        let second = smoke_report(false);
+        assert_eq!(first, second, "survivability smoke is not deterministic");
+        let observed = smoke_report(true);
+        assert_eq!(
+            first, observed,
+            "enabling observability changed the survivability smoke"
+        );
+        golden_gate("surv", "surv_smoke.golden", &first, args.bless());
+        return;
+    }
+
+    let fabric = Fabric::full();
+    println!(
+        "# Survivability sweep: domain crashes under survivable vs plain placement (seed {SEED})"
+    );
+    let mut outcomes: Vec<Outcome> = Vec::new();
+    for (policy, name) in policies() {
+        for (kind, domain) in faults(fabric) {
+            let o = run_case(fabric, policy, name, kind, domain, false);
+            println!("{}", render_line(&o));
+            outcomes.push(o);
+        }
+    }
+
+    // The headline contract. Survivable: every tenant above the floor
+    // under every fault, and everything recovered within the tick budget.
+    // Plain: at least one rack crash zeroes a tenant outright.
+    let mut per_policy: BTreeMap<&str, Vec<&Outcome>> = BTreeMap::new();
+    for o in &outcomes {
+        per_policy.entry(o.policy).or_default().push(o);
+    }
+    let surv = &per_policy["survivable"];
+    assert!(
+        surv.iter().all(|o| o.floor_ok),
+        "survivable placement broke the degradation floor"
+    );
+    assert!(
+        surv.iter()
+            .all(|o| o.min_sat_pct >= 100.0 * DEGRADATION_FLOOR),
+        "survivable placement let a tenant fall below the floor"
+    );
+    assert!(
+        surv.iter().all(|o| o.recover_ticks.is_some()),
+        "survivable placement did not recover within {MAX_RECOVERY_TICKS} ticks"
+    );
+    assert!(
+        surv.iter().all(|o| o.backup_pct > 0.0),
+        "survivable placement reserved no backup bandwidth"
+    );
+    let plain = &per_policy["vbundle"];
+    assert!(
+        plain
+            .iter()
+            .any(|o| o.fault.starts_with("rack") && o.zeroed > 0),
+        "plain v-Bundle should zero at least one tenant under some rack crash"
+    );
+    println!(
+        "# contract held: survivable >= {:.0}% everywhere, plain zeroes a tenant",
+        100.0 * DEGRADATION_FLOOR
+    );
+
+    let rows: Vec<String> = outcomes
+        .iter()
+        .map(|o| {
+            format!(
+                "{},{},{},{:.1},{},{},{},{:.2}",
+                o.policy,
+                o.fault,
+                o.servers_lost,
+                o.min_sat_pct,
+                o.zeroed,
+                o.floor_ok,
+                o.recover_ticks.map_or(-1i64, |n| n as i64),
+                o.backup_pct
+            )
+        })
+        .collect();
+    write_csv(
+        "survivability_sweep.csv",
+        "policy,fault,servers_lost,min_sat_pct,zeroed,floor_ok,recover_ticks,backup_pct",
+        &rows,
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"survivability_sweep\",\n");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"max_frac_per_domain\": {MAX_FRAC_PER_DOMAIN},");
+    let _ = writeln!(json, "  \"backup\": {BACKUP},");
+    let _ = writeln!(json, "  \"degradation_floor\": {DEGRADATION_FLOOR},");
+    json.push_str("  \"outcomes\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"policy\": \"{}\", \"fault\": \"{}\", \"servers_lost\": {}, \
+             \"min_sat_pct\": {:.1}, \"zeroed\": {}, \"floor_ok\": {}, \
+             \"recover_ticks\": {}, \"backup_pct\": {:.2}}}",
+            o.policy,
+            o.fault,
+            o.servers_lost,
+            o.min_sat_pct,
+            o.zeroed,
+            o.floor_ok,
+            o.recover_ticks.map_or(-1i64, |n| n as i64),
+            o.backup_pct
+        );
+        json.push_str(if i + 1 < outcomes.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_surv.json", &json) {
+        Ok(()) => eprintln!("[wrote BENCH_surv.json]"),
+        Err(e) => eprintln!("[could not write BENCH_surv.json: {e}]"),
+    }
+}

@@ -432,6 +432,55 @@ pub fn check_entitlement_conservation(engine: &VbEngine) -> Vec<Violation> {
     out
 }
 
+/// Per-customer satisfied bandwidth demand (Mbps) across the *live*
+/// servers: each live controller's shaper allocations, summed by the
+/// hosting VM's customer. VMs stranded on crashed servers contribute
+/// nothing — this is exactly what a tenant experiences mid-fault, and the
+/// quantity [`check_bounded_degradation`] bounds.
+pub fn customer_satisfaction(engine: &VbEngine) -> BTreeMap<u32, f64> {
+    let mut out: BTreeMap<u32, f64> = BTreeMap::new();
+    for (id, node) in engine.actors() {
+        if !engine.is_alive(id) {
+            continue;
+        }
+        let ctrl = node.app().client();
+        for (vm, a) in ctrl.vms().iter().zip(ctrl.allocations()) {
+            *out.entry(vm.customer.0).or_default() += a.granted.as_mbps();
+        }
+    }
+    out
+}
+
+/// Bounded degradation — the survivability contract: after a fault, every
+/// customer who had satisfied demand in `baseline` (a pre-fault
+/// [`customer_satisfaction`] snapshot) still gets at least
+/// `min_frac × baseline`. The check is per tenant, not aggregate: a
+/// cluster that keeps 90% of total bandwidth flowing while zeroing one
+/// tenant fails it.
+pub fn check_bounded_degradation(
+    engine: &VbEngine,
+    baseline: &BTreeMap<u32, f64>,
+    min_frac: f64,
+) -> Vec<Violation> {
+    let current = customer_satisfaction(engine);
+    let mut out = Vec::new();
+    for (&customer, &base) in baseline {
+        if base <= 1e-9 {
+            continue;
+        }
+        let cur = current.get(&customer).copied().unwrap_or(0.0);
+        if cur + 1e-6 < min_frac * base {
+            out.push(format!(
+                "degradation: customer {customer} down to {cur:.3} of {base:.3} Mbps \
+                 ({:.1}% < floor {:.1}%)",
+                100.0 * cur / base,
+                100.0 * min_frac
+            ));
+        }
+    }
+    out
+}
+
 /// Capacity safety: no live server's installed reservations exceed its
 /// capacity (in particular its NIC bandwidth).
 pub fn check_capacity(engine: &VbEngine) -> Vec<Violation> {

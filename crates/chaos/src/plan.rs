@@ -121,6 +121,12 @@ pub enum FaultKind {
     /// Revive a failed server
     /// ([`Engine::restart`](vbundle_sim::Engine::restart)).
     Restart(ActorId),
+    /// Fail every server in one rack at once (a top-of-rack switch or PDU
+    /// failure) — the fault size the survivability gates are built around.
+    CrashRack(usize),
+    /// Fail every server in one pod at once (an aggregation-switch or
+    /// power-domain failure).
+    CrashPod(usize),
     /// Start dropping all traffic between the two scopes, both directions
     /// (a switch failure); traffic within each side is unaffected.
     Partition {
@@ -224,6 +230,16 @@ impl FaultPlan {
         self.event(at, FaultKind::Restart(actor))
     }
 
+    /// Schedules a whole-rack crash.
+    pub fn crash_rack(self, at: SimTime, rack: usize) -> FaultPlan {
+        self.event(at, FaultKind::CrashRack(rack))
+    }
+
+    /// Schedules a whole-pod crash.
+    pub fn crash_pod(self, at: SimTime, pod: usize) -> FaultPlan {
+        self.event(at, FaultKind::CrashPod(pod))
+    }
+
     /// Schedules a network partition between two scopes.
     pub fn partition(self, at: SimTime, a: Scope, b: Scope) -> FaultPlan {
         self.event(at, FaultKind::Partition { a, b })
@@ -287,6 +303,16 @@ mod tests {
             .crash(SimTime::from_secs(3), ActorId::new(0));
         assert!(matches!(plan.events()[0].kind, FaultKind::Crash(_)));
         assert_eq!(plan.last_fault_at(), Some(SimTime::from_secs(9)));
+    }
+
+    #[test]
+    fn domain_crash_builders_schedule_in_order() {
+        let plan = FaultPlan::new(2)
+            .crash_pod(SimTime::from_secs(40), 0)
+            .crash_rack(SimTime::from_secs(20), 3);
+        assert_eq!(plan.events()[0].kind, FaultKind::CrashRack(3));
+        assert_eq!(plan.events()[1].kind, FaultKind::CrashPod(0));
+        assert_eq!(plan.last_fault_at(), Some(SimTime::from_secs(40)));
     }
 
     #[test]

@@ -4,8 +4,8 @@
 use std::fmt;
 use std::sync::Arc;
 
-use vbundle_dcn::Topology;
-use vbundle_sim::{Actor, Engine, FaultStats, Message, SimDuration, SimTime};
+use vbundle_dcn::{DomainKind, Topology};
+use vbundle_sim::{Actor, ActorId, Engine, FaultStats, Message, SimDuration, SimTime};
 
 use crate::injector::{ChaosInjector, SharedNet};
 use crate::invariants::Violation;
@@ -23,6 +23,7 @@ const FLIGHT_DUMP_TAIL: usize = 64;
 /// reads on every send.
 pub struct ChaosDriver {
     plan: FaultPlan,
+    topo: Arc<Topology>,
     net: SharedNet,
     next_event: usize,
 }
@@ -36,9 +37,10 @@ impl ChaosDriver {
         plan: FaultPlan,
     ) -> ChaosDriver {
         let net = SharedNet::new(plan.seed);
-        engine.set_injector(Box::new(ChaosInjector::new(topo, net.clone())));
+        engine.set_injector(Box::new(ChaosInjector::new(Arc::clone(&topo), net.clone())));
         ChaosDriver {
             plan,
+            topo,
             net,
             next_event: 0,
         }
@@ -59,6 +61,16 @@ impl ChaosDriver {
         match *kind {
             FaultKind::Crash(actor) => engine.fail(actor),
             FaultKind::Restart(actor) => engine.restart(actor),
+            FaultKind::CrashRack(rack) => {
+                for s in self.topo.domain_servers(DomainKind::Rack, rack) {
+                    engine.fail(ActorId::new(s.index() as u32));
+                }
+            }
+            FaultKind::CrashPod(pod) => {
+                for s in self.topo.domain_servers(DomainKind::Pod, pod) {
+                    engine.fail(ActorId::new(s.index() as u32));
+                }
+            }
             FaultKind::Partition { a, b } => self.net.with(|st| st.partitions.push((a, b))),
             FaultKind::HealPartitions => self.net.with(|st| st.partitions.clear()),
             FaultKind::HealPartition { a, b } => self.net.with(|st| {

@@ -1,0 +1,233 @@
+//! Survivability properties: whole-rack crashes with staggered restarts
+//! must reconverge the overlay, and the survivable placement policy must
+//! bound every tenant's degradation under any single-rack loss — while
+//! the paper's locality-first placement provably cannot.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use vbundle_chaos::{
+    check_bounded_degradation, check_leaf_sets, check_scribe_trees, check_vm_conservation,
+    customer_satisfaction, ChaosDriver, FaultPlan,
+};
+use vbundle_core::{
+    Cluster, ClusterModel, Customer, CustomerId, PlacementPolicy, ResourceSpec, ResourceVector,
+    VBundleConfig, VmId, VmRecord,
+};
+use vbundle_dcn::{Bandwidth, ServerId, Topology};
+use vbundle_pastry::overlay::topology_aware_ids;
+use vbundle_pastry::PastryConfig;
+use vbundle_scribe::ScribeConfig;
+use vbundle_sim::{ActorId, SimDuration, SimTime};
+
+fn bw(mbps: f64) -> Bandwidth {
+    Bandwidth::from_mbps(mbps)
+}
+
+/// Paper testbed with fast protocol timers (same shape as chaos_props).
+fn build_fast_cluster(seed: u64) -> (Cluster, Vec<VmId>) {
+    let topo = Arc::new(Topology::paper_testbed());
+    let pastry = PastryConfig {
+        heartbeat: Some(SimDuration::from_secs(1)),
+        maintenance: Some(SimDuration::from_secs(10)),
+        ..PastryConfig::default()
+    };
+    let mut cluster = Cluster::builder(topo)
+        .pastry(pastry)
+        .scribe(ScribeConfig::default().with_probe_interval(SimDuration::from_secs(3)))
+        .vbundle(
+            VBundleConfig::default()
+                .with_update_interval(SimDuration::from_secs(5))
+                .with_rebalance_interval(SimDuration::from_secs(1000)),
+        )
+        .seed(seed)
+        .build();
+    let demand = bw(80.0);
+    let mut vms = Vec::new();
+    for server in 0..cluster.num_servers() {
+        let id = cluster.alloc_vm_id();
+        let mut vm = VmRecord::new(
+            id,
+            CustomerId(server as u32 % 3),
+            ResourceSpec::fixed(ResourceVector::bandwidth_only(demand)),
+        );
+        vm.demand = ResourceVector::bandwidth_only(demand);
+        cluster.install_vm(cluster.topo.server(server), vm);
+        vms.push(id);
+    }
+    cluster.run_until(SimTime::from_secs(60));
+    (cluster, vms)
+}
+
+/// Losing one top-of-rack switch takes a whole rack down at once; ops
+/// brings its servers back one at a time. The overlay must absorb both
+/// the correlated crash and the staggered rejoin: leaf sets and Scribe
+/// trees reconverge, and no VM is lost or duplicated.
+#[test]
+fn rack_crash_with_staggered_restarts_reconverges() {
+    let t = SimTime::from_secs;
+    let (mut cluster, vms) = build_fast_cluster(11);
+    let rack0: Vec<usize> = (0..cluster.num_servers())
+        .filter(|&s| cluster.topo.rack_of(cluster.topo.server(s)).index() == 0)
+        .collect();
+    assert!(rack0.len() >= 3, "rack 0 must be a real blast radius");
+    let mut plan = FaultPlan::new(11).crash_rack(t(70), 0);
+    for (i, &s) in rack0.iter().enumerate() {
+        plan = plan.restart(t(100 + 10 * i as u64), ActorId::new(s as u32));
+    }
+    let topo = cluster.topo.clone();
+    let mut driver = ChaosDriver::install(&mut cluster.engine, topo, plan);
+
+    let deadline = t(400);
+    let mut now = t(100 + 10 * rack0.len() as u64 + 20);
+    let mut open = Vec::new();
+    while now <= deadline {
+        driver.run_until(&mut cluster.engine, now);
+        open = check_leaf_sets(&cluster.engine);
+        open.extend(check_scribe_trees(&cluster.engine));
+        open.extend(check_vm_conservation(&cluster.engine, &vms));
+        if open.is_empty() {
+            break;
+        }
+        now += SimDuration::from_secs(5);
+    }
+    assert!(
+        open.is_empty(),
+        "overlay did not reconverge after rack crash + staggered restarts: {open:#?}"
+    );
+}
+
+const TENANTS: u32 = 3;
+const VMS_PER_TENANT: usize = 4;
+const VM_MBPS: f64 = 100.0;
+
+/// Offline-places `TENANTS × VMS_PER_TENANT` equal VMs with `policy` on a
+/// 2-pod × 2-rack × 2-server fabric, then seeds a protocol cluster with
+/// the resulting assignment (backup carve-outs included) so the chaos
+/// driver can crash domains under it.
+fn placed_cluster(policy: PlacementPolicy, seed: u64) -> (Cluster, Vec<(VmRecord, ServerId)>) {
+    let topo = Arc::new(
+        Topology::builder()
+            .pods(2)
+            .racks_per_pod(2)
+            .servers_per_rack(2)
+            .build(),
+    );
+    let ids = topology_aware_ids(&topo);
+    let mut model = ClusterModel::new(
+        Arc::clone(&topo),
+        ids,
+        ResourceVector::bandwidth_only(bw(1000.0)),
+    );
+    let mut cluster = Cluster::builder(Arc::clone(&topo))
+        .vbundle(
+            VBundleConfig::default()
+                .with_update_interval(SimDuration::from_secs(5))
+                .with_rebalance_interval(SimDuration::from_secs(1000)),
+        )
+        .seed(seed)
+        .build();
+
+    let mut placements = Vec::new();
+    for c in 0..TENANTS {
+        let customer = Customer::new(CustomerId(c), format!("tenant-{c}"));
+        for _ in 0..VMS_PER_TENANT {
+            let id = cluster.alloc_vm_id();
+            let mut vm = VmRecord::new(
+                id,
+                customer.id,
+                ResourceSpec::fixed(ResourceVector::bandwidth_only(bw(VM_MBPS))),
+            );
+            vm.demand = ResourceVector::bandwidth_only(bw(VM_MBPS));
+            let host = match policy {
+                PlacementPolicy::Survivable {
+                    max_frac_per_domain,
+                    backup,
+                } => model.place_survivable(customer.key, vm, max_frac_per_domain, backup),
+                _ => model.place_vbundle(customer.key, vm),
+            }
+            .expect("fabric has room for every VM");
+            placements.push((vm, host));
+        }
+    }
+    for (vm, host) in &placements {
+        cluster.install_vm(*host, *vm);
+    }
+    for s in 0..topo.num_servers() {
+        let server = topo.server(s);
+        let backup = model.backup_reserved(server);
+        if backup.bandwidth.as_mbps() > 0.0 {
+            cluster.install_backup(server, backup);
+        }
+    }
+    cluster.reindex();
+    cluster.run_until(SimTime::from_secs(60));
+    (cluster, placements)
+}
+
+/// The failure mode that motivates the survivability layer: the paper's
+/// locality-first walk packs a tenant around its root, so one rack loss
+/// zeroes that tenant outright.
+#[test]
+fn plain_vbundle_zeroes_a_tenant_on_rack_crash() {
+    let (mut cluster, placements) = placed_cluster(PlacementPolicy::VBundle, 23);
+    let topo = cluster.topo.clone();
+    let t0_racks: BTreeSet<usize> = placements
+        .iter()
+        .filter(|(vm, _)| vm.customer.0 == 0)
+        .map(|(_, s)| topo.rack_of(*s).index())
+        .collect();
+    assert_eq!(
+        t0_racks.len(),
+        1,
+        "locality placement packs tenant 0 into one rack: {t0_racks:?}"
+    );
+    let rack = *t0_racks.iter().next().expect("tenant 0 has VMs");
+
+    let baseline = customer_satisfaction(&cluster.engine);
+    assert!(
+        baseline.values().all(|&s| s > 0.0),
+        "every tenant starts satisfied: {baseline:?}"
+    );
+    let plan = FaultPlan::new(23).crash_rack(SimTime::from_secs(70), rack);
+    let mut driver = ChaosDriver::install(&mut cluster.engine, topo, plan);
+    driver.run_until(&mut cluster.engine, SimTime::from_secs(71));
+
+    let open = check_bounded_degradation(&cluster.engine, &baseline, 0.45);
+    assert!(
+        open.iter().any(|v| v.contains("customer 0")),
+        "tenant 0 should have broken the degradation floor: {open:#?}"
+    );
+    let sat = customer_satisfaction(&cluster.engine);
+    assert_eq!(
+        sat.get(&0).copied().unwrap_or(0.0),
+        0.0,
+        "tenant 0 is fully dark after losing its rack"
+    );
+}
+
+/// The survivability contract, checked adversarially: whichever single
+/// rack dies, every tenant placed under `Survivable { 0.5, 0.25 }` keeps
+/// at least 45 % of its pre-fault satisfied demand.
+#[test]
+fn survivable_placement_bounds_degradation_under_any_rack_crash() {
+    let policy = PlacementPolicy::Survivable {
+        max_frac_per_domain: 0.5,
+        backup: 0.25,
+    };
+    let num_racks = 4;
+    for rack in 0..num_racks {
+        let (mut cluster, _placements) = placed_cluster(policy, 29);
+        let baseline = customer_satisfaction(&cluster.engine);
+        assert_eq!(baseline.len(), TENANTS as usize);
+        let topo = cluster.topo.clone();
+        let plan = FaultPlan::new(29).crash_rack(SimTime::from_secs(70), rack);
+        let mut driver = ChaosDriver::install(&mut cluster.engine, topo, plan);
+        driver.run_until(&mut cluster.engine, SimTime::from_secs(71));
+        let open = check_bounded_degradation(&cluster.engine, &baseline, 0.45);
+        assert!(
+            open.is_empty(),
+            "rack {rack} crash broke the degradation floor: {open:#?}"
+        );
+    }
+}

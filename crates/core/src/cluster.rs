@@ -359,6 +359,22 @@ impl Cluster {
         self.vm_index.insert(vm.id.0, server.index());
     }
 
+    /// Carves `amount` out of `server` as survivable backup capacity,
+    /// bypassing the protocol — the seeding counterpart of
+    /// [`ClusterModel::backup_reserved`](crate::ClusterModel::backup_reserved),
+    /// for mirroring an offline survivable placement into the live stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the amount does not fit the server's remaining capacity.
+    pub fn install_backup(&mut self, server: ServerId, amount: ResourceVector) {
+        self.engine
+            .actor_mut(ActorId::new(server.index() as u32))
+            .app_mut()
+            .client_mut()
+            .reserve_backup(amount);
+    }
+
     /// Rebuilds the VM → server index by walking every controller (needed
     /// after migrations).
     pub fn reindex(&mut self) {

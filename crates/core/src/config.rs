@@ -3,6 +3,33 @@
 use vbundle_dcn::Bandwidth;
 use vbundle_sim::SimDuration;
 
+/// Survivable-placement knobs: failure-domain spreading plus backup
+/// bandwidth reservations (the production fix for the paper's
+/// pack-close-to-root placement, which lets one rack fault zero a
+/// tenant).
+///
+/// The same two numbers parameterize the offline
+/// [`PlacementPolicy::Survivable`](crate::PlacementPolicy) model and the
+/// controllers' online boot admission, so both paths enforce one rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SurvivabilityConfig {
+    /// Maximum fraction of one customer's VMs any single rack or pod may
+    /// hold (cap: `ceil(frac × total)`, never below 1).
+    pub max_frac_per_domain: f64,
+    /// Fraction of each VM's reservation reserved as backup capacity on
+    /// a server in a different failure domain.
+    pub backup: f64,
+}
+
+impl Default for SurvivabilityConfig {
+    fn default() -> Self {
+        SurvivabilityConfig {
+            max_frac_per_domain: 0.5,
+            backup: 0.25,
+        }
+    }
+}
+
 /// Configuration of a v-Bundle server controller.
 ///
 /// Defaults follow the paper's simulated experiments (§IV): a 5-minute
@@ -85,6 +112,11 @@ pub struct VBundleConfig {
     pub trade_margin: f64,
     /// Upper bound on borrow requests one server issues per update tick.
     pub max_trades_per_round: usize,
+    /// Survivable placement for the protocol path: when set, boot
+    /// admission additionally enforces the failure-domain caps and
+    /// reserves backup bandwidth cross-domain. `None` (the default)
+    /// keeps the controller bit-identical to the pre-survivability code.
+    pub survivability: Option<SurvivabilityConfig>,
 }
 
 impl Default for VBundleConfig {
@@ -110,6 +142,7 @@ impl Default for VBundleConfig {
             lease_duration: SimDuration::from_mins(15),
             trade_margin: 0.1,
             max_trades_per_round: 4,
+            survivability: None,
         }
     }
 }
@@ -192,6 +225,12 @@ impl VBundleConfig {
         self.max_trades_per_round = n;
         self
     }
+
+    /// Enables survivable boot admission with the given knobs.
+    pub fn with_survivability(mut self, config: SurvivabilityConfig) -> Self {
+        self.survivability = Some(config);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +276,22 @@ mod tests {
         assert_eq!(c.lease_duration, SimDuration::from_mins(5));
         assert_eq!(c.trade_margin, 0.25);
         assert_eq!(c.max_trades_per_round, 2);
+    }
+
+    #[test]
+    fn survivability_defaults_off_and_builder() {
+        let c = VBundleConfig::default();
+        assert!(c.survivability.is_none());
+        let sc = SurvivabilityConfig::default();
+        assert_eq!(sc.max_frac_per_domain, 0.5);
+        assert_eq!(sc.backup, 0.25);
+        let c = VBundleConfig::default().with_survivability(SurvivabilityConfig {
+            max_frac_per_domain: 0.25,
+            backup: 0.5,
+        });
+        let sc = c.survivability.expect("enabled");
+        assert_eq!(sc.max_frac_per_domain, 0.25);
+        assert_eq!(sc.backup, 0.5);
     }
 
     #[test]

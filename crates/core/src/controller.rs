@@ -23,7 +23,9 @@ use vbundle_scribe::{group_id, GroupId, ScribeClient, ScribeCtx};
 use vbundle_sim::{ActorId, SimDuration, SimTime};
 use vbundle_trade::{HalfLease, Lease, LeaseId, LeaseRole, ResourceSpec, TradeBook};
 
-use crate::message::{BootQuery, BorrowRequest, CtrlMsg, LoadQuery};
+use crate::config::SurvivabilityConfig;
+use crate::message::{BootQuery, BorrowRequest, CtrlMsg, LoadQuery, SurvCaps};
+use crate::placement::survivable_domain_cap;
 use crate::{shaper, CustomerId, ResourceVector, VBundleConfig, VmId, VmRecord};
 
 /// Client timer tag for the status-update tick.
@@ -168,6 +170,23 @@ pub struct ControllerStats {
     /// Inbound aggregation payloads dropped by the Scribe-layer poison
     /// screen ([`ScribeClient::validate_payload`]) before processing.
     pub invalid_payloads: u64,
+    /// Backup reservations this server carved out on behalf of other
+    /// servers' survivable admissions (receiver side of
+    /// [`CtrlMsg::BackupReserve`]).
+    pub backups_reserved: u64,
+    /// Survivable admissions on this server whose backup found no known
+    /// cross-domain peer with room.
+    pub backups_unplaced: u64,
+}
+
+/// One customer's failure-domain occupancy as tracked by its key's root
+/// server — the authoritative source of the [`SurvCaps`] stamped onto
+/// boot queries. `BTreeMap` so snapshot order is deterministic.
+#[derive(Debug, Clone, Default)]
+struct SurvLedger {
+    total: u32,
+    per_rack: BTreeMap<u32, u32>,
+    per_pod: BTreeMap<u32, u32>,
 }
 
 /// Per-dimension state of the cluster-mean sanity gate.
@@ -240,6 +259,13 @@ pub struct Controller {
     /// This server's actor index, for tagging flight events. Set by
     /// [`Controller::attach_obs`]; purely observational.
     obs_node: u32,
+    /// Capacity carved out for displaced VMs of survivable customers.
+    /// Counted by [`Controller::reserved`] (admission control) and
+    /// subtracted from the shaper's borrow pool.
+    backup_reserved: ResourceVector,
+    /// Per-customer domain occupancy, maintained on each customer key's
+    /// root server while survivable admission is on.
+    surv_ledger: BTreeMap<u32, SurvLedger>,
     /// Observable counters.
     pub stats: ControllerStats,
 }
@@ -296,6 +322,8 @@ impl Controller {
             clock: SimTime::ZERO,
             flight: FlightRecorder::disabled(),
             obs_node: 0,
+            backup_reserved: ResourceVector::ZERO,
+            surv_ledger: BTreeMap::new(),
             stats: ControllerStats::default(),
         }
     }
@@ -360,11 +388,12 @@ impl Controller {
         self.bw_demand().fraction_of(self.capacity.bandwidth)
     }
 
-    /// Sum of hosted reservations plus held reservations — what admission
-    /// control checks new reservations against. With bundle trading on,
-    /// hosted VMs count at their *live* entitlement: a server whose VMs
-    /// borrowed heavily really has less room for newcomers, and a lender's
-    /// freed reservation is usable immediately.
+    /// Sum of hosted reservations plus held reservations plus survivable
+    /// backup reservations — what admission control checks new
+    /// reservations against. With bundle trading on, hosted VMs count at
+    /// their *live* entitlement: a server whose VMs borrowed heavily
+    /// really has less room for newcomers, and a lender's freed
+    /// reservation is usable immediately.
     pub fn reserved(&self) -> ResourceVector {
         let hosted: ResourceVector = self
             .vms
@@ -372,7 +401,33 @@ impl Controller {
             .map(|vm| self.entitled_spec(vm).reservation)
             .sum();
         let held: ResourceVector = self.holds.iter().map(|h| h.vm.spec.reservation).sum();
-        hosted + held
+        hosted + held + self.backup_reserved
+    }
+
+    /// Capacity carved out on this server as survivable backup.
+    pub fn backup_reserved(&self) -> ResourceVector {
+        self.backup_reserved
+    }
+
+    /// Carves `amount` out of this server as survivable backup capacity
+    /// — the offline seeding counterpart of [`CtrlMsg::BackupReserve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the amount does not fit the remaining capacity (backup
+    /// carve-outs respect admission control like everything else).
+    pub fn reserve_backup(&mut self, amount: ResourceVector) {
+        assert!(
+            (self.reserved() + amount).fits_within(&self.capacity),
+            "reserve_backup violates admission control"
+        );
+        self.backup_reserved += amount;
+    }
+
+    /// Releases previously carved-out backup capacity — the recovery
+    /// path, when a displaced VM lands on its backup or the fault heals.
+    pub fn release_backup(&mut self, amount: ResourceVector) {
+        self.backup_reserved = self.backup_reserved.saturating_sub(&amount);
     }
 
     /// `vm`'s effective rate/ceil contract right now: the static spec
@@ -563,10 +618,14 @@ impl Controller {
     /// Per-VM bandwidth allocations under the HTB shaper right now. With
     /// bundle trading on, every VM's rate/ceil is its live entitlement —
     /// this is the enforcement point where a lease becomes bandwidth.
+    /// Survivable backup reservations are held out of the borrow pool.
     pub fn allocations(&self) -> Vec<shaper::Allocation> {
-        shaper::allocate_entitled(self.capacity.bandwidth, &self.vms, |vm| {
-            self.entitled_spec(vm)
-        })
+        shaper::allocate_with_backup(
+            self.capacity.bandwidth,
+            self.backup_reserved.bandwidth,
+            &self.vms,
+            |vm| self.entitled_spec(vm),
+        )
     }
 
     /// Shuts a hosted VM down, releasing its reservation. Returns its
@@ -648,6 +707,7 @@ impl Controller {
                 vm,
                 origin: me,
                 root: None,
+                caps: None,
                 visited: Vec::new(),
                 ttl: self.config.boot_ttl,
             }),
@@ -948,9 +1008,125 @@ impl Controller {
         true
     }
 
+    /// Advances the root-side failure-domain ledger by one admitted VM.
+    fn record_surv_commit(&mut self, customer: CustomerId, rack: u32, pod: u32) {
+        let ledger = self.surv_ledger.entry(customer.0).or_default();
+        ledger.total += 1;
+        *ledger.per_rack.entry(rack).or_insert(0) += 1;
+        *ledger.per_pod.entry(pod).or_insert(0) += 1;
+    }
+
+    /// The root's current view of `customer`'s domain occupancy, in the
+    /// wire shape stamped onto boot queries.
+    fn surv_caps_snapshot(&self, customer: CustomerId) -> SurvCaps {
+        match self.surv_ledger.get(&customer.0) {
+            Some(l) => SurvCaps {
+                total: l.total,
+                per_rack: l.per_rack.iter().map(|(&r, &n)| (r, n)).collect(),
+                per_pod: l.per_pod.iter().map(|(&p, &n)| (p, n)).collect(),
+            },
+            None => SurvCaps::default(),
+        }
+    }
+
+    /// Whether admitting one more of the customer's VMs *here* keeps
+    /// every failure domain under the survivable cap — the online mirror
+    /// of the offline model's per-rack/per-pod check, sharing
+    /// [`survivable_domain_cap`]. Domains with only one instance (e.g.
+    /// the single pod of the paper testbed) are exempt, as offline.
+    fn survivable_spread_ok(
+        &self,
+        ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>,
+        sc: &SurvivabilityConfig,
+        caps: &SurvCaps,
+        me: NodeHandle,
+    ) -> bool {
+        let topo = ctx.pastry_state().topology().clone();
+        if me.actor.index() >= topo.num_servers() {
+            return true;
+        }
+        let sid = topo.server(me.actor.index());
+        let cap = survivable_domain_cap(sc.max_frac_per_domain, caps.total + 1);
+        let rack_ok =
+            topo.num_racks() < 2 || caps.rack_count(topo.rack_of(sid).index() as u32) < cap;
+        let pod_ok = topo.num_pods() < 2 || caps.pod_count(topo.pod_of(sid).index() as u32) < cap;
+        rack_ok && pod_ok
+    }
+
+    /// Post-admission survivability bookkeeping: report the new VM's
+    /// domain to the customer key's root (or record it directly when we
+    /// are the root) and ask a known cross-domain peer to carve out the
+    /// backup share. The backup request is best-effort — a receiver
+    /// without room simply drops it, mirroring the offline model's
+    /// `backups_unplaced` accounting.
+    fn after_survivable_admit(
+        &mut self,
+        ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>,
+        sc: SurvivabilityConfig,
+        vm: VmRecord,
+        root: NodeHandle,
+    ) {
+        let me = ctx.self_handle();
+        let topo = ctx.pastry_state().topology().clone();
+        if me.actor.index() >= topo.num_servers() {
+            return;
+        }
+        let sid = topo.server(me.actor.index());
+        let (rack, pod) = (
+            topo.rack_of(sid).index() as u32,
+            topo.pod_of(sid).index() as u32,
+        );
+        if root.actor == me.actor {
+            self.record_surv_commit(vm.customer, rack, pod);
+        } else {
+            ctx.send_client(
+                root,
+                CtrlMsg::SurvCommit {
+                    customer: vm.customer,
+                    rack,
+                    pod,
+                },
+            );
+        }
+        if sc.backup <= 0.0 {
+            return;
+        }
+        let amount = vm.spec.reservation.scale(sc.backup);
+        let site = ctx
+            .pastry_state()
+            .known_nodes()
+            .into_iter()
+            .filter(|h| h.actor != me.actor && h.actor.index() < topo.num_servers())
+            .filter(|h| {
+                let hs = topo.server(h.actor.index());
+                if topo.num_pods() > 1 {
+                    topo.pod_of(hs) != topo.pod_of(sid)
+                } else {
+                    topo.rack_of(hs) != topo.rack_of(sid)
+                }
+            })
+            .min_by_key(|h| {
+                (
+                    topo.distance(topo.server(h.actor.index()), sid),
+                    h.actor.index(),
+                )
+            });
+        match site {
+            Some(peer) => ctx.send_client(
+                peer,
+                CtrlMsg::BackupReserve {
+                    customer: vm.customer,
+                    amount,
+                },
+            ),
+            None => self.stats.backups_unplaced += 1,
+        }
+    }
+
     fn handle_boot(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>, mut q: BootQuery) {
         self.stats.boots_handled += 1;
         let me = ctx.self_handle();
+        let at_root = q.root.is_none();
         let root = *q.root.get_or_insert(me);
         if self.vms.iter().any(|v| v.id == q.vm.id) {
             // Duplicate delivery of a Boot we already admitted: installing
@@ -966,7 +1142,17 @@ impl Controller {
             );
             return;
         }
-        if (self.reserved() + q.vm.spec.reservation).fits_within(&self.capacity) {
+        let surv = self.config.survivability;
+        if surv.is_some() && at_root {
+            // We are the customer key's root: stamp the ledger snapshot
+            // so every walk server enforces the same spreading caps.
+            q.caps = Some(self.surv_caps_snapshot(q.vm.customer));
+        }
+        let spread_ok = match (surv, q.caps.as_ref()) {
+            (Some(sc), Some(caps)) => self.survivable_spread_ok(ctx, &sc, caps, me),
+            _ => true,
+        };
+        if spread_ok && (self.reserved() + q.vm.spec.reservation).fits_within(&self.capacity) {
             self.vms.push(q.vm);
             ctx.send_client(
                 q.origin,
@@ -976,6 +1162,9 @@ impl Controller {
                     host: Some(me),
                 },
             );
+            if let Some(sc) = surv {
+                self.after_survivable_admit(ctx, sc, q.vm, root);
+            }
             return;
         }
         // Full: walk outward. Prefer servers physically closest to the
@@ -1461,6 +1650,26 @@ impl ScribeClient for Controller {
             }
             CtrlMsg::LeaseRelease { id } => {
                 self.drop_lease_half(id);
+            }
+            CtrlMsg::SurvCommit {
+                customer,
+                rack,
+                pod,
+            } => {
+                if self.config.survivability.is_some() {
+                    self.record_surv_commit(customer, rack, pod);
+                }
+            }
+            CtrlMsg::BackupReserve { amount, .. } => {
+                // Best-effort: carve the backup out only when it fits
+                // (reserved() already counts earlier carve-outs).
+                if self.config.survivability.is_some()
+                    && amount.is_sane()
+                    && (self.reserved() + amount).fits_within(&self.capacity)
+                {
+                    self.backup_reserved += amount;
+                    self.stats.backups_reserved += 1;
+                }
             }
             CtrlMsg::Borrow(_) => {} // borrow requests only arrive via anycast
             CtrlMsg::Load(_) => {}   // load queries only arrive via anycast

@@ -7,6 +7,39 @@ use vbundle_trade::{Lease, LeaseId};
 
 use crate::{CustomerId, ResourceVector, VmId, VmRecord};
 
+/// A snapshot of one customer's failure-domain occupancy, stamped onto a
+/// [`BootQuery`] by the customer key's root when survivable admission is
+/// on. Every walk server enforces the same per-domain cap against it, so
+/// the online path and the offline
+/// [`ClusterModel`](crate::ClusterModel) agree on the spreading rule.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SurvCaps {
+    /// VMs this customer has booted so far (per the root's ledger).
+    pub total: u32,
+    /// `(rack index, VM count)` pairs with at least one VM.
+    pub per_rack: Vec<(u32, u32)>,
+    /// `(pod index, VM count)` pairs with at least one VM.
+    pub per_pod: Vec<(u32, u32)>,
+}
+
+impl SurvCaps {
+    /// VMs already hosted in rack `rack`.
+    pub fn rack_count(&self, rack: u32) -> u32 {
+        self.per_rack
+            .iter()
+            .find(|(r, _)| *r == rack)
+            .map_or(0, |(_, n)| *n)
+    }
+
+    /// VMs already hosted in pod `pod`.
+    pub fn pod_count(&self, pod: u32) -> u32 {
+        self.per_pod
+            .iter()
+            .find(|(p, _)| *p == pod)
+            .map_or(0, |(_, n)| *n)
+    }
+}
+
 /// A VM boot query walking the datacenter (§II.B): routed to
 /// `hash(customer)` first, then forwarded across neighbor sets until a
 /// server can admit the VM's reservation.
@@ -21,6 +54,10 @@ pub struct BootQuery {
     /// The server that first received the query (the customer key's
     /// root); the walk spreads outward from it to preserve locality.
     pub root: Option<NodeHandle>,
+    /// The customer's domain occupancy, stamped by the root when
+    /// survivable admission is on (`None` otherwise — the wire size is
+    /// unchanged for non-survivable runs).
+    pub caps: Option<SurvCaps>,
     /// Servers already asked.
     pub visited: Vec<ActorId>,
     /// Remaining forwarding budget.
@@ -134,6 +171,27 @@ pub enum CtrlMsg {
         /// The lease to drop.
         id: LeaseId,
     },
+    /// An admitting server's notice to the customer key's root that it
+    /// just hosted one of the customer's VMs, so the root's
+    /// failure-domain ledger (the source of [`SurvCaps`]) stays current.
+    /// Only sent when survivable admission is on.
+    SurvCommit {
+        /// The customer whose ledger advances.
+        customer: CustomerId,
+        /// Rack index of the admitting server.
+        rack: u32,
+        /// Pod index of the admitting server.
+        pod: u32,
+    },
+    /// An admitting server's request that `customer`'s backup share be
+    /// carved out on the receiver (chosen in a different failure
+    /// domain). Best-effort: a receiver without room drops it.
+    BackupReserve {
+        /// The customer the backup protects.
+        customer: CustomerId,
+        /// The backup amount (`backup` × the VM's reservation).
+        amount: ResourceVector,
+    },
 }
 
 const HANDLE_BYTES: usize = 20;
@@ -144,7 +202,13 @@ impl Message for CtrlMsg {
     fn wire_size(&self) -> usize {
         match self {
             CtrlMsg::Agg(m) => m.wire_size(),
-            CtrlMsg::Boot(q) => 8 + VM_BYTES + HANDLE_BYTES * 2 + 4 * q.visited.len() + 8,
+            CtrlMsg::Boot(q) => {
+                let caps = q
+                    .caps
+                    .as_ref()
+                    .map_or(0, |c| 4 + 8 * (c.per_rack.len() + c.per_pod.len()));
+                8 + VM_BYTES + HANDLE_BYTES * 2 + 4 * q.visited.len() + 8 + caps
+            }
             CtrlMsg::BootResult { .. } => 8 + 8 + HANDLE_BYTES,
             CtrlMsg::Load(_) => 8 + VM_BYTES + HANDLE_BYTES,
             CtrlMsg::LoadAccept { .. } => 8 + 8 + HANDLE_BYTES,
@@ -155,6 +219,8 @@ impl Message for CtrlMsg {
             CtrlMsg::LeaseAck { .. } => 8 + 1,
             CtrlMsg::LeaseRenew { .. } => 8,
             CtrlMsg::LeaseRelease { .. } => 8,
+            CtrlMsg::SurvCommit { .. } => 4 + 4 + 4,
+            CtrlMsg::BackupReserve { .. } => 4 + 3 * 8,
         }
     }
 
@@ -198,11 +264,26 @@ mod tests {
             vm,
             origin: h,
             root: None,
+            caps: None,
             visited: vec![ActorId::new(2)],
             ttl: 9,
         });
         assert!(boot.wire_size() > VM_BYTES);
         assert_eq!(boot.category(), MsgCategory::Payload);
+
+        // Stamping caps grows the wire size; `None` costs nothing.
+        let bare = boot.wire_size();
+        let stamped = if let CtrlMsg::Boot(mut q) = boot.clone() {
+            q.caps = Some(SurvCaps {
+                total: 3,
+                per_rack: vec![(0, 2), (1, 1)],
+                per_pod: vec![(0, 3)],
+            });
+            CtrlMsg::Boot(q).wire_size()
+        } else {
+            unreachable!()
+        };
+        assert!(stamped > bare);
 
         let agg: CtrlMsg = AggMsg::Update {
             topic: Id::from_u128(5),
@@ -210,5 +291,36 @@ mod tests {
         }
         .into();
         assert!(matches!(agg, CtrlMsg::Agg(_)));
+    }
+
+    #[test]
+    fn surv_caps_lookup() {
+        let caps = SurvCaps {
+            total: 5,
+            per_rack: vec![(2, 3), (7, 2)],
+            per_pod: vec![(1, 5)],
+        };
+        assert_eq!(caps.rack_count(2), 3);
+        assert_eq!(caps.rack_count(3), 0);
+        assert_eq!(caps.pod_count(1), 5);
+        assert_eq!(caps.pod_count(0), 0);
+        assert_eq!(SurvCaps::default().total, 0);
+    }
+
+    #[test]
+    fn surv_message_sizes() {
+        let commit = CtrlMsg::SurvCommit {
+            customer: CustomerId(1),
+            rack: 2,
+            pod: 0,
+        };
+        assert_eq!(commit.wire_size(), 12);
+        let reserve = CtrlMsg::BackupReserve {
+            customer: CustomerId(1),
+            amount: ResourceVector::bandwidth_only(Bandwidth::from_mbps(25.0)),
+        };
+        assert_eq!(reserve.wire_size(), 28);
+        let mut c = commit;
+        assert!(!c.corrupt(CorruptionMode::Nan));
     }
 }

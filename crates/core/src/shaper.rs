@@ -137,6 +137,19 @@ pub fn allocate_entitled(
     allocs
 }
 
+/// [`allocate_entitled`] on a NIC with survivable-placement backup
+/// reservations carved out: the backup share is held in reserve for
+/// displaced VMs and never handed to the borrow phase, so the shaper
+/// water-fills only `capacity − backup_reserved`.
+pub fn allocate_with_backup(
+    capacity: Bandwidth,
+    backup_reserved: Bandwidth,
+    vms: &[VmRecord],
+    spec_of: impl Fn(&VmRecord) -> ResourceSpec,
+) -> Vec<Allocation> {
+    allocate_entitled(capacity.saturating_sub(backup_reserved), vms, spec_of)
+}
+
 /// Total granted bandwidth for a server.
 pub fn total_granted(allocs: &[Allocation]) -> Bandwidth {
     allocs.iter().map(|a| a.granted).sum()
@@ -254,6 +267,18 @@ mod tests {
         let traded = allocate_entitled(cap(400.0), &vms, leased);
         assert_eq!(traded[0].granted.as_mbps(), 160.0);
         assert_eq!(traded[1].granted.as_mbps(), 10.0);
+    }
+
+    #[test]
+    fn backup_reservation_shrinks_the_borrow_pool() {
+        // One greedy VM on a 400 NIC with 100 reserved as backup: it may
+        // only water-fill up to 300, even though its ceil is higher.
+        let vms = vec![vm(1, 100.0, 400.0, 400.0)];
+        let a = allocate_with_backup(cap(400.0), cap(100.0), &vms, |vm| vm.spec);
+        assert!((a[0].granted.as_mbps() - 300.0).abs() < 1e-6);
+        // Zero backup degenerates to allocate_entitled.
+        let b = allocate_with_backup(cap(400.0), Bandwidth::ZERO, &vms, |vm| vm.spec);
+        assert_eq!(b[0].granted.as_mbps(), 400.0);
     }
 
     #[test]

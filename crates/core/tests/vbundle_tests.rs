@@ -5,8 +5,8 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 use vbundle_core::{
-    metrics, Cluster, Customer, CustomerId, ResourceSpec, ResourceVector, ServerStatus,
-    VBundleConfig, VmRecord,
+    metrics, survivable_domain_cap, Cluster, Customer, CustomerId, ResourceSpec, ResourceVector,
+    ServerStatus, SurvivabilityConfig, VBundleConfig, VmRecord,
 };
 use vbundle_dcn::{Bandwidth, Topology};
 use vbundle_sim::{SimDuration, SimTime};
@@ -684,6 +684,75 @@ fn heterogeneous_capacities_respected() {
             c.utilization() <= 1.0 + 1e-9,
             "server {i} overfilled: {}",
             c.utilization()
+        );
+    }
+}
+
+#[test]
+fn survivable_boots_spread_domains_and_reserve_backup() {
+    // 2 pods × 2 racks × 2 servers: enough failure domains for both the
+    // rack and the pod cap to bite.
+    let topo = Arc::new(
+        Topology::builder()
+            .pods(2)
+            .racks_per_pod(2)
+            .servers_per_rack(2)
+            .build(),
+    );
+    let mut cluster = Cluster::builder(Arc::clone(&topo))
+        .vbundle(fast_config().with_survivability(SurvivabilityConfig {
+            max_frac_per_domain: 0.5,
+            backup: 0.25,
+        }))
+        .seed(17)
+        .build();
+    let tenant = Customer::new(CustomerId(0), "tenant");
+    let spec = ResourceSpec::bandwidth(bw(100.0), bw(200.0));
+    let mut hosts = Vec::new();
+    for entry in 0..8usize {
+        let host = cluster
+            .boot_and_run(
+                entry,
+                &tenant,
+                spec,
+                ResourceVector::ZERO,
+                SimDuration::from_secs(60),
+            )
+            .expect("survivable boot placed");
+        hosts.push(host);
+    }
+    // Per-domain counts respect cap = ceil(0.5 × 8) = 4; a plain v-Bundle
+    // walk would pack all 8 into the root's neighborhood instead.
+    let cap = survivable_domain_cap(0.5, hosts.len() as u32);
+    let mut per_rack = std::collections::HashMap::new();
+    let mut per_pod = std::collections::HashMap::new();
+    for &h in &hosts {
+        *per_rack.entry(topo.rack_of(h)).or_insert(0u32) += 1;
+        *per_pod.entry(topo.pod_of(h)).or_insert(0u32) += 1;
+    }
+    assert!(
+        per_rack.values().all(|&n| n <= cap),
+        "rack counts {per_rack:?} exceed cap {cap}"
+    );
+    assert!(
+        per_pod.values().all(|&n| n <= cap),
+        "pod counts {per_pod:?} exceed cap {cap}"
+    );
+    assert!(
+        per_pod.len() >= 2,
+        "survivable placement must cross pods: {per_pod:?}"
+    );
+    // Backup bandwidth got carved out somewhere, and the carve-outs never
+    // pushed any server past its admission-control envelope.
+    let total_backup: f64 = (0..8)
+        .map(|s| cluster.controller(s).backup_reserved().bandwidth.as_mbps())
+        .sum();
+    assert!(total_backup > 0.0, "no backup bandwidth was reserved");
+    for s in 0..8 {
+        let ctrl = cluster.controller(s);
+        assert!(
+            ctrl.reserved().fits_within(ctrl.capacity()),
+            "server {s} over-admitted"
         );
     }
 }

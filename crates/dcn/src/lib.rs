@@ -50,5 +50,5 @@ mod traffic;
 pub use bandwidth::Bandwidth;
 pub use proximity::{ProximityLevel, TopologyLatency};
 pub use server::ServerCapacity;
-pub use topology::{PodId, RackId, ServerId, Topology, TopologyBuilder};
+pub use topology::{DomainKind, PodId, RackId, ServerId, Topology, TopologyBuilder};
 pub use traffic::{BisectionReport, Flow, TrafficMatrix, UplinkLoad};

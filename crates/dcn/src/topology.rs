@@ -44,6 +44,30 @@ impl std::fmt::Display for ServerId {
     }
 }
 
+/// A failure-domain granularity: everything behind one shared piece of
+/// infrastructure that can die at once.
+///
+/// The survivable-placement layer (core) and the domain-crash fault
+/// injectors (chaos) both speak in these terms: a **rack** shares a ToR
+/// switch and usually a power feed; a **pod** shares an aggregation
+/// switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DomainKind {
+    /// One top-of-rack switch domain.
+    Rack,
+    /// One aggregation-switch (pod) domain.
+    Pod,
+}
+
+impl std::fmt::Display for DomainKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DomainKind::Rack => write!(f, "rack"),
+            DomainKind::Pod => write!(f, "pod"),
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct RackInfo {
     pod: PodId,
@@ -229,6 +253,101 @@ impl Topology {
     /// 2 same pod, 3 cross pod.
     pub fn distance(&self, a: ServerId, b: ServerId) -> u32 {
         self.proximity(a, b) as u32
+    }
+
+    /// The rack with dense index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.num_racks()`.
+    pub fn rack(&self, index: usize) -> RackId {
+        assert!(index < self.num_racks(), "rack index out of range");
+        RackId(index as u32)
+    }
+
+    /// The pod with dense index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.num_pods()`.
+    pub fn pod(&self, index: usize) -> PodId {
+        assert!(index < self.num_pods(), "pod index out of range");
+        PodId(index as u32)
+    }
+
+    /// Iterates over all pods in index order.
+    pub fn pods(&self) -> impl Iterator<Item = PodId> + '_ {
+        (0..self.num_pods).map(PodId)
+    }
+
+    /// The racks belonging to `pod`, in index order.
+    pub fn racks_in_pod(&self, pod: PodId) -> impl Iterator<Item = RackId> + '_ {
+        self.racks
+            .iter()
+            .enumerate()
+            .filter(move |(_, info)| info.pod == pod)
+            .map(|(i, _)| RackId(i as u32))
+    }
+
+    /// The servers belonging to `pod`, in index order.
+    pub fn servers_in_pod(&self, pod: PodId) -> impl Iterator<Item = ServerId> + '_ {
+        self.servers().filter(move |&s| self.pod_of(s) == pod)
+    }
+
+    /// How many failure domains of `kind` the topology has.
+    pub fn num_domains(&self, kind: DomainKind) -> usize {
+        match kind {
+            DomainKind::Rack => self.num_racks(),
+            DomainKind::Pod => self.num_pods(),
+        }
+    }
+
+    /// The dense index of the `kind`-domain containing `server`.
+    pub fn domain_of(&self, server: ServerId, kind: DomainKind) -> usize {
+        match kind {
+            DomainKind::Rack => self.rack_of(server).index(),
+            DomainKind::Pod => self.pod_of(server).index(),
+        }
+    }
+
+    /// The servers inside the `kind`-domain with dense index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for `kind`.
+    pub fn domain_servers(&self, kind: DomainKind, index: usize) -> Vec<ServerId> {
+        match kind {
+            DomainKind::Rack => self.servers_in_rack(self.rack(index)).collect(),
+            DomainKind::Pod => self.servers_in_pod(self.pod(index)).collect(),
+        }
+    }
+
+    /// Number of servers inside the `kind`-domain with dense index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for `kind`.
+    pub fn domain_size(&self, kind: DomainKind, index: usize) -> usize {
+        match kind {
+            DomainKind::Rack => self.rack_size(self.rack(index)),
+            DomainKind::Pod => self.servers_in_pod(self.pod(index)).count(),
+        }
+    }
+
+    /// True when `a` and `b` sit in different `kind`-domains — the
+    /// disjointness predicate survivable placement uses when it reserves
+    /// backup capacity away from the primary.
+    pub fn domain_disjoint(&self, kind: DomainKind, a: ServerId, b: ServerId) -> bool {
+        self.domain_of(a, kind) != self.domain_of(b, kind)
+    }
+
+    /// True when the tree-fabric path between `a` and `b` still exists
+    /// after the `kind`-domain `failed` dies. On a tree there is exactly
+    /// one path, so it survives iff neither endpoint (nor, for two
+    /// servers of one rack inside a failed pod, their shared switch)
+    /// lives inside the failed domain.
+    pub fn path_survives(&self, a: ServerId, b: ServerId, kind: DomainKind, failed: usize) -> bool {
+        self.domain_of(a, kind) != failed && self.domain_of(b, kind) != failed
     }
 }
 
@@ -460,5 +579,72 @@ mod tests {
     fn display_ids() {
         let t = Topology::paper_testbed();
         assert_eq!(format!("{}", t.server(3)), "pm3");
+    }
+
+    #[test]
+    fn domain_view_enumeration() {
+        let t = Topology::builder()
+            .pods(2)
+            .racks_per_pod(3)
+            .servers_per_rack(5)
+            .build();
+        assert_eq!(t.num_domains(DomainKind::Rack), 6);
+        assert_eq!(t.num_domains(DomainKind::Pod), 2);
+        assert_eq!(t.pods().count(), 2);
+        let pod1_racks: Vec<_> = t.racks_in_pod(t.pod(1)).map(|r| r.index()).collect();
+        assert_eq!(pod1_racks, vec![3, 4, 5]);
+        let pod1_servers: Vec<_> = t.servers_in_pod(t.pod(1)).map(|s| s.index()).collect();
+        assert_eq!(pod1_servers, (15..30).collect::<Vec<_>>());
+        assert_eq!(t.domain_of(t.server(7), DomainKind::Rack), 1);
+        assert_eq!(t.domain_of(t.server(7), DomainKind::Pod), 0);
+        assert_eq!(t.domain_size(DomainKind::Rack, 2), 5);
+        assert_eq!(t.domain_size(DomainKind::Pod, 0), 15);
+        assert_eq!(
+            t.domain_servers(DomainKind::Rack, 1)
+                .iter()
+                .map(|s| s.index())
+                .collect::<Vec<_>>(),
+            vec![5, 6, 7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn domain_disjointness_and_path_survival() {
+        let t = Topology::builder()
+            .pods(2)
+            .racks_per_pod(2)
+            .servers_per_rack(2)
+            .build();
+        let s = |i| t.server(i);
+        assert!(!t.domain_disjoint(DomainKind::Rack, s(0), s(1)));
+        assert!(t.domain_disjoint(DomainKind::Rack, s(0), s(2)));
+        assert!(!t.domain_disjoint(DomainKind::Pod, s(0), s(2)));
+        assert!(t.domain_disjoint(DomainKind::Pod, s(0), s(4)));
+        // Rack 0 dies: paths touching servers 0–1 are gone, others live.
+        assert!(!t.path_survives(s(0), s(2), DomainKind::Rack, 0));
+        assert!(t.path_survives(s(2), s(4), DomainKind::Rack, 0));
+        // Pod 1 dies: cross-pod path from 0 to 4 is gone.
+        assert!(!t.path_survives(s(0), s(4), DomainKind::Pod, 1));
+        assert!(t.path_survives(s(0), s(2), DomainKind::Pod, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "rack index out of range")]
+    fn rack_bounds_checked() {
+        let t = Topology::paper_testbed();
+        let _ = t.rack(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "pod index out of range")]
+    fn pod_bounds_checked() {
+        let t = Topology::paper_testbed();
+        let _ = t.pod(1);
+    }
+
+    #[test]
+    fn domain_kind_display() {
+        assert_eq!(DomainKind::Rack.to_string(), "rack");
+        assert_eq!(DomainKind::Pod.to_string(), "pod");
     }
 }

@@ -121,6 +121,22 @@ impl ResourceVector {
         max
     }
 
+    /// Element-wise scaling by a non-negative factor — how survivable
+    /// placement derives a backup reservation (e.g. 25% of the primary)
+    /// from a VM's reservation vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `factor` is negative or not finite.
+    pub fn scale(&self, factor: f64) -> ResourceVector {
+        debug_assert!(factor.is_finite() && factor >= 0.0);
+        ResourceVector {
+            cpu: self.cpu * factor,
+            memory_mb: self.memory_mb * factor,
+            bandwidth: self.bandwidth * factor,
+        }
+    }
+
     /// True when every dimension is finite and non-negative — the wire
     /// screen applied before a quantity may enter a ledger. Anything else
     /// (NaN from a corrupted message, a negative "amount") would silently
@@ -270,6 +286,14 @@ mod tests {
         let bw_only = ResourceVector::bandwidth_only(Bandwidth::from_mbps(80.0));
         let bw_cap = ResourceVector::bandwidth_only(Bandwidth::from_mbps(100.0));
         assert!((bw_only.max_utilization(&bw_cap) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_is_elementwise() {
+        let a = v(2.0, 100.0, 40.0);
+        assert_eq!(a.scale(0.25), v(0.5, 25.0, 10.0));
+        assert_eq!(a.scale(0.0), ResourceVector::ZERO);
+        assert_eq!(a.scale(1.0), a);
     }
 
     #[test]
