@@ -66,11 +66,11 @@ fn run(servers: usize, fault_rate: f64) -> Overhead {
     // measure exactly one round.
     cluster.run_for(round);
     cluster.run_for(round);
-    cluster.engine.counters_mut().snapshot_and_reset();
+    cluster.engine.snapshot_counters();
     let dropped_before = cluster.engine.fault_stats().dropped;
     cluster.run_for(round);
     let dropped = cluster.engine.fault_stats().dropped - dropped_before;
-    let snap = cluster.engine.counters_mut().snapshot_and_reset();
+    let snap = cluster.engine.snapshot_counters();
     let n = cluster.num_servers();
     let msgs: Vec<f64> = snap[..n].iter().map(|c| c.total_msgs() as f64).collect();
     let kb: Vec<f64> = snap[..n]

@@ -223,7 +223,7 @@ pub fn run_scenario<W: Message, A: Actor<W>>(
     let mut driver = ChaosDriver::install(engine, topo, plan);
     driver.run_until(engine, last_fault_at);
 
-    let base_msgs = engine.counters().aggregate().total_msgs();
+    let base_msgs = engine.counter_totals().total_msgs();
     let deadline = last_fault_at + spec.deadline;
     let mut repaired_at = None;
     let mut messages_to_repair = None;
@@ -233,7 +233,7 @@ pub fn run_scenario<W: Message, A: Actor<W>>(
     loop {
         if repaired_at.is_none() && open.is_empty() {
             repaired_at = Some(engine.now());
-            messages_to_repair = Some(engine.counters().aggregate().total_msgs() - base_msgs);
+            messages_to_repair = Some(engine.counter_totals().total_msgs() - base_msgs);
         }
         if agg_converged_at.is_none() && agg_ok(engine) {
             agg_converged_at = Some(engine.now());

@@ -12,7 +12,7 @@ use vbundle_pastry::{
     overlay, IdAssignment, NodeHandle, NodeId, PastryConfig, PastryMsg, PastryNode,
 };
 use vbundle_scribe::{Scribe, ScribeConfig, ScribeMsg};
-use vbundle_sim::{ActorId, Engine, LatencyModel, SimDuration, SimTime};
+use vbundle_sim::{ActorId, Engine, Latency, LatencyModel, SimDuration, SimTime};
 
 use crate::message::CtrlMsg;
 use crate::metrics::SatisfactionTotals;
@@ -125,9 +125,13 @@ impl ClusterBuilder {
 
     /// Launches the cluster: builds the overlay, starts every controller.
     pub fn build(self) -> Cluster {
-        let latency = self
-            .latency
-            .unwrap_or_else(|| Box::new(TopologyLatency::new(Arc::clone(&self.topo))));
+        // The default topology model is flattened into the engine's
+        // devirtualized tiered fast path; explicit overrides keep the
+        // boxed trait-object route.
+        let latency = match self.latency {
+            Some(model) => Latency::Model(model),
+            None => TopologyLatency::new(Arc::clone(&self.topo)).devirtualize(),
+        };
         let agg_config = AggregationConfig {
             mode: self
                 .agg_mode
@@ -140,7 +144,7 @@ impl ClusterBuilder {
         let ids = overlay::assign_ids(&self.topo, self.policy);
         let handles = overlay::handles_for(&ids);
         let states = overlay::build_states(&self.topo, &handles, &self.pastry);
-        let mut engine: VbEngine = Engine::new(latency, self.seed);
+        let mut engine: VbEngine = Engine::with_latency(latency, self.seed);
         if let Some(capacity) = self.flight_capacity {
             engine.enable_flight_recorder(capacity);
         }

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use vbundle_sim::{ActorId, LatencyModel, SimDuration};
+use vbundle_sim::{ActorId, LatencyModel, SimDuration, TieredLatency};
 
 use crate::{ServerId, Topology};
 
@@ -106,6 +106,36 @@ impl TopologyLatency {
             None
         }
     }
+
+    /// Flattens this model into the engine's devirtualized
+    /// [`TieredLatency`] fast path: per-server rack and pod index tables
+    /// plus the four level delays. Produces the exact same delay for every
+    /// actor pair — including out-of-range actors, which pay the
+    /// cross-pod worst case in both forms — but costs two array loads
+    /// instead of a virtual call and pointer-chased topology lookups on
+    /// every send.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use vbundle_dcn::{Topology, TopologyLatency};
+    /// use vbundle_sim::{ActorId, LatencyModel};
+    ///
+    /// let model = TopologyLatency::new(Arc::new(Topology::paper_testbed()));
+    /// let fast = model.devirtualize();
+    /// let pair = (ActorId::new(0), ActorId::new(14));
+    /// assert_eq!(fast.latency(pair.0, pair.1), model.latency(pair.0, pair.1));
+    /// ```
+    pub fn devirtualize(&self) -> vbundle_sim::Latency {
+        let n = self.topo.num_servers();
+        let mut rack = Vec::with_capacity(n);
+        let mut pod = Vec::with_capacity(n);
+        for i in 0..n {
+            let server = self.topo.server(i);
+            rack.push(self.topo.rack_of(server).index() as u32);
+            pod.push(self.topo.pod_of(server).index() as u32);
+        }
+        vbundle_sim::Latency::Tiered(TieredLatency::new(rack, pod, self.levels))
+    }
 }
 
 impl LatencyModel for TopologyLatency {
@@ -163,6 +193,26 @@ mod tests {
             m.latency(ActorId::new(0), ActorId::new(1)),
             SimDuration::from_millis(10)
         );
+    }
+
+    #[test]
+    fn devirtualized_model_matches_boxed_exactly() {
+        // Irregular topology (uneven rack sizes) plus custom level delays:
+        // the flat-table fast path must agree with the boxed model on
+        // every pair, including actors past the server range.
+        let topo = Arc::new(Topology::builder().rack_sizes(&[3, 1, 2]).build());
+        let m = TopologyLatency::new(topo.clone())
+            .with_level(ProximityLevel::SamePod, SimDuration::from_millis(1));
+        let fast = m.devirtualize();
+        for a in 0..topo.num_servers() as u32 + 2 {
+            for b in 0..topo.num_servers() as u32 + 2 {
+                assert_eq!(
+                    fast.latency(ActorId::new(a), ActorId::new(b)),
+                    m.latency(ActorId::new(a), ActorId::new(b)),
+                    "devirtualized model diverged at ({a},{b})"
+                );
+            }
+        }
     }
 
     #[test]

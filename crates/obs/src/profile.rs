@@ -25,15 +25,19 @@ pub enum HotSection {
     /// Cloning a message for a duplicate delivery (the
     /// PastryMsg→ScribeMsg→CtrlMsg clone chain).
     MessageClone,
+    /// Promoting far-future events from the calendar queue's overflow
+    /// tier into the near-horizon bucket ring as the window advances.
+    FarPromote,
 }
 
 impl HotSection {
     /// Every section, in display order.
-    pub const ALL: [HotSection; 4] = [
+    pub const ALL: [HotSection; 5] = [
         HotSection::QueuePop,
         HotSection::Dispatch,
         HotSection::InjectorConsult,
         HotSection::MessageClone,
+        HotSection::FarPromote,
     ];
 
     fn index(self) -> usize {
@@ -42,6 +46,7 @@ impl HotSection {
             HotSection::Dispatch => 1,
             HotSection::InjectorConsult => 2,
             HotSection::MessageClone => 3,
+            HotSection::FarPromote => 4,
         }
     }
 
@@ -51,6 +56,7 @@ impl HotSection {
             HotSection::Dispatch => "dispatch",
             HotSection::InjectorConsult => "injector_consult",
             HotSection::MessageClone => "message_clone",
+            HotSection::FarPromote => "far_promote",
         }
     }
 }

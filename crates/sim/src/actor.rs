@@ -2,9 +2,9 @@
 
 use rand::rngs::StdRng;
 
-use crate::counters::CounterSet;
+use crate::counters::ActorCounters;
 use crate::fault::CorruptionMode;
-use crate::latency::LatencyModel;
+use crate::latency::Latency;
 use crate::time::{SimDuration, SimTime};
 
 /// Index of an actor inside an [`Engine`](crate::Engine).
@@ -139,8 +139,12 @@ pub struct Context<'a, W: Message> {
     pub(crate) now: SimTime,
     pub(crate) self_id: ActorId,
     pub(crate) rng: &'a mut StdRng,
-    pub(crate) latency: &'a dyn LatencyModel,
-    pub(crate) counters: &'a mut CounterSet,
+    pub(crate) latency: &'a Latency,
+    pub(crate) counters: &'a mut ActorCounters,
+    /// Prefetch handle over the engine's actor table, so a send can start
+    /// pulling the destination's record while the callback is still
+    /// running (see `Engine::enqueue_send` for the demand-load backstop).
+    pub(crate) peers: crate::prefetch::Lines,
     pub(crate) effects: Vec<Effect<W>>,
 }
 
@@ -180,8 +184,12 @@ impl<'a, W: Message> Context<'a, W> {
     /// Sends `msg` to `to` after an extra local delay (e.g. per-node
     /// processing time) on top of the network latency.
     pub fn send_after(&mut self, to: ActorId, msg: W, extra: SimDuration) {
+        // Earliest possible hint: the destination dispatches this message
+        // within a handful of events, and every cycle of lead time here is
+        // overlap with the rest of the callback body.
+        self.peers.touch(to.index());
         let latency = self.latency.latency(self.self_id, to);
-        self.counters.record_send(self.self_id, &msg);
+        self.counters.record(&msg);
         self.effects.push(Effect::Send {
             to,
             at: self.now + extra + latency,

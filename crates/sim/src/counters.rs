@@ -2,12 +2,18 @@
 //!
 //! Figure 15 of the paper reports, per host, the number of messages and
 //! kilobytes sent per round, split into overlay-maintenance traffic and
-//! v-Bundle traffic. The engine funnels every send through [`CounterSet`],
-//! and harnesses call [`CounterSet::snapshot_and_reset`] at round boundaries
-//! to obtain per-round deltas.
+//! v-Bundle traffic. Every send records into the *sender's*
+//! [`ActorCounters`], which lives inside the engine's per-actor dispatch
+//! metadata — the actor currently dispatching is exactly the actor whose
+//! counters get bumped, so the increment lands on a cache line the event
+//! loop has already pulled in, instead of a second cold line in a
+//! separate array. Harnesses read the counters through
+//! [`Engine::actor_counters`](crate::Engine::actor_counters),
+//! [`Engine::counter_totals`](crate::Engine::counter_totals) and
+//! [`Engine::snapshot_counters`](crate::Engine::snapshot_counters) (the
+//! round-boundary delta primitive behind Figure 15).
 
 use crate::actor::{Message, MsgCategory};
-use crate::ActorId;
 
 /// Cumulative send counters for one actor.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -32,72 +38,28 @@ impl ActorCounters {
     pub fn total_bytes(&self) -> u64 {
         self.maintenance_bytes + self.payload_bytes
     }
-}
 
-/// Send counters for every actor in an engine.
-#[derive(Debug, Default, Clone)]
-pub struct CounterSet {
-    per_actor: Vec<ActorCounters>,
-}
-
-impl CounterSet {
-    /// Creates an empty counter set.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    pub(crate) fn ensure(&mut self, actors: usize) {
-        if self.per_actor.len() < actors {
-            self.per_actor.resize(actors, ActorCounters::default());
-        }
-    }
-
-    pub(crate) fn record_send<W: Message>(&mut self, from: ActorId, msg: &W) {
-        self.ensure(from.index() + 1);
-        let c = &mut self.per_actor[from.index()];
+    /// Records one outbound message, categorized by the message itself.
+    pub(crate) fn record<W: Message>(&mut self, msg: &W) {
         let size = msg.wire_size() as u64;
         match msg.category() {
             MsgCategory::Maintenance => {
-                c.maintenance_msgs += 1;
-                c.maintenance_bytes += size;
+                self.maintenance_msgs += 1;
+                self.maintenance_bytes += size;
             }
             MsgCategory::Payload => {
-                c.payload_msgs += 1;
-                c.payload_bytes += size;
+                self.payload_msgs += 1;
+                self.payload_bytes += size;
             }
         }
     }
 
-    /// Counters for a single actor (zeros if it never sent anything).
-    pub fn actor(&self, id: ActorId) -> ActorCounters {
-        self.per_actor.get(id.index()).copied().unwrap_or_default()
-    }
-
-    /// Counters for every actor, indexed by [`ActorId::index`].
-    pub fn all(&self) -> &[ActorCounters] {
-        &self.per_actor
-    }
-
-    /// Returns the current counters and resets them to zero — the
-    /// "messages per round" primitive behind Figure 15.
-    pub fn snapshot_and_reset(&mut self) -> Vec<ActorCounters> {
-        let snap = self.per_actor.clone();
-        for c in &mut self.per_actor {
-            *c = ActorCounters::default();
-        }
-        snap
-    }
-
-    /// Sum of counters over all actors.
-    pub fn aggregate(&self) -> ActorCounters {
-        let mut total = ActorCounters::default();
-        for c in &self.per_actor {
-            total.maintenance_msgs += c.maintenance_msgs;
-            total.maintenance_bytes += c.maintenance_bytes;
-            total.payload_msgs += c.payload_msgs;
-            total.payload_bytes += c.payload_bytes;
-        }
-        total
+    /// Adds `other`'s counts into `self` (for engine-wide totals).
+    pub(crate) fn accumulate(&mut self, other: &ActorCounters) {
+        self.maintenance_msgs += other.maintenance_msgs;
+        self.maintenance_bytes += other.maintenance_bytes;
+        self.payload_msgs += other.payload_msgs;
+        self.payload_bytes += other.payload_bytes;
     }
 }
 
@@ -118,12 +80,10 @@ mod tests {
 
     #[test]
     fn records_by_category() {
-        let mut set = CounterSet::new();
-        let a = ActorId::new(0);
-        set.record_send(a, &Sized(100, MsgCategory::Maintenance));
-        set.record_send(a, &Sized(50, MsgCategory::Payload));
-        set.record_send(a, &Sized(50, MsgCategory::Payload));
-        let c = set.actor(a);
+        let mut c = ActorCounters::default();
+        c.record(&Sized(100, MsgCategory::Maintenance));
+        c.record(&Sized(50, MsgCategory::Payload));
+        c.record(&Sized(50, MsgCategory::Payload));
         assert_eq!(c.maintenance_msgs, 1);
         assert_eq!(c.maintenance_bytes, 100);
         assert_eq!(c.payload_msgs, 2);
@@ -133,28 +93,13 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_resets() {
-        let mut set = CounterSet::new();
-        set.record_send(ActorId::new(2), &Sized(10, MsgCategory::Payload));
-        let snap = set.snapshot_and_reset();
-        assert_eq!(snap.len(), 3);
-        assert_eq!(snap[2].payload_msgs, 1);
-        assert_eq!(set.actor(ActorId::new(2)), ActorCounters::default());
-    }
-
-    #[test]
-    fn aggregate_sums_actors() {
-        let mut set = CounterSet::new();
-        set.record_send(ActorId::new(0), &Sized(10, MsgCategory::Payload));
-        set.record_send(ActorId::new(1), &Sized(20, MsgCategory::Maintenance));
-        let total = set.aggregate();
-        assert_eq!(total.total_msgs(), 2);
-        assert_eq!(total.total_bytes(), 30);
-    }
-
-    #[test]
-    fn unknown_actor_is_zero() {
-        let set = CounterSet::new();
-        assert_eq!(set.actor(ActorId::new(9)), ActorCounters::default());
+    fn accumulate_sums_all_fields() {
+        let mut a = ActorCounters::default();
+        a.record(&Sized(10, MsgCategory::Payload));
+        let mut b = ActorCounters::default();
+        b.record(&Sized(7, MsgCategory::Maintenance));
+        a.accumulate(&b);
+        assert_eq!(a.total_msgs(), 2);
+        assert_eq!(a.total_bytes(), 17);
     }
 }

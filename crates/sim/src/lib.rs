@@ -39,7 +39,9 @@
 //! assert_eq!(engine.actor(a).seen + engine.actor(b).seen, 3 + 2 + 1);
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide; the single exception is the cache-prefetch
+// intrinsic in `prefetch`, which is architecturally a no-op hint.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod actor;
@@ -47,13 +49,16 @@ mod counters;
 mod engine;
 mod fault;
 mod latency;
+mod prefetch;
+mod queue;
 mod time;
 mod trace;
 
 pub use actor::{Actor, ActorId, Context, Message, MsgCategory};
-pub use counters::{ActorCounters, CounterSet};
+pub use counters::ActorCounters;
 pub use engine::Engine;
 pub use fault::{CorruptionMode, FaultAction, FaultInjector, FaultStats};
-pub use latency::{ConstantLatency, LatencyFn, LatencyModel};
+pub use latency::{ConstantLatency, Latency, LatencyFn, LatencyModel, TieredLatency};
+pub use queue::CalendarQueue;
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceBuffer, TraceKind, TraceRecord};

@@ -1,0 +1,133 @@
+//! Property tests pinning the calendar queue to the binary-heap pop
+//! discipline it replaced: for any interleaving of inserts and pops —
+//! same-timestamp bursts, far-future overflow promotions, and lazy
+//! epoch purges — the calendar queue must yield the exact `(at, seq)`
+//! order a min-heap would. This is the determinism contract the engine's
+//! byte-identical replay rests on.
+
+use proptest::prelude::*;
+use vbundle_sim::CalendarQueue;
+
+/// Reference implementation of the old engine discipline: a flat vector
+/// popped by minimum `(at, seq)`. Slow, but obviously correct.
+#[derive(Default)]
+struct HeapModel {
+    entries: Vec<(u64, u64, u32, u32)>, // (at, seq, actor, epoch)
+}
+
+impl HeapModel {
+    fn insert(&mut self, at: u64, seq: u64, actor: u32, epoch: u32) {
+        self.entries.push((at, seq, actor, epoch));
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64, u32, u32)> {
+        let best = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(at, seq, _, _))| (at, seq))?
+            .0;
+        Some(self.entries.swap_remove(best))
+    }
+
+    /// The eager purge the old engine performed on restart: physically
+    /// drop every queued timer belonging to `actor`.
+    fn purge(&mut self, actor: u32) {
+        self.entries.retain(|&(_, _, a, _)| a != actor);
+    }
+}
+
+const NUM_ACTORS: u32 = 4;
+
+/// Pops the calendar queue the way the engine does: entries whose stored
+/// epoch no longer matches their actor's current epoch are skipped
+/// invisibly.
+fn lazy_pop(queue: &mut CalendarQueue<(u32, u32)>, epochs: &[u32]) -> Option<(u64, u64, u32, u32)> {
+    while let Some((at, seq, (actor, epoch))) = queue.pop() {
+        if epoch == epochs[actor as usize] {
+            return Some((at, seq, actor, epoch));
+        }
+    }
+    None
+}
+
+/// An op stream: `kind % 4` selects insert-near / insert-far / pop /
+/// epoch-purge; `at` seeds the timestamp and `actor` the owner. Narrow
+/// `at` ranges force same-bucket and same-timestamp collisions; the far
+/// branch adds a multi-horizon offset so overflow promotion is exercised.
+fn arb_ops() -> impl Strategy<Value = Vec<(u8, u64, u32)>> {
+    proptest::collection::vec((0u8..8, 0u64..3_000_000, 0..NUM_ACTORS), 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every pop from the calendar queue (with lazy epoch skips) matches
+    /// the heap model (with eager physical purges), op for op, and both
+    /// drain to the same tail.
+    #[test]
+    fn calendar_matches_heap_discipline(ops in arb_ops()) {
+        let mut queue: CalendarQueue<(u32, u32)> = CalendarQueue::new();
+        let mut model = HeapModel::default();
+        let mut epochs = vec![0u32; NUM_ACTORS as usize];
+        let mut seq = 0u64;
+        for &(kind, at, actor) in &ops {
+            match kind % 4 {
+                0 => {
+                    // Near-horizon insert (same-bucket collisions common).
+                    queue.insert(at, seq, (actor, epochs[actor as usize]));
+                    model.insert(at, seq, actor, epochs[actor as usize]);
+                    seq += 1;
+                }
+                1 => {
+                    // Far-future insert: many horizons (~262ms of 64µs
+                    // buckets) beyond, so it lands in the overflow
+                    // tier and must promote back in order.
+                    let far = at + 4_000_000 + (at % 3) * 2_100_000;
+                    queue.insert(far, seq, (actor, epochs[actor as usize]));
+                    model.insert(far, seq, actor, epochs[actor as usize]);
+                    seq += 1;
+                }
+                2 => {
+                    prop_assert_eq!(
+                        lazy_pop(&mut queue, &epochs),
+                        model.pop(),
+                        "pop diverged mid-stream"
+                    );
+                }
+                _ => {
+                    // Restart: the model purges eagerly, the calendar
+                    // queue only bumps the epoch and skips lazily.
+                    model.purge(actor);
+                    epochs[actor as usize] = epochs[actor as usize].wrapping_add(1);
+                }
+            }
+        }
+        // Drain both completely: order and content must agree to the end.
+        loop {
+            let got = lazy_pop(&mut queue, &epochs);
+            let want = model.pop();
+            prop_assert_eq!(got, want, "pop diverged during drain");
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Same-timestamp events pop in strict insertion (seq) order even
+    /// when the timestamps all share one calendar bucket.
+    #[test]
+    fn same_timestamp_bursts_are_fifo(at in 0u64..1_000_000, n in 1usize..64) {
+        let mut queue: CalendarQueue<usize> = CalendarQueue::new();
+        for i in 0..n {
+            queue.insert(at, i as u64, i);
+        }
+        for i in 0..n {
+            let (got_at, got_seq, v) = queue.pop().expect("queued");
+            prop_assert_eq!(got_at, at);
+            prop_assert_eq!(got_seq, i as u64);
+            prop_assert_eq!(v, i);
+        }
+        prop_assert!(queue.pop().is_none());
+    }
+}
