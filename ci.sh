@@ -30,6 +30,11 @@ for sweep in chaos_sweep poison_sweep bundle_market scale_sweep survivability_sw
     cargo run --release -q -p vbundle-bench --bin "${sweep}" -- --smoke
 done
 
+# The crash-only failover variant has its own golden: backup sites must
+# re-materialize dead domains' VMs without a single Restart event.
+echo "==> survivability_sweep --failover smoke (deterministic golden)"
+cargo run --release -q -p vbundle-bench --bin survivability_sweep -- --smoke --failover
+
 # The failure-recovery walkthrough doubles as a smoke: pinned seed, hard
 # asserts inside, and a known final line that must survive refactors.
 echo "==> failure_recovery example smoke (pinned seed)"

@@ -17,6 +17,17 @@
 //! plane enabled — observability must not move a byte), asserts the
 //! reports byte-identical and diffs against `results/surv_smoke.golden`;
 //! `--smoke --bless` rewrites the golden.
+//!
+//! `--failover` switches every fault to crash-only (NO `Restart` event is
+//! ever scheduled) and adds a third policy, `survivable+failover`, whose
+//! backup sites carry per-VM protection charges: when probe evidence
+//! declares the crashed domain dead they re-materialize its VMs onto the
+//! reserved headroom. Full mode then asserts ≥ `RECOVERY_FRAC`
+//! restoration for every rack and pod crash within the tick budget at
+//! the passive policy's exact backup overhead, while passive survivable
+//! stays at its floor and plain v-Bundle still zeroes a tenant.
+//! `--smoke --failover` gates the crash-only report against
+//! `results/surv_failover_smoke.golden`.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -25,8 +36,8 @@ use std::sync::Arc;
 use vbundle_bench::{golden_gate, write_csv, BenchArgs, CliSpec};
 use vbundle_chaos::{check_bounded_degradation, customer_satisfaction, ChaosDriver, FaultPlan};
 use vbundle_core::{
-    Cluster, ClusterModel, Customer, CustomerId, PlacementPolicy, ResourceSpec, ResourceVector,
-    VBundleConfig, VmRecord,
+    Cluster, ClusterModel, Customer, CustomerId, FailoverConfig, PlacementPolicy, ResourceSpec,
+    ResourceVector, SurvivabilityConfig, VBundleConfig, VmRecord,
 };
 use vbundle_dcn::{Bandwidth, DomainKind, Topology};
 use vbundle_pastry::overlay::topology_aware_ids;
@@ -56,11 +67,16 @@ const TICK_SECS: u64 = 5;
 /// Warm-up before the fault, and the crash instant.
 const SETTLE_SECS: u64 = 60;
 const FAULT_SECS: u64 = 70;
+/// Failover probe cadence (simulated seconds) when `--failover` is on.
+const FAILOVER_PROBE_SECS: u64 = 5;
 
 const CLI: CliSpec = CliSpec {
     bin: "survivability_sweep",
     about: "rack/pod crash sweep: survivable vs plain placement, degradation + recovery",
-    flags: &[],
+    flags: &[(
+        "failover",
+        "crash-only faults (no restarts) + backup-activated failover as a third policy",
+    )],
     options: &[],
 };
 
@@ -121,20 +137,29 @@ struct Outcome {
     floor_ok: bool,
     /// Ticks until every tenant was back to `RECOVERY_FRAC` of baseline.
     recover_ticks: Option<u64>,
+    /// Worst tenant's satisfaction when recovery landed (or at the end of
+    /// the tick budget), % of its baseline — how far the fabric actually
+    /// came back.
+    restored_sat_pct: f64,
     /// Cluster-wide backup carve-out, % of total NIC capacity.
     backup_pct: f64,
 }
 
 /// Offline-places the fabric's workload with `policy`, seeds a protocol
 /// cluster with the assignment (backup carve-outs included), crashes one
-/// failure domain, then restarts its servers staggered and watches the
-/// per-tenant satisfaction recover.
+/// failure domain, then watches per-tenant satisfaction recover — via
+/// staggered restarts when `restarts` is set, or purely via
+/// backup-activated failover when `failover` is set (the crashed servers
+/// then stay dead forever and the plan carries no `Restart` event).
+#[allow(clippy::too_many_arguments)]
 fn run_case(
     fabric: Fabric,
     policy: PlacementPolicy,
     policy_name: &'static str,
     kind: DomainKind,
     domain: usize,
+    failover: bool,
+    restarts: bool,
     obs: bool,
 ) -> Outcome {
     let topo = fabric.topology();
@@ -149,14 +174,23 @@ fn run_case(
         maintenance: Some(SimDuration::from_secs(10)),
         ..PastryConfig::default()
     };
+    let mut vb = VBundleConfig::default()
+        .with_update_interval(SimDuration::from_secs(5))
+        .with_rebalance_interval(SimDuration::from_secs(1000));
+    if failover {
+        vb = vb
+            .with_survivability(SurvivabilityConfig {
+                max_frac_per_domain: MAX_FRAC_PER_DOMAIN,
+                backup: BACKUP,
+            })
+            .with_failover(FailoverConfig {
+                probe_interval: SimDuration::from_secs(FAILOVER_PROBE_SECS),
+            });
+    }
     let mut builder = Cluster::builder(Arc::clone(&topo))
         .pastry(pastry)
         .scribe(ScribeConfig::default().with_probe_interval(SimDuration::from_secs(3)))
-        .vbundle(
-            VBundleConfig::default()
-                .with_update_interval(SimDuration::from_secs(5))
-                .with_rebalance_interval(SimDuration::from_secs(1000)),
-        )
+        .vbundle(vb)
         .seed(SEED);
     if obs {
         builder = builder.flight_recorder(4096);
@@ -195,7 +229,18 @@ fn run_case(
         let backup = model.backup_reserved(server);
         if backup.bandwidth.as_mbps() > 0.0 {
             backup_total += backup.bandwidth.as_mbps();
-            cluster.install_backup(server, backup);
+            if !failover {
+                cluster.install_backup(server, backup);
+            }
+        }
+    }
+    if failover {
+        // Per-VM protection charges reserve the same total headroom the
+        // bulk carve would, but also tell each backup site which VM it
+        // protects and where that VM's primary lives — the evidence base
+        // the failover probes and declarations run on.
+        for charge in model.backup_charges().to_vec() {
+            cluster.install_backup_charge(charge.site, charge.vm, charge.primary, charge.amount);
         }
     }
     cluster.reindex();
@@ -208,9 +253,11 @@ fn run_case(
         DomainKind::Rack => FaultPlan::new(SEED).crash_rack(t(FAULT_SECS), domain),
         DomainKind::Pod => FaultPlan::new(SEED).crash_pod(t(FAULT_SECS), domain),
     };
-    for (i, s) in lost.iter().enumerate() {
-        let at = t(FAULT_SECS + TICK_SECS * (i as u64 + 1));
-        plan = plan.restart(at, ActorId::new(s.index() as u32));
+    if restarts {
+        for (i, s) in lost.iter().enumerate() {
+            let at = t(FAULT_SECS + TICK_SECS * (i as u64 + 1));
+            plan = plan.restart(at, ActorId::new(s.index() as u32));
+        }
     }
     let mut driver = ChaosDriver::install(&mut cluster.engine, Arc::clone(&topo), plan);
 
@@ -232,14 +279,26 @@ fn run_case(
         }
     }
 
-    // Staggered restarts: count ticks until every tenant is back.
+    // Recovery: count ticks until every tenant is back — brought back by
+    // the staggered restarts, or (crash-only) by failover re-materializing
+    // the lost VMs onto backup headroom.
     let mut recover_ticks = None;
+    let mut restored_frac = 0.0f64;
     for tick in 1..=MAX_RECOVERY_TICKS {
         driver.run_until(&mut cluster.engine, t(FAULT_SECS + 1 + TICK_SECS * tick));
         let sat = customer_satisfaction(&cluster.engine);
-        let ok = baseline.iter().all(|(c, &b)| {
-            b <= 1e-9 || sat.get(c).copied().unwrap_or(0.0) + 1e-6 >= RECOVERY_FRAC * b
-        });
+        restored_frac = f64::INFINITY;
+        let mut ok = true;
+        for (c, &b) in &baseline {
+            if b <= 1e-9 {
+                continue;
+            }
+            let cur = sat.get(c).copied().unwrap_or(0.0);
+            restored_frac = restored_frac.min(cur / b);
+            if cur + 1e-6 < RECOVERY_FRAC * b {
+                ok = false;
+            }
+        }
         if ok {
             recover_ticks = Some(tick);
             break;
@@ -255,6 +314,7 @@ fn run_case(
         zeroed,
         floor_ok,
         recover_ticks,
+        restored_sat_pct: 100.0 * restored_frac,
         backup_pct: 100.0 * backup_total / (NIC_MBPS * topo.num_servers() as f64),
     }
 }
@@ -269,6 +329,22 @@ fn policies() -> [(PlacementPolicy, &'static str); 2] {
             "survivable",
         ),
         (PlacementPolicy::VBundle, "vbundle"),
+    ]
+}
+
+/// The `--failover` policy ladder: plain walk, passive survivable
+/// placement, survivable placement with backup-activated failover. All
+/// three face crash-only plans — the dead servers never restart, so any
+/// recovery is failover's doing alone.
+fn failover_variants() -> [(PlacementPolicy, &'static str, bool); 3] {
+    let surv = PlacementPolicy::Survivable {
+        max_frac_per_domain: MAX_FRAC_PER_DOMAIN,
+        backup: BACKUP,
+    };
+    [
+        (PlacementPolicy::VBundle, "vbundle", false),
+        (surv, "survivable", false),
+        (surv, "survivable+failover", true),
     ]
 }
 
@@ -304,6 +380,27 @@ fn render_line(o: &Outcome) -> String {
     )
 }
 
+/// The `--failover` render adds the restored column — how far the worst
+/// tenant came back with the crashed servers permanently dead.
+fn render_failover_line(o: &Outcome) -> String {
+    let recover = match o.recover_ticks {
+        Some(n) => format!("{n}"),
+        None => "DNR".into(),
+    };
+    format!(
+        "{} {} lost={} min_sat={:.1}% restored={:.1}% zeroed={} floor={} recover_ticks={} backup={:.2}%",
+        o.policy,
+        o.fault,
+        o.servers_lost,
+        o.min_sat_pct,
+        o.restored_sat_pct,
+        o.zeroed,
+        if o.floor_ok { "ok" } else { "BROKEN" },
+        recover,
+        o.backup_pct
+    )
+}
+
 /// The smoke report: both policies over one rack and one pod crash on
 /// the small fabric. Deterministic by construction — nothing in an
 /// [`Outcome`] reads the wall clock.
@@ -313,16 +410,171 @@ fn smoke_report(obs: bool) -> String {
     let _ = writeln!(out, "# survivability smoke (seed {SEED})");
     for (policy, name) in policies() {
         for (kind, domain) in faults(fabric) {
-            let o = run_case(fabric, policy, name, kind, domain, obs);
+            let o = run_case(fabric, policy, name, kind, domain, false, true, obs);
             let _ = writeln!(out, "{}", render_line(&o));
         }
     }
     out
 }
 
+/// The `--failover` smoke report: all three crash-only variants over
+/// every fault of the small fabric.
+fn smoke_failover_report(obs: bool) -> String {
+    let fabric = Fabric::smoke();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# failover smoke: crash-only, no restarts (seed {SEED})"
+    );
+    for (policy, name, failover) in failover_variants() {
+        for (kind, domain) in faults(fabric) {
+            let o = run_case(fabric, policy, name, kind, domain, failover, false, obs);
+            let _ = writeln!(out, "{}", render_failover_line(&o));
+        }
+    }
+    out
+}
+
+const CSV_HEADER: &str =
+    "policy,fault,servers_lost,min_sat_pct,restored_sat_pct,zeroed,floor_ok,recover_ticks,backup_pct";
+
+fn csv_row(o: &Outcome) -> String {
+    format!(
+        "{},{},{},{:.1},{:.1},{},{},{},{:.2}",
+        o.policy,
+        o.fault,
+        o.servers_lost,
+        o.min_sat_pct,
+        o.restored_sat_pct,
+        o.zeroed,
+        o.floor_ok,
+        o.recover_ticks.map_or(-1i64, |n| n as i64),
+        o.backup_pct
+    )
+}
+
+fn write_surv_json(outcomes: &[Outcome]) {
+    let mut json = String::from("{\n  \"bench\": \"survivability_sweep\",\n");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"max_frac_per_domain\": {MAX_FRAC_PER_DOMAIN},");
+    let _ = writeln!(json, "  \"backup\": {BACKUP},");
+    let _ = writeln!(json, "  \"degradation_floor\": {DEGRADATION_FLOOR},");
+    json.push_str("  \"outcomes\": [\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"policy\": \"{}\", \"fault\": \"{}\", \"servers_lost\": {}, \
+             \"min_sat_pct\": {:.1}, \"restored_sat_pct\": {:.1}, \"zeroed\": {}, \
+             \"floor_ok\": {}, \"recover_ticks\": {}, \"backup_pct\": {:.2}}}",
+            o.policy,
+            o.fault,
+            o.servers_lost,
+            o.min_sat_pct,
+            o.restored_sat_pct,
+            o.zeroed,
+            o.floor_ok,
+            o.recover_ticks.map_or(-1i64, |n| n as i64),
+            o.backup_pct
+        );
+        json.push_str(if i + 1 < outcomes.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write("BENCH_surv.json", &json) {
+        Ok(()) => eprintln!("[wrote BENCH_surv.json]"),
+        Err(e) => eprintln!("[could not write BENCH_surv.json: {e}]"),
+    }
+}
+
+/// Full `--failover` mode: every rack and pod crash, crash-only, across
+/// the three policy variants. The headline contract: failover restores
+/// every tenant to ≥ [`RECOVERY_FRAC`] of baseline within the tick
+/// budget at exactly the passive policy's backup overhead — without a
+/// single `Restart` event in any plan — while passive survivable stays
+/// degraded and plain v-Bundle zeroes a tenant.
+fn run_failover_full() {
+    let fabric = Fabric::full();
+    println!(
+        "# Survivability sweep --failover: crash-only domain deaths, backup-activated failover (seed {SEED})"
+    );
+    let mut outcomes: Vec<Outcome> = Vec::new();
+    for (policy, name, failover) in failover_variants() {
+        for (kind, domain) in faults(fabric) {
+            let o = run_case(fabric, policy, name, kind, domain, failover, false, false);
+            println!("{}", render_failover_line(&o));
+            outcomes.push(o);
+        }
+    }
+
+    let mut per_policy: BTreeMap<&str, Vec<&Outcome>> = BTreeMap::new();
+    for o in &outcomes {
+        per_policy.entry(o.policy).or_default().push(o);
+    }
+    let fo = &per_policy["survivable+failover"];
+    assert!(
+        fo.iter().all(|o| o.recover_ticks.is_some()),
+        "failover did not restore every fault within {MAX_RECOVERY_TICKS} ticks"
+    );
+    assert!(
+        fo.iter()
+            .all(|o| o.restored_sat_pct + 1e-6 >= 100.0 * RECOVERY_FRAC),
+        "failover restored a tenant below {:.0}% of baseline",
+        100.0 * RECOVERY_FRAC
+    );
+    assert!(
+        fo.iter().all(|o| o.floor_ok),
+        "failover broke the mid-fault degradation floor"
+    );
+    let passive = &per_policy["survivable"];
+    // Identical placement, identical carve: activating failover costs no
+    // extra reserved bandwidth.
+    for (f, p) in fo.iter().zip(passive.iter()) {
+        assert_eq!(f.fault, p.fault);
+        assert_eq!(
+            f.backup_pct.to_bits(),
+            p.backup_pct.to_bits(),
+            "failover changed the backup overhead on {}",
+            f.fault
+        );
+    }
+    assert!(
+        passive
+            .iter()
+            .any(|o| o.restored_sat_pct + 1e-6 < 100.0 * RECOVERY_FRAC),
+        "passive survivable should stay degraded under some crash-only fault"
+    );
+    let plain = &per_policy["vbundle"];
+    assert!(
+        plain
+            .iter()
+            .any(|o| o.fault.starts_with("rack") && o.zeroed > 0),
+        "plain v-Bundle should zero at least one tenant under some rack crash"
+    );
+    println!(
+        "# contract held: failover restores >= {:.0}% everywhere with zero Restart events, passive stays degraded",
+        100.0 * RECOVERY_FRAC
+    );
+
+    let rows: Vec<String> = outcomes.iter().map(csv_row).collect();
+    write_csv("survivability_sweep.csv", CSV_HEADER, &rows);
+    write_surv_json(&outcomes);
+}
+
 fn main() {
     let args = BenchArgs::parse_with(&CLI);
+    let failover = args.flag("failover");
     if args.smoke() {
+        if failover {
+            let first = smoke_failover_report(false);
+            let second = smoke_failover_report(false);
+            assert_eq!(first, second, "failover smoke is not deterministic");
+            let observed = smoke_failover_report(true);
+            assert_eq!(
+                first, observed,
+                "enabling observability changed the failover smoke"
+            );
+            golden_gate("surv", "surv_failover_smoke.golden", &first, args.bless());
+            return;
+        }
         let first = smoke_report(false);
         let second = smoke_report(false);
         assert_eq!(first, second, "survivability smoke is not deterministic");
@@ -334,6 +586,10 @@ fn main() {
         golden_gate("surv", "surv_smoke.golden", &first, args.bless());
         return;
     }
+    if failover {
+        run_failover_full();
+        return;
+    }
 
     let fabric = Fabric::full();
     println!(
@@ -342,7 +598,7 @@ fn main() {
     let mut outcomes: Vec<Outcome> = Vec::new();
     for (policy, name) in policies() {
         for (kind, domain) in faults(fabric) {
-            let o = run_case(fabric, policy, name, kind, domain, false);
+            let o = run_case(fabric, policy, name, kind, domain, false, true, false);
             println!("{}", render_line(&o));
             outcomes.push(o);
         }
@@ -385,54 +641,7 @@ fn main() {
         100.0 * DEGRADATION_FLOOR
     );
 
-    let rows: Vec<String> = outcomes
-        .iter()
-        .map(|o| {
-            format!(
-                "{},{},{},{:.1},{},{},{},{:.2}",
-                o.policy,
-                o.fault,
-                o.servers_lost,
-                o.min_sat_pct,
-                o.zeroed,
-                o.floor_ok,
-                o.recover_ticks.map_or(-1i64, |n| n as i64),
-                o.backup_pct
-            )
-        })
-        .collect();
-    write_csv(
-        "survivability_sweep.csv",
-        "policy,fault,servers_lost,min_sat_pct,zeroed,floor_ok,recover_ticks,backup_pct",
-        &rows,
-    );
-
-    let mut json = String::from("{\n  \"bench\": \"survivability_sweep\",\n");
-    let _ = writeln!(json, "  \"seed\": {SEED},");
-    let _ = writeln!(json, "  \"max_frac_per_domain\": {MAX_FRAC_PER_DOMAIN},");
-    let _ = writeln!(json, "  \"backup\": {BACKUP},");
-    let _ = writeln!(json, "  \"degradation_floor\": {DEGRADATION_FLOOR},");
-    json.push_str("  \"outcomes\": [\n");
-    for (i, o) in outcomes.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"policy\": \"{}\", \"fault\": \"{}\", \"servers_lost\": {}, \
-             \"min_sat_pct\": {:.1}, \"zeroed\": {}, \"floor_ok\": {}, \
-             \"recover_ticks\": {}, \"backup_pct\": {:.2}}}",
-            o.policy,
-            o.fault,
-            o.servers_lost,
-            o.min_sat_pct,
-            o.zeroed,
-            o.floor_ok,
-            o.recover_ticks.map_or(-1i64, |n| n as i64),
-            o.backup_pct
-        );
-        json.push_str(if i + 1 < outcomes.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ]\n}\n");
-    match std::fs::write("BENCH_surv.json", &json) {
-        Ok(()) => eprintln!("[wrote BENCH_surv.json]"),
-        Err(e) => eprintln!("[could not write BENCH_surv.json: {e}]"),
-    }
+    let rows: Vec<String> = outcomes.iter().map(csv_row).collect();
+    write_csv("survivability_sweep.csv", CSV_HEADER, &rows);
+    write_surv_json(&outcomes);
 }

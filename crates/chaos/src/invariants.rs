@@ -299,10 +299,18 @@ pub fn check_migration_rate(
 /// once, and every VM in `expected` is accounted for — hosted somewhere
 /// (server state survives a warm restart) or sitting in a shedder's
 /// in-flight ledger, from which it is either delivered or rolled back.
+///
+/// One reconciling exception: a VM listed in some *live* controller's
+/// pending-fence set ([`Controller::fenced_vms`]) may transiently appear
+/// on two servers — its rack was declared dead and the VM was
+/// re-materialized, but the stale primary restarted before the fence
+/// reached it. The fence is resent every failover tick, so the duplicate
+/// is converging, not leaked.
 pub fn check_vm_conservation(engine: &VbEngine, expected: &[VmId]) -> Vec<Violation> {
     let mut out = Vec::new();
     let mut hosted: BTreeMap<VmId, Vec<usize>> = BTreeMap::new();
     let mut in_flight: BTreeSet<VmId> = BTreeSet::new();
+    let mut fence_pending: BTreeSet<VmId> = BTreeSet::new();
     for (id, node) in engine.actors() {
         let ctrl = node.app().client();
         for vm in ctrl.vms() {
@@ -311,9 +319,12 @@ pub fn check_vm_conservation(engine: &VbEngine, expected: &[VmId]) -> Vec<Violat
         for vm in ctrl.in_flight_vms() {
             in_flight.insert(vm.id);
         }
+        if engine.is_alive(id) {
+            fence_pending.extend(ctrl.fenced_vms());
+        }
     }
     for (vm, hosts) in &hosted {
-        if hosts.len() > 1 {
+        if hosts.len() > 1 && !fence_pending.contains(vm) {
             out.push(format!(
                 "conservation: VM {} is installed on {} servers ({hosts:?})",
                 vm.0,
@@ -457,15 +468,31 @@ pub fn customer_satisfaction(engine: &VbEngine) -> BTreeMap<u32, f64> {
 /// `min_frac × baseline`. The check is per tenant, not aggregate: a
 /// cluster that keeps 90% of total bandwidth flowing while zeroing one
 /// tenant fails it.
+///
+/// A baseline customer with zero VMs placed anywhere in the cluster
+/// (hosted on any server, live or crashed, or in a migration ledger) is
+/// exempt rather than scored 0.0: its workload left the cluster — it was
+/// never re-admitted or was deliberately drained — so "satisfaction"
+/// is undefined, not violated.
 pub fn check_bounded_degradation(
     engine: &VbEngine,
     baseline: &BTreeMap<u32, f64>,
     min_frac: f64,
 ) -> Vec<Violation> {
     let current = customer_satisfaction(engine);
+    let mut placed: BTreeSet<u32> = BTreeSet::new();
+    for (_, node) in engine.actors() {
+        let ctrl = node.app().client();
+        for vm in ctrl.vms() {
+            placed.insert(vm.customer.0);
+        }
+        for vm in ctrl.in_flight_vms() {
+            placed.insert(vm.customer.0);
+        }
+    }
     let mut out = Vec::new();
     for (&customer, &base) in baseline {
-        if base <= 1e-9 {
+        if base <= 1e-9 || !placed.contains(&customer) {
             continue;
         }
         let cur = current.get(&customer).copied().unwrap_or(0.0);

@@ -61,14 +61,24 @@ impl ChaosDriver {
         match *kind {
             FaultKind::Crash(actor) => engine.fail(actor),
             FaultKind::Restart(actor) => engine.restart(actor),
+            // Skip already-dead servers so a repeated (or overlapping)
+            // domain crash is a no-op for them: no duplicate flight
+            // events, and a later Restart still observes exactly one
+            // crash per server.
             FaultKind::CrashRack(rack) => {
                 for s in self.topo.domain_servers(DomainKind::Rack, rack) {
-                    engine.fail(ActorId::new(s.index() as u32));
+                    let actor = ActorId::new(s.index() as u32);
+                    if engine.is_alive(actor) {
+                        engine.fail(actor);
+                    }
                 }
             }
             FaultKind::CrashPod(pod) => {
                 for s in self.topo.domain_servers(DomainKind::Pod, pod) {
-                    engine.fail(ActorId::new(s.index() as u32));
+                    let actor = ActorId::new(s.index() as u32);
+                    if engine.is_alive(actor) {
+                        engine.fail(actor);
+                    }
                 }
             }
             FaultKind::Partition { a, b } => self.net.with(|st| st.partitions.push((a, b))),

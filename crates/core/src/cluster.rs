@@ -379,6 +379,31 @@ impl Cluster {
             .reserve_backup(amount);
     }
 
+    /// Installs a per-VM failover protection on `site`, bypassing the
+    /// protocol: carves the backup headroom *and* records which VM it
+    /// covers and where its primary copy lives, so the site can probe the
+    /// primary's rack and re-materialize the VM when the rack is declared
+    /// dead. The seeding counterpart of
+    /// [`ClusterModel::backup_charges`](crate::ClusterModel::backup_charges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the amount does not fit the site's remaining capacity.
+    pub fn install_backup_charge(
+        &mut self,
+        site: ServerId,
+        vm: VmRecord,
+        primary: ServerId,
+        amount: ResourceVector,
+    ) {
+        let primary_handle = self.handles[primary.index()];
+        self.engine
+            .actor_mut(ActorId::new(site.index() as u32))
+            .app_mut()
+            .client_mut()
+            .install_protection(vm, primary_handle, amount);
+    }
+
     /// Rebuilds the VM → server index by walking every controller (needed
     /// after migrations).
     pub fn reindex(&mut self) {

@@ -30,6 +30,30 @@ impl Default for SurvivabilityConfig {
     }
 }
 
+/// Backup-failover knobs: how aggressively a server holding protection
+/// charges probes the racks it protects, and how it paces fence resends
+/// and re-materialization retries.
+///
+/// Failover turns the passive [`SurvivabilityConfig`] backup carve-outs
+/// into an active restoration path: when the failure detector declares a
+/// protected rack dead, the backup site re-materializes the dead VMs
+/// onto its reserved headroom through the normal boot path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailoverConfig {
+    /// Cadence of the failover tick: each tick probes the protected
+    /// racks (`FoProbe`), resends pending fences and retries failed
+    /// re-materializations.
+    pub probe_interval: SimDuration,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            probe_interval: SimDuration::from_mins(1),
+        }
+    }
+}
+
 /// Configuration of a v-Bundle server controller.
 ///
 /// Defaults follow the paper's simulated experiments (§IV): a 5-minute
@@ -117,6 +141,13 @@ pub struct VBundleConfig {
     /// reserves backup bandwidth cross-domain. `None` (the default)
     /// keeps the controller bit-identical to the pre-survivability code.
     pub survivability: Option<SurvivabilityConfig>,
+    /// Backup-activated failover: when set (and survivability is on),
+    /// servers holding backup reservations track which VMs they protect,
+    /// probe the protected racks, and on a declared rack death
+    /// re-materialize the dead VMs onto the reserved headroom. `None`
+    /// (the default) keeps the controller bit-identical to the
+    /// passive-backup code.
+    pub failover: Option<FailoverConfig>,
 }
 
 impl Default for VBundleConfig {
@@ -143,6 +174,7 @@ impl Default for VBundleConfig {
             trade_margin: 0.1,
             max_trades_per_round: 4,
             survivability: None,
+            failover: None,
         }
     }
 }
@@ -231,6 +263,12 @@ impl VBundleConfig {
         self.survivability = Some(config);
         self
     }
+
+    /// Enables backup-activated failover with the given knobs.
+    pub fn with_failover(mut self, config: FailoverConfig) -> Self {
+        self.failover = Some(config);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +330,19 @@ mod tests {
         let sc = c.survivability.expect("enabled");
         assert_eq!(sc.max_frac_per_domain, 0.25);
         assert_eq!(sc.backup, 0.5);
+    }
+
+    #[test]
+    fn failover_defaults_off_and_builder() {
+        let c = VBundleConfig::default();
+        assert!(c.failover.is_none());
+        let fc = FailoverConfig::default();
+        assert_eq!(fc.probe_interval, SimDuration::from_mins(1));
+        let c = VBundleConfig::default().with_failover(FailoverConfig {
+            probe_interval: SimDuration::from_secs(5),
+        });
+        let fc = c.failover.expect("enabled");
+        assert_eq!(fc.probe_interval, SimDuration::from_secs(5));
     }
 
     #[test]

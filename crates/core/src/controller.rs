@@ -15,8 +15,8 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use vbundle_aggregation::{AggMsg, AggregationConfig, Aggregator, Robustness, AGG_TICK_TAG};
-use vbundle_dcn::Bandwidth;
-use vbundle_fdetect::{Courier, CourierConfig, RetryDecision};
+use vbundle_dcn::{Bandwidth, DomainKind, Topology};
+use vbundle_fdetect::{Courier, CourierConfig, DomainSuspicion, RetryDecision};
 use vbundle_obs::{Counter, FlightRecorder, Registry, Subsystem};
 use vbundle_pastry::NodeHandle;
 use vbundle_scribe::{group_id, GroupId, ScribeClient, ScribeCtx};
@@ -32,6 +32,14 @@ use crate::{shaper, CustomerId, ResourceVector, VBundleConfig, VmId, VmRecord};
 pub const UPDATE_TAG: u64 = 0x101;
 /// Client timer tag for the rebalancing tick.
 pub const REBALANCE_TAG: u64 = 0x102;
+/// Client timer tag for the failover tick (probe protected racks, resend
+/// fences, retry re-materializations). Armed only when failover is on.
+pub const FAILOVER_TAG: u64 = 0x103;
+/// Request-id space for failover re-materialization boots (`base | n`).
+/// Disjoint from any harness-assigned request id, so a backup site can
+/// intercept its own [`CtrlMsg::BootResult`]s instead of surfacing them
+/// as tenant boots.
+pub const FAILOVER_BOOT_BASE: u64 = 1 << 62;
 /// Timer-tag space for per-migration ack timeouts (`base | query id`);
 /// sits below the Scribe-reserved space, above the small client tags.
 pub const MIGRATE_RETRY_TAG_BASE: u64 = 1 << 61;
@@ -127,6 +135,37 @@ struct InFlight {
     receiver: NodeHandle,
 }
 
+/// One VM a backup site protects (failover on): enough to re-materialize
+/// it when the primary's rack is declared dead, and to release the
+/// reserved headroom that backed it.
+#[derive(Debug, Clone)]
+struct Protection {
+    vm: VmRecord,
+    primary: NodeHandle,
+    amount: ResourceVector,
+}
+
+/// A failover re-materialization in flight (or queued for retry): the
+/// boot either resolves to a host or comes back rejected and is
+/// re-issued next failover tick.
+#[derive(Debug, Clone)]
+struct FoBoot {
+    vm: VmRecord,
+    /// The declared-dead rack the VM fell off — drives `visited`
+    /// pre-seeding and declaration retraction.
+    rack: u32,
+}
+
+/// A fence pending ack on a stale primary: the VMs re-materialized away
+/// from it that it must drop if (when) it comes back. Resent every
+/// failover tick until acked, so even a primary restarting long after
+/// the declaration reconciles.
+#[derive(Debug, Clone)]
+struct Fence {
+    primary: NodeHandle,
+    vms: BTreeSet<VmId>,
+}
+
 /// Observable counters of one controller, used by the figure harnesses.
 #[derive(Debug, Clone, Default)]
 pub struct ControllerStats {
@@ -177,6 +216,20 @@ pub struct ControllerStats {
     /// Survivable admissions on this server whose backup found no known
     /// cross-domain peer with room.
     pub backups_unplaced: u64,
+    /// Rack death declarations this backup site made (failover). An obs
+    /// shard like `rejected_aggregates`, exported under
+    /// `controller/fo_domains_declared`.
+    pub fo_domains_declared: Counter,
+    /// VMs this site re-materialized onto reserved backup capacity
+    /// (successful failover boots). Shard
+    /// `controller/fo_rematerialized`.
+    pub fo_rematerialized: Counter,
+    /// Fence messages sent to stale primaries, first sends and resends.
+    /// Shard `controller/fo_fences_sent`.
+    pub fo_fences_sent: Counter,
+    /// Leases reverted on this server because a fence removed their VM.
+    /// Shard `controller/fo_lease_reverts`.
+    pub fo_lease_reverts: Counter,
 }
 
 /// One customer's failure-domain occupancy as tracked by its key's root
@@ -266,6 +319,23 @@ pub struct Controller {
     /// Per-customer domain occupancy, maintained on each customer key's
     /// root server while survivable admission is on.
     surv_ledger: BTreeMap<u32, SurvLedger>,
+    /// VMs this server protects as a backup site (failover on), keyed by
+    /// VM id so declaration walks re-materialize in deterministic order.
+    protects: BTreeMap<VmId, Protection>,
+    /// Per-server death evidence folded into sticky rack declarations.
+    suspicion: DomainSuspicion,
+    /// Fences pending ack, keyed by the stale primary's actor index.
+    fences: BTreeMap<u32, Fence>,
+    /// Failover boots awaiting their intercepted [`CtrlMsg::BootResult`],
+    /// keyed by request id in the [`FAILOVER_BOOT_BASE`] space.
+    fo_pending: BTreeMap<u64, FoBoot>,
+    /// Failover boots that came back rejected, re-issued next tick.
+    fo_retry: BTreeMap<VmId, FoBoot>,
+    /// Known handles of servers in protected racks (probe targets),
+    /// keyed by actor index.
+    fo_handles: BTreeMap<u32, NodeHandle>,
+    /// Local counter minting failover boot request ids.
+    next_fo_boot: u64,
     /// Observable counters.
     pub stats: ControllerStats,
 }
@@ -324,6 +394,13 @@ impl Controller {
             obs_node: 0,
             backup_reserved: ResourceVector::ZERO,
             surv_ledger: BTreeMap::new(),
+            protects: BTreeMap::new(),
+            suspicion: DomainSuspicion::new(),
+            fences: BTreeMap::new(),
+            fo_pending: BTreeMap::new(),
+            fo_retry: BTreeMap::new(),
+            fo_handles: BTreeMap::new(),
+            next_fo_boot: 0,
             stats: ControllerStats::default(),
         }
     }
@@ -339,6 +416,10 @@ impl Controller {
         let scope = registry.scope("controller");
         self.stats.rejected_aggregates = scope.counter("rejected_aggregates");
         self.stats.sheds_lease_blocked = scope.counter("sheds_lease_blocked");
+        self.stats.fo_domains_declared = scope.counter("fo_domains_declared");
+        self.stats.fo_rematerialized = scope.counter("fo_rematerialized");
+        self.stats.fo_fences_sent = scope.counter("fo_fences_sent");
+        self.stats.fo_lease_reverts = scope.counter("fo_lease_reverts");
         self.flight = flight.clone();
         self.obs_node = node;
     }
@@ -428,6 +509,51 @@ impl Controller {
     /// path, when a displaced VM lands on its backup or the fault heals.
     pub fn release_backup(&mut self, amount: ResourceVector) {
         self.backup_reserved = self.backup_reserved.saturating_sub(&amount);
+    }
+
+    /// The VMs this server currently protects as a failover backup site.
+    pub fn protected_vms(&self) -> Vec<VmId> {
+        self.protects.keys().copied().collect()
+    }
+
+    /// VMs this site re-materialized whose stale primary has not yet
+    /// acknowledged its fence. While a fence is pending, a restarted
+    /// primary may transiently still hold the old copy — chaos
+    /// conservation checks treat such duplicates as reconciling rather
+    /// than as violations.
+    pub fn fenced_vms(&self) -> Vec<VmId> {
+        self.fences
+            .values()
+            .flat_map(|f| f.vms.iter().copied())
+            .collect()
+    }
+
+    /// Registers a protection charge on this server: reserves `amount`
+    /// as backup headroom and remembers `vm`/`primary` so a declared
+    /// death of the primary's rack re-materializes the VM here — the
+    /// offline seeding counterpart of [`CtrlMsg::FoBackupReserve`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the amount does not fit (same admission rule as
+    /// [`Controller::reserve_backup`]).
+    pub fn install_protection(
+        &mut self,
+        vm: VmRecord,
+        primary: NodeHandle,
+        amount: ResourceVector,
+    ) {
+        self.reserve_backup(amount);
+        self.fo_handles
+            .insert(primary.actor.index() as u32, primary);
+        self.protects.insert(
+            vm.id,
+            Protection {
+                vm,
+                primary,
+                amount,
+            },
+        );
     }
 
     /// `vm`'s effective rate/ceil contract right now: the static spec
@@ -710,6 +836,7 @@ impl Controller {
                 caps: None,
                 visited: Vec::new(),
                 ttl: self.config.boot_ttl,
+                failover: false,
             }),
         );
     }
@@ -1065,6 +1192,7 @@ impl Controller {
         sc: SurvivabilityConfig,
         vm: VmRecord,
         root: NodeHandle,
+        failover: bool,
     ) {
         let me = ctx.self_handle();
         let topo = ctx.pastry_state().topology().clone();
@@ -1091,6 +1219,12 @@ impl Controller {
         if sc.backup <= 0.0 {
             return;
         }
+        if failover {
+            // A re-materialized VM consumed the protection that
+            // re-admitted it; carving a fresh backup here would grow the
+            // overhead with every failover. Protection is single-shot.
+            return;
+        }
         let amount = vm.spec.reservation.scale(sc.backup);
         let site = ctx
             .pastry_state()
@@ -1112,13 +1246,24 @@ impl Controller {
                 )
             });
         match site {
-            Some(peer) => ctx.send_client(
-                peer,
-                CtrlMsg::BackupReserve {
-                    customer: vm.customer,
-                    amount,
-                },
-            ),
+            Some(peer) => {
+                // With failover on, the charge carries the VM and its
+                // primary, so the site can do more than shrink its
+                // borrow pool: it can bring the VM back.
+                let msg = if self.config.failover.is_some() {
+                    CtrlMsg::FoBackupReserve {
+                        vm,
+                        primary: me,
+                        amount,
+                    }
+                } else {
+                    CtrlMsg::BackupReserve {
+                        customer: vm.customer,
+                        amount,
+                    }
+                };
+                ctx.send_client(peer, msg);
+            }
             None => self.stats.backups_unplaced += 1,
         }
     }
@@ -1163,7 +1308,7 @@ impl Controller {
                 },
             );
             if let Some(sc) = surv {
-                self.after_survivable_admit(ctx, sc, q.vm, root);
+                self.after_survivable_admit(ctx, sc, q.vm, root, q.failover);
             }
             return;
         }
@@ -1491,6 +1636,263 @@ impl Controller {
         self.trade_courier.forget(id.0);
         self.trade.revert(id)
     }
+
+    /// The rack index behind an actor, if it maps to a server of the
+    /// topology.
+    fn rack_of_actor(topo: &Topology, actor: ActorId) -> Option<u32> {
+        if actor.index() < topo.num_servers() {
+            Some(topo.rack_of(topo.server(actor.index())).index() as u32)
+        } else {
+            None
+        }
+    }
+
+    /// The failover tick: refresh probe targets, probe every protected
+    /// rack, declare racks whose every known member has standing death
+    /// evidence, resend pending fences, re-issue rejected
+    /// re-materializations, and retract declarations that have fully
+    /// reconciled.
+    fn failover_tick(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>) {
+        let Some(fc) = self.config.failover else {
+            return;
+        };
+        let me = ctx.self_handle();
+        let topo = ctx.pastry_state().topology().clone();
+        let racks: BTreeSet<u32> = self
+            .protects
+            .values()
+            .filter_map(|p| Self::rack_of_actor(&topo, p.primary.actor))
+            .collect();
+        // Refresh the probe-target cache from the overlay's current
+        // view: every known node in a protected rack is a probe target,
+        // so a declaration needs the *whole rack* silent, not just the
+        // charge primaries.
+        for h in ctx.pastry_state().known_nodes() {
+            if Self::rack_of_actor(&topo, h.actor).is_some_and(|r| racks.contains(&r)) {
+                self.fo_handles.insert(h.actor.index() as u32, h);
+            }
+        }
+        for &rack in &racks {
+            if self.suspicion.is_declared(rack) {
+                continue;
+            }
+            let members: Vec<NodeHandle> = self
+                .fo_handles
+                .iter()
+                .filter(|(&idx, _)| Self::rack_of_actor(&topo, ActorId::new(idx)) == Some(rack))
+                .map(|(_, &h)| h)
+                .collect();
+            // Evidence check first: probes sent this tick answer (or
+            // bounce) well before the next one, so a declaration always
+            // rests on at least one full probe round.
+            if self
+                .suspicion
+                .declare(rack, members.iter().map(|h| h.actor.index() as u64))
+            {
+                self.on_rack_declared(ctx, rack, &topo);
+                continue;
+            }
+            for member in members {
+                if member.actor != me.actor {
+                    ctx.send_client(member, CtrlMsg::FoProbe { rack });
+                }
+            }
+        }
+        // Resend pending fences: a stale primary that restarted since
+        // the last tick must still learn its copies moved.
+        for fence in self.fences.values() {
+            self.stats.fo_fences_sent.inc();
+            ctx.send_client(
+                fence.primary,
+                CtrlMsg::FoFence {
+                    vms: fence.vms.iter().copied().collect(),
+                },
+            );
+        }
+        // Re-issue rejected re-materializations.
+        let retries: Vec<FoBoot> = std::mem::take(&mut self.fo_retry).into_values().collect();
+        for boot in retries {
+            self.issue_failover_boot(ctx, boot, &topo);
+        }
+        // Retract declarations whose failover has fully reconciled, so a
+        // future crash of the (restarted, re-protected) rack starts from
+        // fresh evidence instead of being masked by the sticky verdict.
+        let declared: Vec<u32> = self.suspicion.declared().collect();
+        for rack in declared {
+            let busy = self
+                .protects
+                .values()
+                .any(|p| Self::rack_of_actor(&topo, p.primary.actor) == Some(rack))
+                || self
+                    .fences
+                    .keys()
+                    .any(|&idx| Self::rack_of_actor(&topo, ActorId::new(idx)) == Some(rack))
+                || self.fo_pending.values().any(|b| b.rack == rack)
+                || self.fo_retry.values().any(|b| b.rack == rack);
+            if !busy {
+                self.suspicion.retract(rack);
+            }
+        }
+        ctx.schedule(fc.probe_interval, FAILOVER_TAG);
+    }
+
+    /// A protected rack was declared dead: convert every protection
+    /// whose primary lived there into a live re-materialization, fence
+    /// the stale primary, and release the backing headroom. The
+    /// `BTreeMap` walk makes repeated and overlapping declarations
+    /// deterministic; each protection is consumed exactly once, so a
+    /// VM can never be materialized twice.
+    fn on_rack_declared(
+        &mut self,
+        ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>,
+        rack: u32,
+        topo: &Topology,
+    ) {
+        self.stats.fo_domains_declared.inc();
+        self.flight.event_with(
+            ctx.now().as_micros(),
+            self.obs_node,
+            Subsystem::Controller,
+            "fo-domain-dead",
+            || format!("rack {rack} declared dead"),
+        );
+        let victims: Vec<VmId> = self
+            .protects
+            .iter()
+            .filter(|(_, p)| Self::rack_of_actor(topo, p.primary.actor) == Some(rack))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in victims {
+            let Some(p) = self.protects.remove(&id) else {
+                continue;
+            };
+            self.release_backup(p.amount);
+            let entry = self
+                .fences
+                .entry(p.primary.actor.index() as u32)
+                .or_insert_with(|| Fence {
+                    primary: p.primary,
+                    vms: BTreeSet::new(),
+                });
+            entry.vms.insert(p.vm.id);
+            // First fence attempt right away: if the primary is racing a
+            // restart it reconciles immediately; if it is dead the send
+            // just bounces and the tick resends until the ack.
+            self.stats.fo_fences_sent.inc();
+            ctx.send_client(p.primary, CtrlMsg::FoFence { vms: vec![p.vm.id] });
+            self.issue_failover_boot(ctx, FoBoot { vm: p.vm, rack }, topo);
+        }
+    }
+
+    /// Issues (or re-issues) one re-materialization through the ordinary
+    /// boot path. The dead rack's servers are pre-seeded into `visited`
+    /// so the walk can never resolve onto a host being fenced, and the
+    /// request id lives in the [`FAILOVER_BOOT_BASE`] space so the
+    /// result is intercepted rather than surfaced as a tenant boot.
+    fn issue_failover_boot(
+        &mut self,
+        ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>,
+        boot: FoBoot,
+        topo: &Topology,
+    ) {
+        let me = ctx.self_handle();
+        let request = FAILOVER_BOOT_BASE | self.next_fo_boot;
+        self.next_fo_boot += 1;
+        let visited: Vec<ActorId> = if (boot.rack as usize) < topo.num_racks() {
+            topo.domain_servers(DomainKind::Rack, boot.rack as usize)
+                .into_iter()
+                .map(|s| ActorId::new(s.index() as u32))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let q = BootQuery {
+            request,
+            vm: boot.vm,
+            origin: me,
+            root: None,
+            caps: None,
+            visited,
+            ttl: self.config.boot_ttl,
+            failover: true,
+        };
+        self.fo_pending.insert(request, boot);
+        self.handle_boot(ctx, q);
+    }
+
+    /// A failover boot resolved. Success is the re-materialization
+    /// (the fence keeps chasing the stale primary separately);
+    /// rejection queues a retry for the next tick.
+    fn on_failover_boot_result(&mut self, request: u64, vm: VmId, host: Option<NodeHandle>) {
+        let Some(boot) = self.fo_pending.remove(&request) else {
+            return; // duplicate result
+        };
+        match host {
+            Some(h) => {
+                self.stats.fo_rematerialized.inc();
+                self.flight.event_with(
+                    self.clock.as_micros(),
+                    self.obs_node,
+                    Subsystem::Controller,
+                    "fo-rematerialize",
+                    || format!("vm {vm:?} onto node#{}", h.actor.index()),
+                );
+            }
+            None => {
+                self.fo_retry.insert(boot.vm.id, boot);
+            }
+        }
+    }
+
+    /// A fence arrived from a backup site: this server's copies of
+    /// `vms` are stale — they were re-materialized elsewhere while this
+    /// rack was declared dead. Drop them, reverting their leases
+    /// through the peers first, and ack so the re-materialized copy is
+    /// the only one left.
+    fn apply_fence(
+        &mut self,
+        ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>,
+        from: NodeHandle,
+        vms: Vec<VmId>,
+    ) {
+        if self.config.failover.is_none() {
+            return;
+        }
+        let mut dropped = 0u64;
+        for &vm in &vms {
+            if self.vms.iter().any(|v| v.id == vm) {
+                let leases = self.trade.ids_involving(vm).len() as u64;
+                if leases > 0 {
+                    self.stats.fo_lease_reverts.add(leases);
+                    self.flight.event_with(
+                        ctx.now().as_micros(),
+                        self.obs_node,
+                        Subsystem::Controller,
+                        "fo-lease-revert",
+                        || format!("{leases} lease(s) of fenced vm {vm:?}"),
+                    );
+                }
+                self.release_vm_leases(ctx, vm);
+                self.remove_vm(vm);
+                dropped += 1;
+            }
+        }
+        if dropped > 0 {
+            self.flight.event_with(
+                ctx.now().as_micros(),
+                self.obs_node,
+                Subsystem::Controller,
+                "fo-fence",
+                || {
+                    format!(
+                        "dropped {dropped} stale VM(s) fenced by node#{}",
+                        from.actor.index()
+                    )
+                },
+            );
+        }
+        ctx.send_client(from, CtrlMsg::FoFenceAck { vms });
+    }
 }
 
 impl ScribeClient for Controller {
@@ -1508,6 +1910,9 @@ impl ScribeClient for Controller {
         let jitter = SimDuration::from_micros(ctx.rng().gen_range(0..jitter_cap));
         ctx.schedule(self.config.update_interval + jitter, UPDATE_TAG);
         ctx.schedule(self.config.rebalance_interval + jitter, REBALANCE_TAG);
+        if let Some(fc) = self.config.failover {
+            ctx.schedule(fc.probe_interval, FAILOVER_TAG);
+        }
     }
 
     fn on_restart(&mut self, ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>) {
@@ -1521,6 +1926,9 @@ impl ScribeClient for Controller {
         let jitter = SimDuration::from_micros(ctx.rng().gen_range(0..jitter_cap));
         ctx.schedule(self.config.update_interval + jitter, UPDATE_TAG);
         ctx.schedule(self.config.rebalance_interval + jitter, REBALANCE_TAG);
+        if let Some(fc) = self.config.failover {
+            ctx.schedule(fc.probe_interval, FAILOVER_TAG);
+        }
         let queries: Vec<u64> = self.in_flight.keys().copied().collect();
         for query in queries {
             // arm() re-covers the current attempt without burning a retry.
@@ -1541,6 +1949,7 @@ impl ScribeClient for Controller {
             AGG_TICK_TAG => self.agg.on_tick(ctx),
             UPDATE_TAG => self.update_tick(ctx),
             REBALANCE_TAG => self.rebalance_tick(ctx),
+            FAILOVER_TAG => self.failover_tick(ctx),
             t if t >= MIGRATE_RETRY_TAG_BASE => {
                 self.migrate_retry_tick(ctx, t & !MIGRATE_RETRY_TAG_BASE)
             }
@@ -1613,6 +2022,11 @@ impl ScribeClient for Controller {
             }
             CtrlMsg::Agg(_) => {}
             CtrlMsg::Boot(q) => self.handle_boot(ctx, q),
+            // Failover boots are this site's own re-materializations, not
+            // tenant boots: intercept before the generic result arm.
+            CtrlMsg::BootResult { request, vm, host } if request >= FAILOVER_BOOT_BASE => {
+                self.on_failover_boot_result(request, vm, host);
+            }
             CtrlMsg::BootResult { request, vm, host } => {
                 // A duplicated (or re-acked) result must not double-count.
                 if !self.stats.boot_results.iter().any(|(r, ..)| *r == request) {
@@ -1669,6 +2083,49 @@ impl ScribeClient for Controller {
                 {
                     self.backup_reserved += amount;
                     self.stats.backups_reserved += 1;
+                }
+            }
+            CtrlMsg::FoBackupReserve {
+                vm,
+                primary,
+                amount,
+            } => {
+                if self.config.failover.is_some()
+                    && amount.is_sane()
+                    && (self.reserved() + amount).fits_within(&self.capacity)
+                {
+                    self.backup_reserved += amount;
+                    self.stats.backups_reserved += 1;
+                    self.fo_handles
+                        .insert(primary.actor.index() as u32, primary);
+                    self.protects.insert(
+                        vm.id,
+                        Protection {
+                            vm,
+                            primary,
+                            amount,
+                        },
+                    );
+                }
+            }
+            CtrlMsg::FoProbe { rack } => {
+                if self.config.failover.is_some() {
+                    ctx.send_client(from, CtrlMsg::FoProbeAck { rack });
+                }
+            }
+            CtrlMsg::FoProbeAck { .. } => {
+                self.suspicion.mark_alive(from.actor.index() as u64);
+            }
+            CtrlMsg::FoFence { vms } => self.apply_fence(ctx, from, vms),
+            CtrlMsg::FoFenceAck { vms } => {
+                let key = from.actor.index() as u32;
+                if let Some(fence) = self.fences.get_mut(&key) {
+                    for vm in vms {
+                        fence.vms.remove(&vm);
+                    }
+                    if fence.vms.is_empty() {
+                        self.fences.remove(&key);
+                    }
                 }
             }
             CtrlMsg::Borrow(_) => {} // borrow requests only arrive via anycast
@@ -1798,6 +2255,14 @@ impl ScribeClient for Controller {
             CtrlMsg::LeaseRenew { id } => {
                 self.drop_lease_half(id);
             }
+            // A bounced probe is death evidence for that member.
+            CtrlMsg::FoProbe { .. } => {
+                self.suspicion.mark_dead(to.index() as u64);
+            }
+            // The chosen backup site died before the charge landed.
+            CtrlMsg::FoBackupReserve { .. } => {
+                self.stats.backups_unplaced += 1;
+            }
             _ => {}
         }
     }
@@ -1820,6 +2285,10 @@ impl ScribeClient for Controller {
             {
                 self.drop_lease_half(id);
             }
+        }
+        // Overlay-level eviction is death evidence for domain suspicion.
+        if self.config.failover.is_some() {
+            self.suspicion.mark_dead(failed.actor.index() as u64);
         }
     }
 }

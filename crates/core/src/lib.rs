@@ -66,14 +66,14 @@ pub mod shaper;
 mod vm;
 
 pub use cluster::{Cluster, ClusterBuilder, VbEngine};
-pub use config::{SurvivabilityConfig, VBundleConfig};
+pub use config::{FailoverConfig, SurvivabilityConfig, VBundleConfig};
 pub use controller::{
     bw_capacity_topic, bw_demand_topic, capacity_topic, demand_topic, less_loaded_group,
-    Controller, ControllerStats, ServerStatus, REBALANCE_TAG, UPDATE_TAG,
+    Controller, ControllerStats, ServerStatus, FAILOVER_TAG, REBALANCE_TAG, UPDATE_TAG,
 };
 pub use message::{BootQuery, CtrlMsg, LoadQuery, SurvCaps};
 pub use metrics::{CustomerLocality, SatisfactionTotals};
-pub use placement::{survivable_domain_cap, ClusterModel, PlacementPolicy};
+pub use placement::{survivable_domain_cap, BackupCharge, ClusterModel, PlacementPolicy};
 pub use report::ClusterReport;
 // Resource-space types and party identities live in `vbundle-trade` (the
 // economic layer below this crate); re-exported here so downstream code

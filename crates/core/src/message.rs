@@ -62,6 +62,14 @@ pub struct BootQuery {
     pub visited: Vec<ActorId>,
     /// Remaining forwarding budget.
     pub ttl: u32,
+    /// True when this query re-materializes a VM lost to a declared
+    /// domain death (sent by the backup site, not a tenant). Failover
+    /// admissions skip the backup carve-out — the protection was
+    /// single-shot — and pre-seed `visited` with the dead rack, so the
+    /// copy never lands back on the servers being fenced. Always `false`
+    /// on ordinary boots, so the wire size is unchanged for
+    /// non-failover runs.
+    pub failover: bool,
 }
 
 /// A load shedder's query into the Less-Loaded anycast tree (§III.C):
@@ -192,6 +200,45 @@ pub enum CtrlMsg {
         /// The backup amount (`backup` × the VM's reservation).
         amount: ResourceVector,
     },
+    /// The failover-aware variant of [`CtrlMsg::BackupReserve`]: carries
+    /// the protected VM's full record and its primary host, so the
+    /// receiving backup site can re-materialize the VM if the primary's
+    /// rack is declared dead. Only sent when failover is on.
+    FoBackupReserve {
+        /// The protected VM (re-booted verbatim on failover).
+        vm: VmRecord,
+        /// The server currently hosting the VM.
+        primary: NodeHandle,
+        /// The backup amount reserved on the receiver.
+        amount: ResourceVector,
+    },
+    /// A backup site's liveness probe into a rack it protects. Any live
+    /// member answers [`CtrlMsg::FoProbeAck`]; a send failure (the
+    /// member is dead) is rack-death evidence for the site's domain
+    /// suspicion.
+    FoProbe {
+        /// The rack being probed.
+        rack: u32,
+    },
+    /// A probed server's "my rack still has me" reply.
+    FoProbeAck {
+        /// Echo of [`CtrlMsg::FoProbe::rack`].
+        rack: u32,
+    },
+    /// The backup site's fence to a stale primary after failover: "these
+    /// VMs were re-materialized elsewhere — drop your copies and revert
+    /// their leases". Resent every failover tick until the
+    /// [`CtrlMsg::FoFenceAck`] arrives, so a primary that restarts after
+    /// the declaration still reconciles.
+    FoFence {
+        /// The VMs the fenced server must release.
+        vms: Vec<VmId>,
+    },
+    /// The fenced server's confirmation that the stale copies are gone.
+    FoFenceAck {
+        /// Echo of [`CtrlMsg::FoFence::vms`].
+        vms: Vec<VmId>,
+    },
 }
 
 const HANDLE_BYTES: usize = 20;
@@ -207,7 +254,12 @@ impl Message for CtrlMsg {
                     .caps
                     .as_ref()
                     .map_or(0, |c| 4 + 8 * (c.per_rack.len() + c.per_pod.len()));
-                8 + VM_BYTES + HANDLE_BYTES * 2 + 4 * q.visited.len() + 8 + caps
+                8 + VM_BYTES
+                    + HANDLE_BYTES * 2
+                    + 4 * q.visited.len()
+                    + 8
+                    + caps
+                    + usize::from(q.failover)
             }
             CtrlMsg::BootResult { .. } => 8 + 8 + HANDLE_BYTES,
             CtrlMsg::Load(_) => 8 + VM_BYTES + HANDLE_BYTES,
@@ -221,6 +273,9 @@ impl Message for CtrlMsg {
             CtrlMsg::LeaseRelease { .. } => 8,
             CtrlMsg::SurvCommit { .. } => 4 + 4 + 4,
             CtrlMsg::BackupReserve { .. } => 4 + 3 * 8,
+            CtrlMsg::FoBackupReserve { .. } => VM_BYTES + HANDLE_BYTES + 3 * 8,
+            CtrlMsg::FoProbe { .. } | CtrlMsg::FoProbeAck { .. } => 4,
+            CtrlMsg::FoFence { vms } | CtrlMsg::FoFenceAck { vms } => 8 * vms.len(),
         }
     }
 
@@ -267,6 +322,7 @@ mod tests {
             caps: None,
             visited: vec![ActorId::new(2)],
             ttl: 9,
+            failover: false,
         });
         assert!(boot.wire_size() > VM_BYTES);
         assert_eq!(boot.category(), MsgCategory::Payload);
@@ -322,5 +378,48 @@ mod tests {
         assert_eq!(reserve.wire_size(), 28);
         let mut c = commit;
         assert!(!c.corrupt(CorruptionMode::Nan));
+    }
+
+    #[test]
+    fn failover_message_sizes() {
+        let h = NodeHandle::new(Id::from_u128(7), ActorId::new(3));
+        let vm = VmRecord::new(
+            VmId(9),
+            CustomerId(2),
+            ResourceSpec::fixed(ResourceVector::bandwidth_only(Bandwidth::from_mbps(80.0))),
+        );
+        let reserve = CtrlMsg::FoBackupReserve {
+            vm,
+            primary: h,
+            amount: ResourceVector::bandwidth_only(Bandwidth::from_mbps(20.0)),
+        };
+        assert_eq!(reserve.wire_size(), VM_BYTES + HANDLE_BYTES + 24);
+        assert_eq!(CtrlMsg::FoProbe { rack: 1 }.wire_size(), 4);
+        assert_eq!(CtrlMsg::FoProbeAck { rack: 1 }.wire_size(), 4);
+        let fence = CtrlMsg::FoFence {
+            vms: vec![VmId(1), VmId(2)],
+        };
+        assert_eq!(fence.wire_size(), 16);
+        assert_eq!(CtrlMsg::FoFenceAck { vms: vec![VmId(1)] }.wire_size(), 8);
+        // None of the failover messages are corruptible.
+        let mut p = CtrlMsg::FoProbe { rack: 0 };
+        assert!(!p.corrupt(CorruptionMode::Nan));
+
+        // The failover flag on a boot query costs exactly one byte, so
+        // ordinary boots are byte-identical to the pre-failover wire.
+        let q = BootQuery {
+            request: 1,
+            vm,
+            origin: h,
+            root: None,
+            caps: None,
+            visited: Vec::new(),
+            ttl: 4,
+            failover: false,
+        };
+        let bare = CtrlMsg::Boot(q.clone()).wire_size();
+        let mut fo = q;
+        fo.failover = true;
+        assert_eq!(CtrlMsg::Boot(fo).wire_size(), bare + 1);
     }
 }

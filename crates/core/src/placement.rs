@@ -73,11 +73,30 @@ pub struct ClusterModel {
     walks: HashMap<u128, Walk>,
     /// Per-customer failure-domain occupancy, for the survivable caps.
     surv: HashMap<u32, SurvState>,
+    /// Per-VM backup charges, in placement order.
+    backup_charges: Vec<BackupCharge>,
     backups_unplaced: u64,
     greedy_cursor: usize,
     /// Componentwise-smallest reservation ever placed greedily; the
     /// greedy cursor may only skip servers that cannot fit even this.
     min_greedy_vm: Option<ResourceVector>,
+}
+
+/// One backup reservation recorded by survivable placement: which VM it
+/// protects, the server hosting the primary copy, the disjoint-domain
+/// site the headroom was carved on, and the carved amount. The cluster
+/// harness replays these as failover protections when the failover
+/// subsystem is enabled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackupCharge {
+    /// The protected VM.
+    pub vm: VmRecord,
+    /// The server hosting the primary copy.
+    pub primary: ServerId,
+    /// The server holding the reserved backup headroom.
+    pub site: ServerId,
+    /// The reserved amount (`backup` × the VM's reservation).
+    pub amount: ResourceVector,
 }
 
 #[derive(Debug, Clone)]
@@ -111,6 +130,7 @@ impl ClusterModel {
             vms: vec![Vec::new(); n],
             walks: HashMap::new(),
             surv: HashMap::new(),
+            backup_charges: Vec::new(),
             backups_unplaced: 0,
             greedy_cursor: 0,
             min_greedy_vm: None,
@@ -157,6 +177,13 @@ impl ClusterModel {
     /// Backup reservations that found no disjoint-domain server with room.
     pub fn backups_unplaced(&self) -> u64 {
         self.backups_unplaced
+    }
+
+    /// Every backup charge survivable placement recorded, in placement
+    /// order — the offline counterpart of the controllers' failover
+    /// protection ledger.
+    pub fn backup_charges(&self) -> &[BackupCharge] {
+        &self.backup_charges
     }
 
     fn fits_amount(&self, server: usize, amount: &ResourceVector) -> bool {
@@ -284,7 +311,15 @@ impl ClusterModel {
                 disjoint && self.fits_amount(b, &amount)
             });
             match site {
-                Some(b) => self.backup_reserved[b] += amount,
+                Some(b) => {
+                    self.backup_reserved[b] += amount;
+                    self.backup_charges.push(BackupCharge {
+                        vm,
+                        primary: placed,
+                        site: self.topo.server(b),
+                        amount,
+                    });
+                }
                 None => self.backups_unplaced += 1,
             }
         }

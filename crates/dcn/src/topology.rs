@@ -647,4 +647,82 @@ mod tests {
         assert_eq!(DomainKind::Rack.to_string(), "rack");
         assert_eq!(DomainKind::Pod.to_string(), "pod");
     }
+
+    #[test]
+    fn single_rack_topology_has_no_disjoint_pair() {
+        // One rack, one pod: every pair shares both domains, so no backup
+        // site can ever be domain-disjoint and a rack crash severs every
+        // path. Survivable placement must detect this shape (num_domains
+        // < 2) and exempt the caps rather than loop forever.
+        let t = Topology::builder()
+            .pods(1)
+            .racks_per_pod(1)
+            .servers_per_rack(4)
+            .build();
+        assert_eq!(t.num_domains(DomainKind::Rack), 1);
+        assert_eq!(t.num_domains(DomainKind::Pod), 1);
+        for a in t.servers() {
+            for b in t.servers() {
+                assert!(!t.domain_disjoint(DomainKind::Rack, a, b));
+                assert!(!t.domain_disjoint(DomainKind::Pod, a, b));
+                assert!(!t.path_survives(a, b, DomainKind::Rack, 0));
+                assert!(!t.path_survives(a, b, DomainKind::Pod, 0));
+            }
+        }
+        // A self-path is still "a path": it survives any *other* domain's
+        // death (no other domain exists here, but the predicate must not
+        // claim survival of the only one).
+        let s0 = t.server(0);
+        assert!(!t.path_survives(s0, s0, DomainKind::Rack, 0));
+    }
+
+    #[test]
+    fn single_pod_multi_rack_falls_back_to_rack_disjointness() {
+        // Fewer than 2 pods: pod-disjoint placement is impossible
+        // (Survivable exemption), but rack-disjoint pairs still exist and
+        // rack-level path survival still discriminates.
+        let t = Topology::builder()
+            .pods(1)
+            .racks_per_pod(3)
+            .servers_per_rack(2)
+            .build();
+        assert_eq!(t.num_domains(DomainKind::Pod), 1);
+        let (a, b) = (t.server(0), t.server(2));
+        assert!(!t.domain_disjoint(DomainKind::Pod, a, b));
+        assert!(t.domain_disjoint(DomainKind::Rack, a, b));
+        assert!(t.path_survives(a, b, DomainKind::Rack, 2));
+        assert!(!t.path_survives(a, b, DomainKind::Rack, 0));
+        // The sole pod dying takes everything with it.
+        assert!(!t.path_survives(a, b, DomainKind::Pod, 0));
+    }
+
+    #[test]
+    fn pod_crash_takes_backup_server_with_it() {
+        // The failover blind spot: a backup site that is rack-disjoint
+        // from its primary but shares the primary's pod is not protected
+        // against a pod crash — both copies die. The predicates must
+        // report that honestly so placement pays for cross-pod sites.
+        let t = Topology::builder()
+            .pods(2)
+            .racks_per_pod(2)
+            .servers_per_rack(2)
+            .build();
+        let primary = t.server(0); // pod 0, rack 0
+        let same_pod_backup = t.server(2); // pod 0, rack 1
+        let cross_pod_backup = t.server(4); // pod 1, rack 2
+        assert!(t.domain_disjoint(DomainKind::Rack, primary, same_pod_backup));
+        assert!(!t.domain_disjoint(DomainKind::Pod, primary, same_pod_backup));
+        let dead_pod = t.pod_of(primary).index();
+        // Pod 0 dies: the same-pod backup dies with the primary — no
+        // surviving path reaches it from anywhere, not even from a live
+        // pod-1 server.
+        for alive in t.servers_in_pod(t.pod(1)) {
+            assert!(!t.path_survives(alive, same_pod_backup, DomainKind::Pod, dead_pod));
+        }
+        // The cross-pod backup remains reachable from every pod-1 server.
+        for alive in t.servers_in_pod(t.pod(1)) {
+            assert!(t.path_survives(alive, cross_pod_backup, DomainKind::Pod, dead_pod));
+        }
+        assert!(t.domain_disjoint(DomainKind::Pod, primary, cross_pod_backup));
+    }
 }

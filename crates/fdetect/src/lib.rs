@@ -17,6 +17,9 @@
 //!   in-tree `rand` stub), bounded retry budgets. See [`courier`].
 //! - [`DedupWindow`] — receive-side message-id dedup making duplicated
 //!   deliveries idempotent by construction. See [`dedup`].
+//! - [`DomainSuspicion`] — folds per-server death evidence into sticky
+//!   whole-failure-domain declarations, the trigger for backup-activated
+//!   failover. See [`domain`].
 //!
 //! All primitives are pure state machines over the simulated clock:
 //! deterministic, replayable, and engine-agnostic.
@@ -25,11 +28,13 @@
 
 pub mod courier;
 pub mod dedup;
+pub mod domain;
 pub mod phi;
 pub mod probe;
 
 pub use courier::{backoff_rounds, Courier, CourierConfig, RetryDecision};
 pub use dedup::DedupWindow;
+pub use domain::DomainSuspicion;
 pub use phi::{ArrivalWindow, FailureDetector, PhiConfig, Verdict};
 pub use probe::Probe;
 

@@ -293,11 +293,15 @@ impl<W: Message, A: Actor<W>> Engine<W, A> {
 
     /// Marks an actor as failed: all queued and future events addressed to
     /// it are silently dropped, exactly as a crashed host drops packets.
+    /// No-op when already dead — crashing a crashed host records nothing.
     ///
     /// # Panics
     ///
     /// Panics if `id` was not returned by [`Engine::add_actor`].
     pub fn fail(&mut self, id: ActorId) {
+        if !self.actors[id.index()].meta.alive {
+            return;
+        }
         self.actors[id.index()].meta.alive = false;
         self.flight.event_with(
             self.now.as_micros(),
