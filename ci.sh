@@ -25,7 +25,7 @@ cargo test --workspace
 # Each sweep binary's --smoke mode replays a fixed seeded subset and
 # byte-compares its report against results/<name>_smoke.golden. Any
 # drift prints a unified diff of the blessed golden vs the fresh run.
-for sweep in chaos_sweep poison_sweep bundle_market scale_sweep survivability_sweep; do
+for sweep in chaos_sweep poison_sweep bundle_market scale_sweep survivability_sweep market_sweep; do
     echo "==> ${sweep} smoke (deterministic golden)"
     cargo run --release -q -p vbundle-bench --bin "${sweep}" -- --smoke
 done
@@ -41,9 +41,15 @@ echo "==> failure_recovery example smoke (pinned seed)"
 cargo run --release -q --example failure_recovery \
     | grep -q "no central manager, nothing to restart: the overlay repaired itself."
 
+# Likewise the spot-market walkthrough: a priced cross-tenant lease must
+# clear, bill both sides and reconcile, all under a pinned seed.
+echo "==> bandwidth_trading example smoke (pinned seed)"
+cargo run --release -q --example bandwidth_trading \
+    | grep -q "priced spot lease settled: buyer paid, seller earned, books reconcile"
+
 echo "==> golden files unchanged"
-if ! git diff --quiet -- results/*.golden BENCH_surv.json; then
-    git --no-pager diff -- results/*.golden BENCH_surv.json
+if ! git diff --quiet -- results/*.golden BENCH_surv.json BENCH_market.json; then
+    git --no-pager diff -- results/*.golden BENCH_surv.json BENCH_market.json
     echo "golden drift: inspect the diff, then regen with" \
          "'cargo run --release -p vbundle-bench --bin <sweep> -- --smoke --bless'" >&2
     exit 1

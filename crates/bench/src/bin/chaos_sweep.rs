@@ -269,7 +269,7 @@ fn play_lender_crash() -> RecoveryReport {
     // lease-count assertion here — only that trading really ran and the
     // ledger is conserved once the network quiesced.
     let grants: u64 = (0..cluster.num_servers())
-        .map(|i| cluster.controller(i).trade_book().stats.grants_sent)
+        .map(|i| cluster.controller(i).trade_book().stats.grants_sent.get())
         .sum();
     assert!(grants > 0, "lender-crash scenario never granted a lease");
     let open = check_entitlement_conservation(&cluster.engine);

@@ -11,7 +11,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use vbundle_aggregation::{AggClient, Aggregator};
-use vbundle_core::{Controller, VbEngine, VmId};
+use vbundle_core::{reconcile, Controller, VbEngine, VmId};
 use vbundle_pastry::{NodeId, PastryApp, PastryMsg, PastryNode};
 use vbundle_scribe::{GroupId, Scribe, ScribeClient, ScribeMsg};
 use vbundle_sim::{ActorId, Engine};
@@ -393,9 +393,12 @@ pub fn check_entitlement_conservation(engine: &VbEngine) -> Vec<Violation> {
         if !engine.is_alive(id) {
             continue;
         }
-        // Live borrower halves must pair with a debit somewhere.
+        // Live borrower halves must pair with a debit somewhere. The
+        // liveness test is starts-aware: a renewal replacement lease is
+        // minted before its validity window opens and must not be scored
+        // as active credit until then.
         for h in book.halves() {
-            if h.role != LeaseRole::Borrower || h.lease.expires <= now {
+            if h.role != LeaseRole::Borrower || !h.lease.live_at(now) {
                 continue;
             }
             match lender_halves.get(&h.lease.id.0) {
@@ -432,12 +435,85 @@ pub fn check_entitlement_conservation(engine: &VbEngine) -> Vec<Violation> {
             }
         }
     }
+    // Cross-tenant (spot-market) leases legitimately move entitlement
+    // between tenants: the buyer's VMs gained exactly what the seller's
+    // bundle lost. Reattribute each live traded amount back to the seller
+    // so the per-tenant sums stay comparable to purchased capacity — a
+    // buyer whose gain has no matching lender debit anywhere still trips
+    // the phantom-credit bound below.
+    for lease in lender_halves.values() {
+        if lease.cross_tenant() && lease.live_at(now) {
+            let amt = lease.amount.bandwidth.as_mbps();
+            *entitled.entry(lease.buyer.0).or_default() -= amt;
+            *entitled.entry(lease.customer.0).or_default() += amt;
+        }
+    }
     for (customer, &e) in &entitled {
         let b = base.get(customer).copied().unwrap_or(0.0);
         if e > b + eps {
             out.push(format!(
                 "entitlement: customer {customer} holds {e:.6} Mbps of live entitlement against {b:.6} purchased (phantom credit)"
             ));
+        }
+    }
+    out
+}
+
+/// Billing conservation under the spot market — the double-entry
+/// guarantee, checked from reassembled per-server
+/// [`BillingBook`](vbundle_core::BillingBook)s
+/// (crashed servers keep their books, exactly like the trade ledger):
+/// every `Spend` entry pairs with a `Revenue` entry of identical terms
+/// somewhere in the cluster. Revenue without spend is tolerated (a lost
+/// grant whose reversal could mint phantom refunds is kept, see
+/// [`reconcile`]); spend without revenue — a tenant charged for capacity
+/// nobody sold — never is.
+pub fn check_billing_conservation(engine: &VbEngine) -> Vec<Violation> {
+    reconcile(
+        engine
+            .actors()
+            .map(|(_, node)| node.app().client().billing()),
+    )
+    .violations
+}
+
+/// Per-tenant isolation caps under the spot market: on every live server,
+/// each lender customer's committed cross-tenant outflow (priced leases
+/// sold out of its bundle, including future-dated renewal replacements)
+/// stays within `cap ×` its base reservations on that server. Checked
+/// from the raw lender halves, independently of the controller's own
+/// admission arithmetic.
+pub fn check_isolation_caps(engine: &VbEngine, cap: f64) -> Vec<Violation> {
+    use vbundle_trade::LeaseRole;
+    let now = engine.now();
+    let mut out = Vec::new();
+    for (id, node) in engine.actors() {
+        if !engine.is_alive(id) {
+            continue;
+        }
+        let ctrl = node.app().client();
+        let mut outflow: BTreeMap<u32, f64> = BTreeMap::new();
+        for h in ctrl.trade_book().halves() {
+            if h.role == LeaseRole::Lender && h.lease.cross_tenant() && h.lease.expires > now {
+                *outflow.entry(h.lease.customer.0).or_default() +=
+                    h.lease.amount.bandwidth.as_mbps();
+            }
+        }
+        for (&customer, &sold) in &outflow {
+            let base: f64 = ctrl
+                .vms()
+                .iter()
+                .filter(|v| v.customer.0 == customer)
+                .map(|v| v.spec.reservation.bandwidth.as_mbps())
+                .sum();
+            if sold > cap.clamp(0.0, 1.0) * base + 1e-6 {
+                out.push(format!(
+                    "isolation: server {} sold {sold:.3} Mbps of customer {customer}'s bundle \
+                     cross-tenant against {base:.3} reserved (cap {:.0}%)",
+                    id.index(),
+                    100.0 * cap.clamp(0.0, 1.0)
+                ));
+            }
         }
     }
     out

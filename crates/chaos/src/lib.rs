@@ -65,9 +65,10 @@ mod runner;
 
 pub use injector::{ChaosInjector, NetState, SharedNet};
 pub use invariants::{
-    check_aggregation, check_bounded_degradation, check_capacity, check_entitlement_conservation,
-    check_global_mean, check_leaf_sets, check_migration_rate, check_scribe_trees,
-    check_vm_conservation, customer_satisfaction, HasAggregator, Violation,
+    check_aggregation, check_billing_conservation, check_bounded_degradation, check_capacity,
+    check_entitlement_conservation, check_global_mean, check_isolation_caps, check_leaf_sets,
+    check_migration_rate, check_scribe_trees, check_vm_conservation, customer_satisfaction,
+    HasAggregator, Violation,
 };
 pub use plan::{FaultEvent, FaultKind, FaultPlan, LinkFault, Scope};
 pub use runner::{run_scenario, ChaosDriver, RecoveryReport, ScenarioSpec};

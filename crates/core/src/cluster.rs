@@ -158,6 +158,7 @@ impl ClusterBuilder {
             };
             let mut controller = Controller::new(capacity, agg_config.clone(), vb.clone());
             controller.attach_obs(i as u32, &registry, &flight);
+            controller.set_pod(self.topo.pod_of(self.topo.server(i)).index() as u32);
             let mut scribe = Scribe::with_config(controller, scribe_config.clone());
             scribe.attach_obs(&registry, &flight);
             let mut node = PastryNode::with_state(state, scribe, self.pastry.clone());
@@ -178,19 +179,15 @@ impl ClusterBuilder {
     }
 }
 
-/// Gauges mirroring the stack's remaining ad-hoc stat structs (trade
-/// ledger tallies, controller u64 counters, cluster-level totals) into
-/// the obs registry. Registered once at build time — gauges shard per
+/// Gauges mirroring the stack's remaining ad-hoc stat structs
+/// (controller u64 counters, cluster-level totals) into the obs
+/// registry. Registered once at build time — gauges shard per
 /// registration, so re-registering on every export would double-count —
-/// and refreshed by [`Cluster::refresh_metrics`].
+/// and refreshed by [`Cluster::refresh_metrics`]. Trade tallies need no
+/// mirror anymore: [`TradeStats`](vbundle_trade::TradeStats) fields are
+/// obs [`Counter`](vbundle_obs::Counter) handles registered per
+/// controller by `attach_obs`.
 struct StatMirror {
-    trade_requests_sent: Gauge,
-    trade_grants_sent: Gauge,
-    trade_leases_borrowed: Gauge,
-    trade_grants_rejected: Gauge,
-    trade_leases_expired: Gauge,
-    trade_leases_reverted: Gauge,
-    trade_lender_losses: Gauge,
     ctrl_migrations_out: Gauge,
     ctrl_migrations_in: Gauge,
     ctrl_migrations_failed: Gauge,
@@ -206,17 +203,9 @@ struct StatMirror {
 
 impl StatMirror {
     fn register(registry: &Registry) -> Self {
-        let trade = registry.scope("trade");
         let ctrl = registry.scope("controller");
         let cluster = registry.scope("cluster");
         StatMirror {
-            trade_requests_sent: trade.gauge("requests_sent"),
-            trade_grants_sent: trade.gauge("grants_sent"),
-            trade_leases_borrowed: trade.gauge("leases_borrowed"),
-            trade_grants_rejected: trade.gauge("grants_rejected"),
-            trade_leases_expired: trade.gauge("leases_expired"),
-            trade_leases_reverted: trade.gauge("leases_reverted"),
-            trade_lender_losses: trade.gauge("lender_losses"),
             ctrl_migrations_out: ctrl.gauge("migrations_out"),
             ctrl_migrations_in: ctrl.gauge("migrations_in"),
             ctrl_migrations_failed: ctrl.gauge("migrations_failed"),
@@ -272,6 +261,15 @@ impl Cluster {
             .actor(ActorId::new(server as u32))
             .app()
             .client()
+    }
+
+    /// Mutable access to the controller of `server` — test scaffolding
+    /// (e.g. steering a lender's spot-price index between runs).
+    pub fn controller_mut(&mut self, server: usize) -> &mut Controller {
+        self.engine
+            .actor_mut(ActorId::new(server as u32))
+            .app_mut()
+            .client_mut()
     }
 
     /// Runs the simulation for `span`.
@@ -486,7 +484,7 @@ impl Cluster {
                     .trade_book()
                     .halves()
                     .filter(|h| {
-                        h.role == vbundle_trade::LeaseRole::Borrower && h.lease.expires > now
+                        h.role == vbundle_trade::LeaseRole::Borrower && h.lease.live_at(now)
                     })
                     .count()
             })
@@ -524,20 +522,11 @@ impl Cluster {
     /// evictions, scribe expiries, controller gate/lease-block tallies)
     /// need no mirroring; this covers the remaining ad-hoc structs.
     pub fn refresh_metrics(&self) {
-        let mut trade = vbundle_trade::TradeStats::default();
         let (mut out, mut inc, mut failed, mut gated) = (0u64, 0u64, 0u64, 0u64);
         let (mut queries, mut accepts, mut anycast) = (0u64, 0u64, 0u64);
         let (mut conservative, mut invalid) = (0u64, 0u64);
         for i in 0..self.num_servers() {
             let c = self.controller(i);
-            let t = c.trade_book().stats;
-            trade.requests_sent += t.requests_sent;
-            trade.grants_sent += t.grants_sent;
-            trade.leases_borrowed += t.leases_borrowed;
-            trade.grants_rejected += t.grants_rejected;
-            trade.leases_expired += t.leases_expired;
-            trade.leases_reverted += t.leases_reverted;
-            trade.lender_losses += t.lender_losses;
             out += c.stats.migrations_out;
             inc += c.stats.migrations_in;
             failed += c.stats.migrations_failed;
@@ -549,13 +538,6 @@ impl Cluster {
             invalid += c.stats.invalid_payloads;
         }
         let m = &self.mirror;
-        m.trade_requests_sent.set(trade.requests_sent as f64);
-        m.trade_grants_sent.set(trade.grants_sent as f64);
-        m.trade_leases_borrowed.set(trade.leases_borrowed as f64);
-        m.trade_grants_rejected.set(trade.grants_rejected as f64);
-        m.trade_leases_expired.set(trade.leases_expired as f64);
-        m.trade_leases_reverted.set(trade.leases_reverted as f64);
-        m.trade_lender_losses.set(trade.lender_losses as f64);
         m.ctrl_migrations_out.set(out as f64);
         m.ctrl_migrations_in.set(inc as f64);
         m.ctrl_migrations_failed.set(failed as f64);

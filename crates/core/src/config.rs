@@ -54,6 +54,54 @@ impl Default for FailoverConfig {
     }
 }
 
+/// Spot-market knobs: the priced, provider-run layer that lets starved
+/// VMs buy entitlement from *other tenants'* bundles once their own
+/// bundle has nothing left to give.
+///
+/// Matching happens inside per-pod `Spot-<pod>` anycast groups. Lenders
+/// ask `index × (1 + ask_markup)` where `index` is a per-pod EWMA of
+/// cleared prices seeded at `base_price`; borrowers accept while the ask
+/// stays under `max_price` and their tenant's prepaid spend on the
+/// borrowing host stays under `budget`. Cleared trades bill prepaid
+/// through the double-entry books of `vbundle-market`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpotMarketConfig {
+    /// Seed of the per-pod price index, per Mbps·s — the admission price
+    /// before the first trade clears.
+    pub base_price: f64,
+    /// EWMA weight of each cleared trade in the price index.
+    pub price_alpha: f64,
+    /// Lender markup over the index when quoting an ask.
+    pub ask_markup: f64,
+    /// Highest per-Mbps·s price a borrower will accept.
+    pub max_price: f64,
+    /// Cap on one tenant's prepaid spot spend per borrowing host. Spend
+    /// is metered locally (each host sees only its own book), so the
+    /// cluster-wide exposure of a tenant is `budget × hosts` — a
+    /// documented limitation of the decentralized design.
+    pub budget: f64,
+    /// The provider's cut of every cleared trade's gross.
+    pub fee_rate: f64,
+    /// Isolation cap: at most this fraction of a lender customer's base
+    /// reservations on a server may be lent cross-tenant at once, so no
+    /// tenant's bundle can be hollowed out by the market.
+    pub isolation_cap: f64,
+}
+
+impl Default for SpotMarketConfig {
+    fn default() -> Self {
+        SpotMarketConfig {
+            base_price: 1.0,
+            price_alpha: 0.2,
+            ask_markup: 0.1,
+            max_price: 4.0,
+            budget: 1_000_000.0,
+            fee_rate: 0.05,
+            isolation_cap: 0.5,
+        }
+    }
+}
+
 /// Configuration of a v-Bundle server controller.
 ///
 /// Defaults follow the paper's simulated experiments (§IV): a 5-minute
@@ -148,6 +196,13 @@ pub struct VBundleConfig {
     /// (the default) keeps the controller bit-identical to the
     /// passive-backup code.
     pub failover: Option<FailoverConfig>,
+    /// Priced cross-tenant spot market: when set (and `bundle_trading`
+    /// is on), servers join their pod's spot group, lend isolation-capped
+    /// headroom to other tenants at the quoted spot price, and meter
+    /// every cleared trade into double-entry billing books. `None` (the
+    /// default) keeps the controller bit-identical to the free
+    /// intra-bundle trading code.
+    pub spot_market: Option<SpotMarketConfig>,
 }
 
 impl Default for VBundleConfig {
@@ -175,6 +230,7 @@ impl Default for VBundleConfig {
             max_trades_per_round: 4,
             survivability: None,
             failover: None,
+            spot_market: None,
         }
     }
 }
@@ -269,6 +325,12 @@ impl VBundleConfig {
         self.failover = Some(config);
         self
     }
+
+    /// Enables the priced cross-tenant spot market with the given knobs.
+    pub fn with_spot_market(mut self, config: SpotMarketConfig) -> Self {
+        self.spot_market = Some(config);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -343,6 +405,26 @@ mod tests {
         });
         let fc = c.failover.expect("enabled");
         assert_eq!(fc.probe_interval, SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn spot_market_defaults_off_and_builder() {
+        let c = VBundleConfig::default();
+        assert!(c.spot_market.is_none());
+        let mc = SpotMarketConfig::default();
+        assert_eq!(mc.base_price, 1.0);
+        assert_eq!(mc.price_alpha, 0.2);
+        assert_eq!(mc.ask_markup, 0.1);
+        assert_eq!(mc.fee_rate, 0.05);
+        assert_eq!(mc.isolation_cap, 0.5);
+        let c = VBundleConfig::default().with_spot_market(SpotMarketConfig {
+            max_price: 2.0,
+            budget: 500.0,
+            ..SpotMarketConfig::default()
+        });
+        let mc = c.spot_market.expect("enabled");
+        assert_eq!(mc.max_price, 2.0);
+        assert_eq!(mc.budget, 500.0);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use vbundle_aggregation::{AggMsg, AggregationConfig, Aggregator, Robustness, AGG_TICK_TAG};
 use vbundle_dcn::{Bandwidth, DomainKind, Topology};
 use vbundle_fdetect::{Courier, CourierConfig, DomainSuspicion, RetryDecision};
+use vbundle_market::{BillingBook, BillingEntry, EntrySide, PriceIndex};
 use vbundle_obs::{Counter, FlightRecorder, Registry, Subsystem};
 use vbundle_pastry::NodeHandle;
 use vbundle_scribe::{group_id, GroupId, ScribeClient, ScribeCtx};
@@ -81,6 +82,15 @@ pub fn less_loaded_group() -> GroupId {
 /// shedding, scoped to one tenant's bundle.
 pub fn trade_group(customer: CustomerId) -> GroupId {
     group_id(&format!("Trade-{}", customer.0))
+}
+
+/// The per-pod spot-market tree: servers with cross-tenant lendable
+/// headroom join their pod's group, and VMs still starved after their own
+/// bundle had nothing left anycast priced `BorrowRequest`s into it.
+/// Pod-scoped so trades clear close to the borrower and each pod's price
+/// index reflects local supply.
+pub fn spot_group(pod: u32) -> GroupId {
+    group_id(&format!("Spot-{pod}"))
 }
 
 /// Aggregation topics carrying capacity for one resource dimension
@@ -232,6 +242,31 @@ pub struct ControllerStats {
     pub fo_lease_reverts: Counter,
 }
 
+/// Observable counters of the spot market on one controller. Obs
+/// [`Counter`] shards like the trade stats: detached until
+/// [`Controller::attach_obs`] registers them under the `market` scope
+/// (only when the spot market is configured, so off-market exports are
+/// unchanged).
+#[derive(Debug, Clone, Default)]
+pub struct MarketStats {
+    /// Priced borrow requests anycast into the pod's spot group.
+    pub spot_asks: Counter,
+    /// Priced leases this server accepted as borrower (cleared trades).
+    pub spot_trades: Counter,
+    /// Priced grants refused because the ask exceeded `max_price`.
+    pub spot_rejected_price: Counter,
+    /// Priced grants refused because they would blow the tenant's budget.
+    pub spot_rejected_budget: Counter,
+    /// Spot lends refused because the isolation cap left under a minimum
+    /// lease of headroom.
+    pub spot_rejected_cap: Counter,
+    /// Renewal probes answered with a replacement lease at the current
+    /// spot price.
+    pub requotes: Counter,
+    /// Revenue entries reversed on provable grant failure.
+    pub billing_reversals: Counter,
+}
+
 /// One customer's failure-domain occupancy as tracked by its key's root
 /// server — the authoritative source of the [`SurvCaps`] stamped onto
 /// boot queries. `BTreeMap` so snapshot order is deterministic.
@@ -302,6 +337,25 @@ pub struct Controller {
     trade_cooldown: BTreeMap<VmId, SimTime>,
     /// Local counter minting unique lease ids.
     next_lease: u64,
+    /// This pod's spot price index: a seeded EWMA of trades this server
+    /// cleared (as lender or borrower). Only consulted with the spot
+    /// market on.
+    spot_index: PriceIndex,
+    /// This server's half of the double-entry money ledger.
+    billing: BillingBook,
+    /// Whether this server is currently in its pod's spot group.
+    in_spot_group: bool,
+    /// VMs whose last spot request went unanswered (or is outstanding),
+    /// with retry-after times.
+    spot_cooldown: BTreeMap<VmId, SimTime>,
+    /// Priced leases already re-quoted near expiry: old id → replacement
+    /// id, so one lease is never replaced twice.
+    renewal_quoted: BTreeMap<u64, u64>,
+    /// The pod this server sits in (set by the cluster builder; spot
+    /// matching is pod-scoped).
+    pod_index: u32,
+    /// Observable spot-market counters.
+    pub market_stats: MarketStats,
     /// The last simulation instant this controller processed an event at.
     /// Ledger queries from outside a Scribe upcall (harness metrics,
     /// admission checks) use it to time-filter live leases.
@@ -369,6 +423,10 @@ impl Controller {
             jitter_pct: 10,
             salt: TRADE_COURIER_SALT,
         });
+        let spot_index = match config.spot_market {
+            Some(mc) => PriceIndex::new(mc.base_price, mc.price_alpha),
+            None => PriceIndex::new(1.0, 0.0),
+        };
         Controller {
             capacity,
             config,
@@ -389,6 +447,13 @@ impl Controller {
             in_trade_groups: BTreeSet::new(),
             trade_cooldown: BTreeMap::new(),
             next_lease: 0,
+            spot_index,
+            billing: BillingBook::new(),
+            in_spot_group: false,
+            spot_cooldown: BTreeMap::new(),
+            renewal_quoted: BTreeMap::new(),
+            pod_index: 0,
+            market_stats: MarketStats::default(),
             clock: SimTime::ZERO,
             flight: FlightRecorder::disabled(),
             obs_node: 0,
@@ -420,8 +485,35 @@ impl Controller {
         self.stats.fo_rematerialized = scope.counter("fo_rematerialized");
         self.stats.fo_fences_sent = scope.counter("fo_fences_sent");
         self.stats.fo_lease_reverts = scope.counter("fo_lease_reverts");
+        let trade = registry.scope("trade");
+        self.trade.stats.requests_sent = trade.counter("requests_sent");
+        self.trade.stats.grants_sent = trade.counter("grants_sent");
+        self.trade.stats.leases_borrowed = trade.counter("leases_borrowed");
+        self.trade.stats.grants_rejected = trade.counter("grants_rejected");
+        self.trade.stats.leases_expired = trade.counter("leases_expired");
+        self.trade.stats.leases_reverted = trade.counter("leases_reverted");
+        self.trade.stats.lender_losses = trade.counter("lender_losses");
+        // Market counters only exist in the export when the market is
+        // configured, so off-market metric exports are byte-identical.
+        if self.config.spot_market.is_some() {
+            let market = registry.scope("market");
+            self.market_stats.spot_asks = market.counter("spot_asks");
+            self.market_stats.spot_trades = market.counter("spot_trades");
+            self.market_stats.spot_rejected_price = market.counter("spot_rejected_price");
+            self.market_stats.spot_rejected_budget = market.counter("spot_rejected_budget");
+            self.market_stats.spot_rejected_cap = market.counter("spot_rejected_cap");
+            self.market_stats.requotes = market.counter("requotes");
+            self.market_stats.billing_reversals = market.counter("billing_reversals");
+        }
         self.flight = flight.clone();
         self.obs_node = node;
+    }
+
+    /// Tells the controller which pod its server sits in. Called by the
+    /// cluster builder; spot-market matching is scoped to this pod's
+    /// `Spot-<pod>` group.
+    pub fn set_pod(&mut self, pod: u32) {
+        self.pod_index = pod;
     }
 
     /// The server's physical capacity.
@@ -570,6 +662,56 @@ impl Controller {
     /// This server's lease halves (read-only; benches and chaos checks).
     pub fn trade_book(&self) -> &TradeBook {
         &self.trade
+    }
+
+    /// This server's half of the double-entry billing ledger (read-only;
+    /// benches and chaos checks).
+    pub fn billing(&self) -> &BillingBook {
+        &self.billing
+    }
+
+    /// The current spot price of this server's pod index, per Mbps·s.
+    pub fn spot_price(&self) -> f64 {
+        self.spot_index.current()
+    }
+
+    /// Folds a synthetic cleared price into this server's index — a test
+    /// hook for driving the index deterministically (e.g. the stale-price
+    /// renewal regression), equivalent to this server having cleared a
+    /// trade at `cleared`.
+    pub fn observe_spot_price(&mut self, cleared: f64) {
+        self.spot_index.observe(cleared);
+    }
+
+    /// Live cross-tenant outflow lent out of `customer`'s bundle by VMs
+    /// on this server, in Mbps. Counts every unexpired lender half —
+    /// including future-dated replacements, which are already committed
+    /// capacity — so the isolation cap can never be overshot by renewal
+    /// timing.
+    fn cross_outflow_mbps(&self, customer: CustomerId, now: SimTime) -> f64 {
+        self.trade
+            .halves()
+            .filter(|h| {
+                h.role == LeaseRole::Lender
+                    && h.lease.customer == customer
+                    && h.lease.cross_tenant()
+                    && h.lease.expires > now
+            })
+            .map(|h| h.lease.amount.bandwidth.as_mbps())
+            .sum()
+    }
+
+    /// What the isolation cap still lets `customer` lend cross-tenant
+    /// from this server: `cap × Σ base reservations − live cross-tenant
+    /// outflow`.
+    fn spot_cap_room_mbps(&self, customer: CustomerId, cap: f64, now: SimTime) -> f64 {
+        let base: f64 = self
+            .vms
+            .iter()
+            .filter(|v| v.customer == customer)
+            .map(|v| v.spec.reservation.bandwidth.as_mbps())
+            .sum();
+        (cap.clamp(0.0, 1.0) * base - self.cross_outflow_mbps(customer, now)).max(0.0)
     }
 
     /// The cluster-wide mean bandwidth utilization, once the aggregation
@@ -923,6 +1065,7 @@ impl Controller {
         for half in self.trade.expire(now) {
             self.lease_peers.remove(&half.lease.id.0);
             self.trade_courier.forget(half.lease.id.0);
+            self.renewal_quoted.remove(&half.lease.id.0);
         }
         // 2. Membership: one trade tree per hosted customer.
         let desired: BTreeSet<CustomerId> = self.vms.iter().map(|vm| vm.customer).collect();
@@ -953,6 +1096,11 @@ impl Controller {
         // can actually spare.
         self.trade_cooldown
             .retain(|_, &mut retry_at| retry_at > now);
+        // VMs that already tried their own bundle (ask outstanding or
+        // unanswered): with the spot market on, these graduate to a priced
+        // cross-tenant ask below — intra-bundle trading always gets first
+        // refusal.
+        let tried_intra: BTreeSet<VmId> = self.trade_cooldown.keys().copied().collect();
         let me = ctx.self_handle();
         let mut asks: Vec<(VmId, f64)> = Vec::new();
         for vm in &self.vms {
@@ -975,7 +1123,7 @@ impl Controller {
             };
             self.trade_cooldown
                 .insert(vm_id, now + self.config.update_interval * 2);
-            self.trade.stats.requests_sent += 1;
+            self.trade.stats.requests_sent.inc();
             ctx.anycast(
                 trade_group(customer),
                 CtrlMsg::Borrow(BorrowRequest {
@@ -983,6 +1131,74 @@ impl Controller {
                     borrower: vm_id,
                     amount: ResourceVector::bandwidth_only(Bandwidth::from_mbps(short)),
                     origin: me,
+                    spot: false,
+                }),
+            );
+        }
+        if self.config.spot_market.is_some() {
+            self.spot_tick(ctx, now, &tried_intra);
+        }
+    }
+
+    /// The spot-market slice of the trade tick: sync `Spot-<pod>` group
+    /// membership, then issue priced cross-tenant asks for VMs their own
+    /// bundle could not help.
+    fn spot_tick(
+        &mut self,
+        ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>,
+        now: SimTime,
+        tried_intra: &BTreeSet<VmId>,
+    ) {
+        let Some(mc) = self.config.spot_market else {
+            return;
+        };
+        // Membership: sell-side presence. A server joins its pod's spot
+        // group while any hosted customer has isolation-capped headroom
+        // left to sell.
+        let sellable = {
+            let customers: BTreeSet<CustomerId> = self.vms.iter().map(|v| v.customer).collect();
+            customers
+                .iter()
+                .any(|&c| self.spot_cap_room_mbps(c, mc.isolation_cap, now) >= MIN_LEASE_MBPS)
+        };
+        if sellable && !self.in_spot_group {
+            ctx.join(spot_group(self.pod_index));
+            self.in_spot_group = true;
+        } else if !sellable && self.in_spot_group {
+            ctx.leave(spot_group(self.pod_index));
+            self.in_spot_group = false;
+        }
+        // Buy side: a VM still short although it already asked its own
+        // bundle shops the pod's spot market, budget and price policy
+        // enforced at grant time.
+        self.spot_cooldown.retain(|_, &mut retry_at| retry_at > now);
+        let me = ctx.self_handle();
+        let mut asks: Vec<(VmId, CustomerId, f64)> = Vec::new();
+        for vm in &self.vms {
+            if asks.len() >= self.config.max_trades_per_round {
+                break;
+            }
+            if !tried_intra.contains(&vm.id) || self.spot_cooldown.contains_key(&vm.id) {
+                continue;
+            }
+            let limit = self.entitled_spec(vm).limit.bandwidth;
+            let short = vm.demand.bandwidth.saturating_sub(limit).as_mbps();
+            if short >= MIN_LEASE_MBPS {
+                asks.push((vm.id, vm.customer, short));
+            }
+        }
+        for (vm_id, customer, short) in asks {
+            self.spot_cooldown
+                .insert(vm_id, now + self.config.update_interval * 2);
+            self.market_stats.spot_asks.inc();
+            ctx.anycast(
+                spot_group(self.pod_index),
+                CtrlMsg::Borrow(BorrowRequest {
+                    customer,
+                    borrower: vm_id,
+                    amount: ResourceVector::bandwidth_only(Bandwidth::from_mbps(short)),
+                    origin: me,
+                    spot: true,
                 }),
             );
         }
@@ -1538,17 +1754,18 @@ impl Controller {
         let raw = ((me.actor.index() as u64) << 32) | self.next_lease;
         self.next_lease += 1;
         debug_assert!(raw < TRADE_RETRY_TAG_BASE);
-        let lease = Lease {
-            id: LeaseId(raw),
-            customer: q.customer,
+        let lease = Lease::free(
+            LeaseId(raw),
+            q.customer,
             lender,
-            borrower: q.borrower,
-            amount: ResourceVector::bandwidth_only(Bandwidth::from_mbps(give)),
-            expires: now + self.config.lease_duration,
-        };
+            q.borrower,
+            ResourceVector::bandwidth_only(Bandwidth::from_mbps(give)),
+            now,
+            now + self.config.lease_duration,
+        );
         self.trade.record(lease, LeaseRole::Lender, q.origin.actor);
         self.lease_peers.insert(raw, q.origin);
-        self.trade.stats.grants_sent += 1;
+        self.trade.stats.grants_sent.inc();
         self.flight.event_with(
             now.as_micros(),
             self.obs_node,
@@ -1565,6 +1782,182 @@ impl Controller {
         ctx.send_client(q.origin, CtrlMsg::BorrowGrant { lease });
         ctx.schedule(timeout, TRADE_RETRY_TAG_BASE | raw);
         true
+    }
+
+    /// A priced [`BorrowRequest`] walked the pod's spot group to this
+    /// server. Like [`Controller::try_lend`], but the candidate lenders
+    /// are *other tenants'* VMs, the offer is additionally bounded by the
+    /// per-customer isolation cap, and the minted lease carries the
+    /// quoted spot price — booked as revenue the moment it is debited
+    /// (prepaid; reversed only on provable delivery failure).
+    fn try_lend_spot(
+        &mut self,
+        ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>,
+        q: &BorrowRequest,
+    ) -> bool {
+        let Some(mc) = self.config.spot_market else {
+            return false;
+        };
+        let me = ctx.self_handle();
+        if q.origin.actor == me.actor {
+            return false; // a server never sells to itself
+        }
+        let now = ctx.now();
+        let ask = q.amount.bandwidth.as_mbps();
+        let margin = (1.0 - self.config.trade_margin).max(0.0);
+        let mut capped = false;
+        let best = self
+            .vms
+            .iter()
+            .filter(|vm| vm.customer != q.customer)
+            .filter(|vm| !self.pending_sheds.values().any(|&p| p == vm.id))
+            .map(|vm| {
+                let spec = self.entitled_spec(vm);
+                let used = vm.demand.bandwidth.min(spec.limit.bandwidth).as_mbps();
+                let spare = (spec.reservation.bandwidth.as_mbps() - used).max(0.0) * margin;
+                let (_, outflow) = self.trade.delta(vm.id, now);
+                let lendable = (vm.spec.reservation.bandwidth - outflow.bandwidth)
+                    .as_mbps()
+                    .max(0.0);
+                let cap_room = self.spot_cap_room_mbps(vm.customer, mc.isolation_cap, now);
+                let uncapped = spare.min(lendable);
+                if uncapped >= MIN_LEASE_MBPS && cap_room < MIN_LEASE_MBPS {
+                    capped = true;
+                }
+                (vm.id, vm.customer, uncapped.min(cap_room))
+            })
+            .max_by(|a, b| a.2.total_cmp(&b.2).then(b.0.cmp(&a.0)));
+        let Some((lender, seller, room)) = best else {
+            return false;
+        };
+        let give = room.min(ask);
+        if give < MIN_LEASE_MBPS {
+            if capped {
+                self.market_stats.spot_rejected_cap.inc();
+            }
+            return false;
+        }
+        let raw = ((me.actor.index() as u64) << 32) | self.next_lease;
+        self.next_lease += 1;
+        debug_assert!(raw < TRADE_RETRY_TAG_BASE);
+        let mut lease = Lease::free(
+            LeaseId(raw),
+            seller,
+            lender,
+            q.borrower,
+            ResourceVector::bandwidth_only(Bandwidth::from_mbps(give)),
+            now,
+            now + self.config.lease_duration,
+        );
+        lease.buyer = q.customer;
+        lease.price = self.spot_index.quote(mc.ask_markup);
+        self.trade.record(lease, LeaseRole::Lender, q.origin.actor);
+        self.lease_peers.insert(raw, q.origin);
+        self.trade.stats.grants_sent.inc();
+        if let Some(entry) = BillingEntry::for_lease(&lease, EntrySide::Revenue, mc.fee_rate) {
+            self.billing.record(entry);
+        }
+        // The lender observes its own clearing optimistically at mint —
+        // once per lease, whatever the ack path does. The rare reversal
+        // leaves a slightly stale index, never a corrupt ledger.
+        self.spot_index.observe(lease.price);
+        self.flight.event_with(
+            now.as_micros(),
+            self.obs_node,
+            Subsystem::Controller,
+            "spot-grant",
+            || {
+                format!(
+                    "lease {raw:#x}: {give} Mbps at {:.4}/Mbps·s to customer {}",
+                    lease.price, q.customer.0
+                )
+            },
+        );
+        let timeout = self.trade_courier.register(raw);
+        ctx.send_client(q.origin, CtrlMsg::BorrowGrant { lease });
+        ctx.schedule(timeout, TRADE_RETRY_TAG_BASE | raw);
+        true
+    }
+
+    /// Answers a renewal probe for a priced lease near expiry with a
+    /// *replacement* grant at the current spot price — never a silent
+    /// extension at the original terms. The replacement starts exactly
+    /// when its predecessor expires, so entitlement is continuous but
+    /// every window is re-priced; the borrower applies the same
+    /// max-price/budget policy as any other grant and simply lets the old
+    /// lease lapse if the new price is unacceptable.
+    fn maybe_requote(
+        &mut self,
+        ctx: &mut ScribeCtx<'_, '_, '_, '_, CtrlMsg>,
+        id: LeaseId,
+        from: NodeHandle,
+    ) {
+        let Some(mc) = self.config.spot_market else {
+            return;
+        };
+        let now = ctx.now();
+        let Some(h) = self.trade.get(id).copied() else {
+            return;
+        };
+        if h.role != LeaseRole::Lender
+            || !h.lease.is_priced()
+            || self.renewal_quoted.contains_key(&id.0)
+        {
+            return;
+        }
+        // Only near expiry (within two update ticks): earlier probes are
+        // plain liveness checks.
+        let window = (self.config.update_interval * 2).as_micros();
+        if h.lease.expires.as_micros().saturating_sub(now.as_micros()) > window {
+            return;
+        }
+        // The replacement must still clear the isolation cap; the old
+        // lease is still counted (conservative — it overlaps the check,
+        // not the window).
+        if self.spot_cap_room_mbps(h.lease.customer, mc.isolation_cap, now)
+            < h.lease.amount.bandwidth.as_mbps()
+        {
+            return;
+        }
+        let me = ctx.self_handle();
+        let raw = ((me.actor.index() as u64) << 32) | self.next_lease;
+        self.next_lease += 1;
+        debug_assert!(raw < TRADE_RETRY_TAG_BASE);
+        let mut lease = Lease::free(
+            LeaseId(raw),
+            h.lease.customer,
+            h.lease.lender,
+            h.lease.borrower,
+            h.lease.amount,
+            h.lease.expires,
+            h.lease.expires + self.config.lease_duration,
+        );
+        lease.buyer = h.lease.buyer;
+        lease.price = self.spot_index.quote(mc.ask_markup);
+        self.trade.record(lease, LeaseRole::Lender, from.actor);
+        self.lease_peers.insert(raw, from);
+        self.trade.stats.grants_sent.inc();
+        if let Some(entry) = BillingEntry::for_lease(&lease, EntrySide::Revenue, mc.fee_rate) {
+            self.billing.record(entry);
+        }
+        self.spot_index.observe(lease.price);
+        self.renewal_quoted.insert(id.0, raw);
+        self.market_stats.requotes.inc();
+        self.flight.event_with(
+            now.as_micros(),
+            self.obs_node,
+            Subsystem::Controller,
+            "spot-requote",
+            || {
+                format!(
+                    "lease {:#x} replaced by {raw:#x} at {:.4}/Mbps·s",
+                    id.0, lease.price
+                )
+            },
+        );
+        let timeout = self.trade_courier.register(raw);
+        ctx.send_client(from, CtrlMsg::BorrowGrant { lease });
+        ctx.schedule(timeout, TRADE_RETRY_TAG_BASE | raw);
     }
 
     /// A lender's committed offer arrived at the borrower's host.
@@ -1585,22 +1978,77 @@ impl Controller {
         // server's other live entitlements, or the shaper could not honor
         // it. Stale terms (expired in flight) are refused too.
         let hosted = self.vms.iter().any(|v| v.id == lease.borrower);
-        let accepted = self.config.bundle_trading
+        let mut accepted = self.config.bundle_trading
             && hosted
             && lease.expires > now
+            && lease.starts < lease.expires
             && lease.amount.is_sane()
             && (self.reserved() + lease.amount).fits_within(&self.capacity);
+        // Priced grants additionally pass the buyer's market policy: the
+        // market must be on, the billed tenant must really be the
+        // borrower VM's, the ask must clear max_price, and the prepaid
+        // gross must fit the tenant's budget on this host.
+        if accepted && lease.is_priced() {
+            accepted = match self.config.spot_market {
+                None => false,
+                Some(mc) => {
+                    let buyer_ok = self
+                        .vms
+                        .iter()
+                        .any(|v| v.id == lease.borrower && v.customer == lease.buyer);
+                    if !buyer_ok {
+                        false
+                    } else if lease.price > mc.max_price {
+                        self.market_stats.spot_rejected_price.inc();
+                        false
+                    } else if self.billing.spent_by(lease.buyer.0) + lease.gross() > mc.budget {
+                        self.market_stats.spot_rejected_budget.inc();
+                        false
+                    } else {
+                        true
+                    }
+                }
+            };
+        }
         if accepted {
             self.trade.record(lease, LeaseRole::Borrower, from.actor);
             self.lease_peers.insert(id.0, from);
-            self.trade.stats.leases_borrowed += 1;
-            self.flight.event_with(
-                now.as_micros(),
-                self.obs_node,
-                Subsystem::Controller,
-                "lease-borrowed",
-                || format!("lease {:#x} from node#{}", id.0, from.actor.index()),
-            );
+            self.trade.stats.leases_borrowed.inc();
+            if lease.is_priced() {
+                if let Some(mc) = self.config.spot_market {
+                    if let Some(entry) =
+                        BillingEntry::for_lease(&lease, EntrySide::Spend, mc.fee_rate)
+                    {
+                        self.billing.record(entry);
+                    }
+                    // The buyer's side of price discovery: the cleared
+                    // price steers this pod's index too.
+                    self.spot_index.observe(lease.price);
+                    self.market_stats.spot_trades.inc();
+                    self.flight.event_with(
+                        now.as_micros(),
+                        self.obs_node,
+                        Subsystem::Controller,
+                        "spot-borrowed",
+                        || {
+                            format!(
+                                "lease {:#x} at {:.4}/Mbps·s from node#{}",
+                                id.0,
+                                lease.price,
+                                from.actor.index()
+                            )
+                        },
+                    );
+                }
+            } else {
+                self.flight.event_with(
+                    now.as_micros(),
+                    self.obs_node,
+                    Subsystem::Controller,
+                    "lease-borrowed",
+                    || format!("lease {:#x} from node#{}", id.0, from.actor.index()),
+                );
+            }
         }
         ctx.send_client(from, CtrlMsg::LeaseAck { id, accepted });
     }
@@ -1612,8 +2060,11 @@ impl Controller {
             RetryDecision::GiveUp => {
                 // The ack may have been lost AFTER the borrower recorded
                 // its half, so reclaiming the debit here could mint credit
-                // out of thin air. Keep the half; expiry reconciles.
-                self.trade.stats.lender_losses += 1;
+                // out of thin air. Keep the half; expiry reconciles. The
+                // same logic keeps a priced lease's revenue entry: the
+                // borrower may well have paid (spend booked), and revenue
+                // without spend is the tolerated direction.
+                self.trade.stats.lender_losses.inc();
                 self.lease_peers.remove(&raw);
             }
             RetryDecision::Retry { timeout } => {
@@ -1971,7 +2422,9 @@ impl ScribeClient for Controller {
                 self.stats.invalid_payloads += 1;
                 return false;
             }
-            CtrlMsg::BorrowGrant { lease } if !lease.amount.is_sane() => {
+            CtrlMsg::BorrowGrant { lease }
+                if !lease.amount.is_sane() || !lease.price.is_finite() || lease.price < 0.0 =>
+            {
                 self.stats.invalid_payloads += 1;
                 return false;
             }
@@ -2050,9 +2503,19 @@ impl ScribeClient for Controller {
                 self.trade_courier.ack(id.0);
                 if !accepted {
                     // The borrower refused, so it never recorded a half:
-                    // reclaiming the debit is safe here (unlike GiveUp).
-                    self.drop_lease_half(id);
-                    self.trade.stats.grants_rejected += 1;
+                    // reclaiming the debit is safe here (unlike GiveUp) —
+                    // and so is reversing the revenue of a priced lease,
+                    // since a refusing borrower booked no spend.
+                    let dropped = self.drop_lease_half(id);
+                    self.trade.stats.grants_rejected.inc();
+                    if dropped.is_some_and(|h| h.lease.is_priced()) {
+                        if self.billing.reverse(id.0).is_some() {
+                            self.market_stats.billing_reversals.inc();
+                        }
+                        // If this was a renewal replacement, let the old
+                        // lease be re-quoted again later.
+                        self.renewal_quoted.retain(|_, &mut newer| newer != id.0);
+                    }
                 }
             }
             CtrlMsg::LeaseRenew { id } => {
@@ -2060,6 +2523,11 @@ impl ScribeClient for Controller {
                 // (expired, released): tell the borrower to drop its half.
                 if !self.trade.contains(id) {
                     ctx.send_client(from, CtrlMsg::LeaseRelease { id });
+                } else {
+                    // A known priced lease near expiry is answered with a
+                    // replacement at the *current* spot price — renewal
+                    // must never silently extend stale terms.
+                    self.maybe_requote(ctx, id, from);
                 }
             }
             CtrlMsg::LeaseRelease { id } => {
@@ -2154,6 +2622,15 @@ impl ScribeClient for Controller {
     ) -> bool {
         self.clock = ctx.now();
         if let CtrlMsg::Borrow(q) = msg {
+            if q.spot {
+                if self.config.bundle_trading
+                    && self.config.spot_market.is_some()
+                    && group == spot_group(self.pod_index)
+                {
+                    return self.try_lend_spot(ctx, &q.clone());
+                }
+                return false;
+            }
             if self.config.bundle_trading && group == trade_group(q.customer) {
                 return self.try_lend(ctx, &q.clone());
             }
@@ -2244,10 +2721,18 @@ impl ScribeClient for Controller {
                 self.holds.retain(|h| h.query != query);
             }
             // The borrower's host is gone before the grant even arrived:
-            // nobody recorded credit, so the lender reclaims its debit.
+            // nobody recorded credit, so the lender reclaims its debit —
+            // and the revenue of a priced lease, since nobody paid.
             CtrlMsg::BorrowGrant { lease } => {
                 self.drop_lease_half(lease.id);
-                self.trade.stats.grants_rejected += 1;
+                self.trade.stats.grants_rejected.inc();
+                if lease.is_priced() {
+                    if self.billing.reverse(lease.id.0).is_some() {
+                        self.market_stats.billing_reversals.inc();
+                    }
+                    self.renewal_quoted
+                        .retain(|_, &mut newer| newer != lease.id.0);
+                }
             }
             // The renewal bounced: the lender's host is dead, so the
             // borrowed credit has no backing debit. Drop it now rather
@@ -2567,14 +3052,15 @@ mod tests {
         c.install_vm(vm(2, 300.0, 300.0, 400.0));
         // Empty book: entitlements are the static contracts.
         assert_eq!(c.reserved().bandwidth.as_mbps(), 600.0);
-        let lease = Lease {
-            id: LeaseId(7),
-            customer: CustomerId(0),
-            lender: VmId(1),
-            borrower: VmId(2),
-            amount: ResourceVector::bandwidth_only(Bandwidth::from_mbps(100.0)),
-            expires: SimTime::from_secs(1000),
-        };
+        let lease = Lease::free(
+            LeaseId(7),
+            CustomerId(0),
+            VmId(1),
+            VmId(2),
+            ResourceVector::bandwidth_only(Bandwidth::from_mbps(100.0)),
+            SimTime::ZERO,
+            SimTime::from_secs(1000),
+        );
         // This server hosts both parties only in this test; real clusters
         // hold one half each, but the arithmetic is identical.
         c.trade.record(lease, LeaseRole::Lender, ActorId::new(9));
@@ -2615,14 +3101,15 @@ mod tests {
             VBundleConfig::default().with_bundle_trading(true),
         );
         c.install_vm(vm(1, 300.0, 300.0, 100.0));
-        let lease = Lease {
-            id: LeaseId(3),
-            customer: CustomerId(0),
-            lender: VmId(1),
-            borrower: VmId(99),
-            amount: ResourceVector::bandwidth_only(Bandwidth::from_mbps(50.0)),
-            expires: SimTime::from_secs(1000),
-        };
+        let lease = Lease::free(
+            LeaseId(3),
+            CustomerId(0),
+            VmId(1),
+            VmId(99),
+            ResourceVector::bandwidth_only(Bandwidth::from_mbps(50.0)),
+            SimTime::ZERO,
+            SimTime::from_secs(1000),
+        );
         c.trade.record(lease, LeaseRole::Lender, ActorId::new(9));
         c.lease_peers.insert(
             3,
@@ -2632,7 +3119,7 @@ mod tests {
         c.remove_vm(VmId(1));
         assert!(c.trade.is_empty());
         assert!(c.lease_peers.is_empty());
-        assert_eq!(c.trade.stats.leases_reverted, 1);
+        assert_eq!(c.trade.stats.leases_reverted.get(), 1);
     }
 
     #[test]
@@ -2645,6 +3132,7 @@ mod tests {
             borrower: VmId(1),
             amount: insane,
             origin: NodeHandle::new(vbundle_pastry::Id::from_u128(1), ActorId::new(1)),
+            spot: false,
         });
         assert!(!c.validate_payload(&bad));
         let good = CtrlMsg::Borrow(BorrowRequest {
@@ -2652,6 +3140,7 @@ mod tests {
             borrower: VmId(1),
             amount: ResourceVector::bandwidth_only(Bandwidth::from_mbps(25.0)),
             origin: NodeHandle::new(vbundle_pastry::Id::from_u128(1), ActorId::new(1)),
+            spot: false,
         });
         assert!(c.validate_payload(&good));
         assert_eq!(c.stats.invalid_payloads, 1);

@@ -66,10 +66,11 @@ pub mod shaper;
 mod vm;
 
 pub use cluster::{Cluster, ClusterBuilder, VbEngine};
-pub use config::{FailoverConfig, SurvivabilityConfig, VBundleConfig};
+pub use config::{FailoverConfig, SpotMarketConfig, SurvivabilityConfig, VBundleConfig};
 pub use controller::{
     bw_capacity_topic, bw_demand_topic, capacity_topic, demand_topic, less_loaded_group,
-    Controller, ControllerStats, ServerStatus, FAILOVER_TAG, REBALANCE_TAG, UPDATE_TAG,
+    spot_group, Controller, ControllerStats, MarketStats, ServerStatus, FAILOVER_TAG,
+    REBALANCE_TAG, UPDATE_TAG,
 };
 pub use message::{BootQuery, CtrlMsg, LoadQuery, SurvCaps};
 pub use metrics::{CustomerLocality, SatisfactionTotals};
@@ -78,5 +79,8 @@ pub use report::ClusterReport;
 // Resource-space types and party identities live in `vbundle-trade` (the
 // economic layer below this crate); re-exported here so downstream code
 // keeps importing them from `vbundle_core`.
+pub use vbundle_market::{
+    reconcile, BillingBook, BillingEntry, BillingRecord, EntrySide, PriceIndex, Reconciliation,
+};
 pub use vbundle_trade::{CustomerId, ResourceKind, ResourceSpec, ResourceVector, VmId};
 pub use vm::{Customer, VmRecord};

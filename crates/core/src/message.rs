@@ -86,10 +86,13 @@ pub struct LoadQuery {
 
 /// A starved VM's plea into its customer's trade tree (§III): "which
 /// sibling can lend me this much entitlement?" Carried by Scribe anycast
-/// under the same Less-Loaded discipline as load shedding.
+/// under the same Less-Loaded discipline as load shedding. With the spot
+/// market on, the same message (flagged `spot`) goes into the pod's
+/// `Spot-<pod>` group instead, asking *other tenants* to sell.
 #[derive(Debug, Clone)]
 pub struct BorrowRequest {
-    /// The customer whose bundle the entitlement moves within.
+    /// The customer whose bundle the entitlement moves within — on a spot
+    /// request, the customer doing the *buying*.
     pub customer: CustomerId,
     /// The starved VM that wants to borrow.
     pub borrower: VmId,
@@ -97,6 +100,10 @@ pub struct BorrowRequest {
     pub amount: ResourceVector,
     /// The server hosting the borrower (receives the grant).
     pub origin: NodeHandle,
+    /// True for a priced cross-tenant request into the spot group. Always
+    /// `false` on intra-bundle requests, so the pre-market wire is
+    /// byte-identical.
+    pub spot: bool,
 }
 
 /// Everything v-Bundle controllers exchange. Aggregation traffic is
@@ -244,6 +251,10 @@ pub enum CtrlMsg {
 const HANDLE_BYTES: usize = 20;
 const VM_BYTES: usize = 8 + 4 + 6 * 8 + 3 * 8; // id+customer+spec+demand
 const LEASE_BYTES: usize = 8 + 4 + 8 + 8 + 3 * 8 + 8; // id+customer+parties+amount+expiry
+/// Extra bytes a *priced* lease carries on the wire: price + start time +
+/// buyer customer. Free leases omit all three, keeping the pre-market
+/// grant byte-identical.
+const PRICED_LEASE_EXTRA: usize = 8 + 8 + 4;
 
 impl Message for CtrlMsg {
     fn wire_size(&self) -> usize {
@@ -266,8 +277,15 @@ impl Message for CtrlMsg {
             CtrlMsg::LoadAccept { .. } => 8 + 8 + HANDLE_BYTES,
             CtrlMsg::Migrate { .. } => 8 + VM_BYTES + HANDLE_BYTES,
             CtrlMsg::MigrateAck { .. } => 8,
-            CtrlMsg::Borrow(_) => 4 + 8 + 3 * 8 + HANDLE_BYTES,
-            CtrlMsg::BorrowGrant { .. } => LEASE_BYTES,
+            CtrlMsg::Borrow(q) => 4 + 8 + 3 * 8 + HANDLE_BYTES + usize::from(q.spot),
+            CtrlMsg::BorrowGrant { lease } => {
+                LEASE_BYTES
+                    + if lease.is_priced() {
+                        PRICED_LEASE_EXTRA
+                    } else {
+                        0
+                    }
+            }
             CtrlMsg::LeaseAck { .. } => 8 + 1,
             CtrlMsg::LeaseRenew { .. } => 8,
             CtrlMsg::LeaseRelease { .. } => 8,
@@ -378,6 +396,48 @@ mod tests {
         assert_eq!(reserve.wire_size(), 28);
         let mut c = commit;
         assert!(!c.corrupt(CorruptionMode::Nan));
+    }
+
+    #[test]
+    fn market_message_sizes() {
+        use vbundle_sim::SimTime;
+        use vbundle_trade::{Lease, LeaseId};
+
+        let h = NodeHandle::new(Id::from_u128(3), ActorId::new(1));
+        let free = Lease::free(
+            LeaseId(1),
+            CustomerId(0),
+            VmId(1),
+            VmId(2),
+            ResourceVector::bandwidth_only(Bandwidth::from_mbps(10.0)),
+            SimTime::from_secs(0),
+            SimTime::from_secs(60),
+        );
+        // A free grant is byte-identical to the pre-market wire.
+        assert_eq!(
+            CtrlMsg::BorrowGrant { lease: free }.wire_size(),
+            LEASE_BYTES
+        );
+        let mut priced = free;
+        priced.price = 1.5;
+        priced.buyer = CustomerId(7);
+        assert_eq!(
+            CtrlMsg::BorrowGrant { lease: priced }.wire_size(),
+            LEASE_BYTES + PRICED_LEASE_EXTRA
+        );
+
+        // The spot flag on a borrow request costs exactly one byte.
+        let q = BorrowRequest {
+            customer: CustomerId(0),
+            borrower: VmId(1),
+            amount: ResourceVector::bandwidth_only(Bandwidth::from_mbps(10.0)),
+            origin: h,
+            spot: false,
+        };
+        let bare = CtrlMsg::Borrow(q.clone()).wire_size();
+        let mut spot = q;
+        spot.spot = true;
+        assert_eq!(CtrlMsg::Borrow(spot).wire_size(), bare + 1);
     }
 
     #[test]

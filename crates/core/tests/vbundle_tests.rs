@@ -625,7 +625,7 @@ fn trading_off_is_inert() {
     for i in 0..cluster.num_servers() {
         let book = cluster.controller(i).trade_book();
         assert!(book.is_empty());
-        assert_eq!(book.stats.requests_sent, 0);
+        assert_eq!(book.stats.requests_sent.get(), 0);
     }
     // The fixed-size VM stays pinned at its static ceiling.
     assert_eq!(

@@ -1,0 +1,43 @@
+//! **vbundle-market** — the priced layer of the v-Bundle marketplace:
+//! spot pricing and double-entry billing for inter-tenant entitlement
+//! trading.
+//!
+//! Intra-bundle trading (`vbundle-trade`) reshuffles entitlement for free
+//! inside one customer's purchased bundle — the provider's obligation is
+//! conservation, not payment. The *spot market* crosses bundles: capacity
+//! one tenant bought and is not using is lent to another tenant, and that
+//! transfer is a sale. This crate owns the two pure objects that makes
+//! safe:
+//!
+//! - [`PriceIndex`]: the provider's admission price — a seeded EWMA of
+//!   cleared trade prices, scoped to one pod (every trade it observes
+//!   cleared inside that pod's `Spot-<pod>` anycast group). Lenders quote
+//!   `index × (1 + markup)`; borrowers shop the distance-ordered anycast
+//!   candidates under a max-price/budget policy.
+//! - [`BillingBook`]: each server's half of the double-entry money
+//!   ledger. A cleared trade is *prepaid*: the borrower's host records a
+//!   [`EntrySide::Spend`] entry and the lender's host a matching
+//!   [`EntrySide::Revenue`] entry, both computing the identical gross
+//!   (`price × Mbps × seconds`) and provider fee from the lease terms on
+//!   the wire. [`reconcile`] reassembles all books — exactly the way the
+//!   chaos layer reassembles [`TradeBook`](vbundle_trade::TradeBook)
+//!   halves — and certifies the pairing invariant: every tenant debit
+//!   (spend) is backed by a lender credit (revenue) of equal gross with a
+//!   consistent fee. A revenue entry with no matching spend is the
+//!   tolerated direction (the grant or its ack was lost; the lender's
+//!   books over-state income exactly like a dangling lender lease half
+//!   under-uses the bundle), and is reported, not flagged.
+//!
+//! The matcher that creates priced leases, the isolation caps bounding
+//! cross-tenant outflow, and the renewal re-quote path live in the
+//! controller of `vbundle-core`; everything here is deterministic
+//! bookkeeping with no actors and no clocks of its own.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod billing;
+mod price;
+
+pub use billing::{reconcile, BillingBook, BillingEntry, BillingRecord, EntrySide, Reconciliation};
+pub use price::PriceIndex;

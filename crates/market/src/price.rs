@@ -1,0 +1,76 @@
+//! The provider's spot price index: a seeded EWMA of cleared trades.
+
+/// An exponentially weighted moving average of cleared spot-trade prices
+/// (per Mbps·s), seeded with the provider's base price so the market has
+/// an admission price before the first trade clears.
+///
+/// One index instance is scoped to one pod: the controller only trades in
+/// its own pod's `Spot-<pod>` group, so every price it observes cleared
+/// there. Observation is commutative-free (order matters) but every
+/// controller observes its own trades in its own deterministic event
+/// order, so replay is byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriceIndex {
+    price: f64,
+    alpha: f64,
+}
+
+impl PriceIndex {
+    /// A fresh index at `base` price, moving by weight `alpha` (clamped
+    /// into `[0, 1]`) per observed trade.
+    pub fn new(base: f64, alpha: f64) -> Self {
+        PriceIndex {
+            price: if base.is_finite() && base > 0.0 {
+                base
+            } else {
+                1.0
+            },
+            alpha: alpha.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The current index price, per Mbps·s.
+    pub fn current(&self) -> f64 {
+        self.price
+    }
+
+    /// Folds the price of a cleared trade into the index. Non-finite or
+    /// negative prices are ignored — the index is an admission price and
+    /// must never be poisoned into garbage.
+    pub fn observe(&mut self, cleared: f64) {
+        if cleared.is_finite() && cleared >= 0.0 {
+            self.price += self.alpha * (cleared - self.price);
+        }
+    }
+
+    /// A lender's ask at the current index: `index × (1 + markup)`.
+    pub fn quote(&self, markup: f64) -> f64 {
+        self.price * (1.0 + markup.max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_and_converges() {
+        let mut idx = PriceIndex::new(2.0, 0.5);
+        assert_eq!(idx.current(), 2.0);
+        idx.observe(4.0);
+        assert!((idx.current() - 3.0).abs() < 1e-12);
+        idx.observe(4.0);
+        assert!((idx.current() - 3.5).abs() < 1e-12);
+        assert!((idx.quote(0.1) - 3.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let mut idx = PriceIndex::new(f64::NAN, 0.2);
+        assert_eq!(idx.current(), 1.0); // bad seed falls back
+        idx.observe(f64::INFINITY);
+        idx.observe(-3.0);
+        idx.observe(f64::NAN);
+        assert_eq!(idx.current(), 1.0);
+    }
+}

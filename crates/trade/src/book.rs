@@ -10,7 +10,9 @@
 //! tolerated until expiry — the unsafe direction is phantom credit).
 
 use std::collections::BTreeMap;
+use std::fmt;
 
+use vbundle_obs::Counter;
 use vbundle_sim::{ActorId, SimTime};
 
 use crate::ids::VmId;
@@ -49,24 +51,42 @@ impl HalfLease {
     }
 }
 
-/// Counters the trade subsystem exposes for benches and reports.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Counters the trade subsystem exposes for benches and reports. Each
+/// field is an obs [`Counter`] handle: detached (counting but invisible)
+/// by default, and live in the export the moment the runtime registers
+/// the same fields under an obs scope — the trade crate itself never
+/// talks to a registry.
+#[derive(Clone, Default)]
 pub struct TradeStats {
     /// Borrow requests anycast into the trade tree by starved local VMs.
-    pub requests_sent: u64,
+    pub requests_sent: Counter,
     /// Grants this server offered as a lender.
-    pub grants_sent: u64,
+    pub grants_sent: Counter,
     /// Leases committed with a local VM as borrower.
-    pub leases_borrowed: u64,
+    pub leases_borrowed: Counter,
     /// Grants refused at commit time (stale terms, insane amounts).
-    pub grants_rejected: u64,
+    pub grants_rejected: Counter,
     /// Halves dropped because their validity window ended.
-    pub leases_expired: u64,
+    pub leases_expired: Counter,
     /// Halves reverted early (peer crash, VM migration or shutdown).
-    pub leases_reverted: u64,
+    pub leases_reverted: Counter,
     /// Grants whose ack never arrived within the retry budget; the lender
     /// kept its debit (the safe direction) and let it expire.
-    pub lender_losses: u64,
+    pub lender_losses: Counter,
+}
+
+impl fmt::Debug for TradeStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TradeStats")
+            .field("requests_sent", &self.requests_sent.get())
+            .field("grants_sent", &self.grants_sent.get())
+            .field("leases_borrowed", &self.leases_borrowed.get())
+            .field("grants_rejected", &self.grants_rejected.get())
+            .field("leases_expired", &self.leases_expired.get())
+            .field("leases_reverted", &self.leases_reverted.get())
+            .field("lender_losses", &self.lender_losses.get())
+            .finish()
+    }
 }
 
 /// The set of lease halves hosted on one server.
@@ -102,7 +122,7 @@ impl TradeBook {
     pub fn revert(&mut self, id: LeaseId) -> Option<HalfLease> {
         let gone = self.halves.remove(&id);
         if gone.is_some() {
-            self.stats.leases_reverted += 1;
+            self.stats.leases_reverted.inc();
         }
         gone
     }
@@ -120,7 +140,7 @@ impl TradeBook {
             .iter()
             .filter_map(|id| self.halves.remove(id))
             .collect();
-        self.stats.leases_expired += gone.len() as u64;
+        self.stats.leases_expired.add(gone.len() as u64);
         gone
     }
 
@@ -158,11 +178,14 @@ impl TradeBook {
             .collect()
     }
 
-    /// Net live transfer for `vm` at `now`: `(inflow, outflow)`.
+    /// Net live transfer for `vm` at `now`: `(inflow, outflow)`. Only
+    /// halves whose validity window covers `now` count — a renewal
+    /// replacement dated to start at its predecessor's expiry shifts
+    /// nothing until then.
     pub fn delta(&self, vm: VmId, now: SimTime) -> (ResourceVector, ResourceVector) {
         let mut inflow = ResourceVector::ZERO;
         let mut outflow = ResourceVector::ZERO;
-        for h in self.halves.values().filter(|h| h.lease.expires > now) {
+        for h in self.halves.values().filter(|h| h.lease.live_at(now)) {
             match h.role {
                 LeaseRole::Borrower if h.lease.borrower == vm => inflow += h.lease.amount,
                 LeaseRole::Lender if h.lease.lender == vm => outflow += h.lease.amount,
@@ -214,14 +237,15 @@ mod tests {
     }
 
     fn lease(id: u64, lender: u64, borrower: u64, mbps: f64, expires: u64) -> Lease {
-        Lease {
-            id: LeaseId(id),
-            customer: CustomerId(0),
-            lender: VmId(lender),
-            borrower: VmId(borrower),
-            amount: bw(mbps),
-            expires: t(expires),
-        }
+        Lease::free(
+            LeaseId(id),
+            CustomerId(0),
+            VmId(lender),
+            VmId(borrower),
+            bw(mbps),
+            t(0),
+            t(expires),
+        )
     }
 
     #[test]
@@ -284,7 +308,7 @@ mod tests {
         let gone = book.expire(t(50));
         assert_eq!(gone.len(), 1);
         assert_eq!(gone[0].lease.id, LeaseId(1));
-        assert_eq!(book.stats.leases_expired, 1);
+        assert_eq!(book.stats.leases_expired.get(), 1);
         assert!(book.contains(LeaseId(2)));
     }
 
@@ -308,8 +332,8 @@ mod tests {
         assert_eq!(book.ids_involving(VmId(10)), vec![LeaseId(1)]);
         let gone = book.revert(LeaseId(1)).unwrap();
         assert_eq!(gone.local_vm(), VmId(10));
-        assert_eq!(book.stats.leases_reverted, 1);
+        assert_eq!(book.stats.leases_reverted.get(), 1);
         assert!(book.revert(LeaseId(1)).is_none());
-        assert_eq!(book.stats.leases_reverted, 1);
+        assert_eq!(book.stats.leases_reverted.get(), 1);
     }
 }

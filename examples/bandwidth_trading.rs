@@ -1,19 +1,27 @@
 //! Bandwidth trading inside one customer's bundle — the paper's Figure 1
-//! scenario played end-to-end.
+//! scenario played end-to-end — followed by the priced spot market that
+//! trades *across* bundles.
 //!
-//! A customer owns 3 standard (100 Mbps) and 3 high-I/O (200 Mbps)
+//! Act 1: a customer owns 3 standard (100 Mbps) and 3 high-I/O (200 Mbps)
 //! instances on hosts with 400 Mbps NICs. When two front-end VMs spike
 //! past their hosts' capacity while the back-ends idle, the de-facto
-//! fixed-size offering would cap the customer at her per-host allocations;
-//! v-Bundle discovers the idle capacity and migrates VMs so the *bundle
-//! total* is what binds.
+//! fixed-size offering would cap the customer at their per-host
+//! allocations; v-Bundle discovers the idle capacity and migrates VMs so
+//! the *bundle total* is what binds.
+//!
+//! Act 2: a tenant whose own bundle has nothing left to give buys spare
+//! entitlement from a *different* tenant at the provider's spot quote —
+//! every Mbps·s metered into double-entry billing books that reconcile
+//! to the cent.
 //!
 //! Run: `cargo run --release --example bandwidth_trading`
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use vbundle::core::{
-    Cluster, Customer, CustomerId, ResourceSpec, ResourceVector, VBundleConfig, VmRecord,
+    reconcile, BillingRecord, Cluster, Customer, CustomerId, ResourceSpec, ResourceVector,
+    SpotMarketConfig, VBundleConfig, VmRecord,
 };
 use vbundle::dcn::{Bandwidth, ServerCapacity, Topology};
 use vbundle::sim::{SimDuration, SimTime};
@@ -101,4 +109,103 @@ fn main() {
     );
     println!("the customer's 900 Mbps bundle now serves the spike without buying anything new");
     assert!(after < before, "trading must reduce the shortfall");
+
+    spot_market_act();
+}
+
+/// Act 2 — when the bundle itself is exhausted, the spot market: tenant
+/// "IBM" owns a single starved VM (no sibling can help), tenant "Acme"
+/// idles next door. With `spot_market` on, IBM's host shops the pod's
+/// spot group, accepts Acme's priced quote under its budget/price
+/// policy, and both sides meter the lease into billing books.
+fn spot_market_act() {
+    println!("\n--- spot market: buying across the tenant boundary ---");
+    let topo = Arc::new(
+        Topology::builder()
+            .pods(1)
+            .racks_per_pod(2)
+            .servers_per_rack(2)
+            .build(),
+    );
+    let config = VBundleConfig::default()
+        .with_update_interval(SimDuration::from_secs(5))
+        .with_rebalance_interval(SimDuration::from_secs(1000))
+        .with_bundle_trading(true)
+        .with_lease_duration(SimDuration::from_secs(120))
+        .with_spot_market(SpotMarketConfig::default());
+    let mut cluster = Cluster::builder(Arc::clone(&topo))
+        .vbundle(config)
+        .seed(20120618)
+        .build();
+
+    let ibm = Customer::new(CustomerId(0), "IBM");
+    let acme = Customer::new(CustomerId(1), "Acme");
+    // IBM: one starved VM, alone in its bundle — intra-bundle trading has
+    // no counterparty. Acme: a fat idle VM one rack over.
+    let id = cluster.alloc_vm_id();
+    let mut vm = VmRecord::new(
+        id,
+        ibm.id,
+        ResourceSpec::bandwidth(mbps(100.0), mbps(100.0)),
+    );
+    vm.demand = ResourceVector::bandwidth_only(mbps(300.0));
+    cluster.install_vm(topo.server(0), vm);
+    let id = cluster.alloc_vm_id();
+    let mut vm = VmRecord::new(
+        id,
+        acme.id,
+        ResourceSpec::bandwidth(mbps(200.0), mbps(200.0)),
+    );
+    vm.demand = ResourceVector::bandwidth_only(mbps(2.0));
+    cluster.install_vm(topo.server(1), vm);
+    cluster.reindex();
+
+    cluster.run_until(SimTime::from_secs(90));
+
+    // The lease IBM bought, at the provider's quoted spot price.
+    let now = cluster.now();
+    for i in 0..cluster.num_servers() {
+        for h in cluster.controller(i).trade_book().halves() {
+            if h.lease.is_priced() && h.lease.cross_tenant() && h.lease.live_at(now) {
+                println!(
+                    "server {i}: {:?} half of lease {} — {:.0} Mbps of {}'s bundle to {} \
+                     at {:.3} per Mbps·s",
+                    h.role,
+                    h.lease.id,
+                    h.lease.amount.bandwidth.as_mbps(),
+                    acme.name,
+                    ibm.name,
+                    h.lease.price
+                );
+            }
+        }
+    }
+
+    // Per-tenant bills, folded from every server's double-entry book.
+    let mut bills: BTreeMap<u32, BillingRecord> = BTreeMap::new();
+    for i in 0..cluster.num_servers() {
+        cluster.controller(i).billing().fold_into(&mut bills);
+    }
+    for (tenant, bill) in &bills {
+        let name = if *tenant == 0 {
+            ibm.name.as_str()
+        } else {
+            acme.name.as_str()
+        };
+        println!(
+            "{name:<5} bill: spent {:>9.3} | earned {:>9.3} | provider fees {:>7.3}",
+            bill.spend, bill.revenue, bill.fees
+        );
+    }
+    let rec = reconcile((0..cluster.num_servers()).map(|i| cluster.controller(i).billing()));
+    assert!(
+        rec.balanced(),
+        "billing must reconcile: {:#?}",
+        rec.violations
+    );
+    assert!(rec.total_spend > 0.0, "no priced trade cleared");
+    let ibm_bill = bills.get(&0).copied().unwrap_or_default();
+    let acme_bill = bills.get(&1).copied().unwrap_or_default();
+    assert!(ibm_bill.spend > 0.0 && acme_bill.revenue > 0.0);
+    println!("priced spot lease settled: buyer paid, seller earned, books reconcile");
 }

@@ -11,6 +11,7 @@
 //! | [`scribe`] | `vbundle-scribe` | Scribe multicast/anycast trees |
 //! | [`aggregation`] | `vbundle-aggregation` | cross-hypervisor aggregation |
 //! | [`trade`] | `vbundle-trade` | bundle ledger, entitlement leases, trade books |
+//! | [`market`] | `vbundle-market` | spot price index, double-entry billing ledger |
 //! | [`core`] | `vbundle-core` | placement, shaping, resource shuffling |
 //! | [`workloads`] | `vbundle-workloads` | traces, SIPp/Iperf models, CDFs |
 //! | [`chaos`] | `vbundle-chaos` | fault injection, invariants, recovery metrics |
@@ -25,6 +26,7 @@ pub use vbundle_aggregation as aggregation;
 pub use vbundle_chaos as chaos;
 pub use vbundle_core as core;
 pub use vbundle_dcn as dcn;
+pub use vbundle_market as market;
 pub use vbundle_obs as obs;
 pub use vbundle_pastry as pastry;
 pub use vbundle_scribe as scribe;
